@@ -1,0 +1,87 @@
+// Figure 14 — average per-epoch cache hit ratio across four models on
+// CIFAR-10 under cache sizes of 10/25/50/75% of the dataset, for seven
+// policies: Baseline (LRU), CoorDL, SHADE, iCache-imp, iCache,
+// SpiderCache-imp, SpiderCache. Also prints each policy's improvement
+// factor over the LRU baseline (the paper headline: up to 8.5x, avg 4.15x).
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace spider;
+    bench::print_preamble("bench_fig14_hit_ratio", "Figure 14");
+
+    const std::vector<sim::StrategyKind> policies = {
+        sim::StrategyKind::kBaselineLru, sim::StrategyKind::kCoorDL,
+        sim::StrategyKind::kShade,       sim::StrategyKind::kICacheImp,
+        sim::StrategyKind::kICache,      sim::StrategyKind::kSpiderImp,
+        sim::StrategyKind::kSpider};
+    const std::vector<double> cache_sizes = {0.10, 0.25, 0.50, 0.75};
+
+    double improvement_sum = 0.0;
+    double improvement_max = 0.0;
+    std::size_t improvement_count = 0;
+    // Our scan-adversarial LRU baseline hits near zero at small caches,
+    // which inflates ratios; the paper's baseline tracks the cache
+    // fraction, so CoorDL (hit = fraction) is the comparable denominator.
+    double vs_coordl_sum = 0.0;
+    double vs_coordl_max = 0.0;
+
+    for (const nn::ModelProfile& model : nn::evaluated_profiles()) {
+        util::Table table{std::string{"Fig 14: avg epoch hit ratio (%) — "} +
+                          model.name + " on CIFAR-10"};
+        std::vector<std::string> header = {"Cache size"};
+        for (const auto policy : policies) {
+            header.emplace_back(to_string(policy));
+        }
+        table.set_header(std::move(header));
+
+        for (const double fraction : cache_sizes) {
+            std::vector<std::string> row = {
+                util::Table::fmt(fraction * 100.0, 0) + "%"};
+            double baseline_hit = 0.0;
+            double coordl_hit = 0.0;
+            for (const auto policy : policies) {
+                sim::SimConfig config = bench::cifar10_config();
+                config.model = model;
+                config.strategy = policy;
+                config.cache_fraction = fraction;
+                config.epochs = bench::epochs(25);
+                const metrics::RunResult run =
+                    sim::TrainingSimulator{config}.run();
+                const double hit = run.average_hit_ratio();
+                if (policy == sim::StrategyKind::kBaselineLru) {
+                    baseline_hit = hit;
+                }
+                if (policy == sim::StrategyKind::kCoorDL) {
+                    coordl_hit = hit;
+                }
+                if (policy == sim::StrategyKind::kSpider && baseline_hit > 0.0) {
+                    const double factor = hit / baseline_hit;
+                    improvement_sum += factor;
+                    improvement_max = std::max(improvement_max, factor);
+                    ++improvement_count;
+                    const double vs_coordl = hit / std::max(coordl_hit, 1e-9);
+                    vs_coordl_sum += vs_coordl;
+                    vs_coordl_max = std::max(vs_coordl_max, vs_coordl);
+                }
+                row.push_back(util::Table::fmt(hit * 100.0, 1));
+            }
+            table.add_row(std::move(row));
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "SpiderCache improvement over LRU baseline: up to "
+              << util::Table::fmt(improvement_max, 1) << "x, avg "
+              << util::Table::fmt(
+                     improvement_sum / static_cast<double>(improvement_count),
+                     2)
+              << "x   (paper: up to 8.5x, avg 4.15x)\n";
+    std::cout << "vs CoorDL (hit = cache fraction, the proportional baseline): "
+              << "up to " << util::Table::fmt(vs_coordl_max, 1) << "x, avg "
+              << util::Table::fmt(
+                     vs_coordl_sum / static_cast<double>(improvement_count), 2)
+              << "x\n";
+    return 0;
+}

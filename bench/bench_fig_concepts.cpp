@@ -1,0 +1,183 @@
+// Conceptual-figure companions — numeric versions of the paper's
+// illustrative figures:
+//
+//   Fig 1   design-objective summary (hit ratio / accuracy / elasticity)
+//   Fig 4   sample-difficulty census of the synthetic datasets
+//   Fig 8   embedding-space structure: intra/inter-class distances and a
+//           PCA-2D projection summary after training
+//   Fig 11  Eq. 8 imp-ratio trajectories for u -> 0 / 0.5 / 1
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/spider_cache.hpp"
+#include "nn/mlp_classifier.hpp"
+#include "tensor/pca.hpp"
+
+int main() {
+    using namespace spider;
+    bench::print_preamble("bench_fig_concepts", "Figures 1, 4, 8, 11");
+
+    // ---- Fig 1: three-axis objective summary over the main systems.
+    {
+        util::Table table{"Fig 1: design objectives (higher is better)"};
+        table.set_header({"System", "Cache efficiency (avg hit)",
+                          "Accuracy (Top-1)", "Elasticity (ratio range)"});
+        for (const sim::StrategyKind strategy :
+             {sim::StrategyKind::kSpider, sim::StrategyKind::kShade,
+              sim::StrategyKind::kICache, sim::StrategyKind::kCoorDL}) {
+            sim::SimConfig config = bench::cifar10_config();
+            config.strategy = strategy;
+            config.epochs = bench::epochs(16);
+            const metrics::RunResult run = sim::TrainingSimulator{config}.run();
+            double min_ratio = 1.0;
+            double max_ratio = 0.0;
+            for (const auto& epoch : run.epochs) {
+                min_ratio = std::min(min_ratio, epoch.imp_ratio);
+                max_ratio = std::max(max_ratio, epoch.imp_ratio);
+            }
+            const bool elastic = strategy == sim::StrategyKind::kSpider;
+            table.add_row(
+                {run.strategy,
+                 util::Table::fmt(run.average_hit_ratio() * 100.0, 1) + "%",
+                 util::Table::fmt(run.best_accuracy * 100.0, 1) + "%",
+                 elastic ? util::Table::fmt((max_ratio - min_ratio) * 100.0, 0) +
+                               "% adaptive"
+                         : "static"});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // ---- Fig 4: difficulty census (the four groups of the paper's
+    // airplane example, plus duplicates).
+    {
+        util::Table table{"Fig 4: sample-difficulty census"};
+        table.set_header({"Dataset", "core", "boundary", "isolated",
+                          "mislabeled", "duplicate"});
+        for (const auto& [label, spec] :
+             {std::pair{"CIFAR-10", data::cifar10_like(bench::cifar_scale())},
+              std::pair{"CIFAR-100", data::cifar100_like(bench::cifar_scale())}}) {
+            const data::SyntheticDataset dataset{spec};
+            const double n = static_cast<double>(dataset.size());
+            auto pct = [&](data::SampleState state) {
+                return util::Table::fmt(
+                           100.0 * static_cast<double>(
+                                       dataset.count_state(state)) / n,
+                           1) +
+                       "%";
+            };
+            table.add_row({label, pct(data::SampleState::kCore),
+                           pct(data::SampleState::kBoundary),
+                           pct(data::SampleState::kIsolated),
+                           pct(data::SampleState::kMislabeled),
+                           pct(data::SampleState::kDuplicate)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // ---- Fig 8: embedding structure after training.
+    {
+        const data::SyntheticDataset dataset{
+            data::cifar10_like(bench::cifar_scale())};
+        nn::MlpConfig mlp;
+        mlp.input_dim = dataset.feature_dim();
+        mlp.hidden_dims = {64, 32};
+        mlp.num_classes = dataset.num_classes();
+        nn::MlpClassifier model{mlp};
+
+        // Brief uniform training to form clusters.
+        util::Rng rng{77};
+        std::vector<std::uint32_t> ids(dataset.size());
+        for (std::uint32_t i = 0; i < ids.size(); ++i) ids[i] = i;
+        const std::size_t batch = 128;
+        for (int epoch = 0; epoch < 8; ++epoch) {
+            rng.shuffle(ids);
+            for (std::size_t s = 0; s < ids.size(); s += batch) {
+                const std::size_t count = std::min(batch, ids.size() - s);
+                const std::vector<std::uint32_t> chunk{
+                    ids.begin() + static_cast<std::ptrdiff_t>(s),
+                    ids.begin() + static_cast<std::ptrdiff_t>(s + count)};
+                const tensor::Matrix x = dataset.gather_features(chunk);
+                const auto labels = dataset.gather_labels(chunk);
+                model.forward(x, labels);
+                model.backward_and_step(labels);
+            }
+        }
+
+        // Embed the first 800 samples and measure class structure.
+        const std::size_t sample_count = std::min<std::size_t>(800,
+                                                               dataset.size());
+        std::vector<std::uint32_t> subset(ids.begin(),
+                                          ids.begin() + sample_count);
+        const tensor::Matrix x = dataset.gather_features(subset);
+        const auto labels = dataset.gather_labels(subset);
+        const nn::ForwardResult fwd = model.forward(x, labels);
+
+        // Normalize rows (the scorer's view) and compute intra/inter means.
+        tensor::Matrix embeddings = fwd.embeddings;
+        for (std::size_t i = 0; i < embeddings.rows(); ++i) {
+            auto row = embeddings.row(i);
+            float norm = 0.0F;
+            for (float v : row) norm += v * v;
+            norm = std::sqrt(std::max(norm, 1e-12F));
+            for (float& v : row) v /= norm;
+        }
+        double intra = 0.0;
+        double inter = 0.0;
+        std::size_t intra_n = 0;
+        std::size_t inter_n = 0;
+        for (std::size_t i = 0; i < sample_count; i += 3) {
+            for (std::size_t j = i + 1; j < sample_count; j += 7) {
+                const float d =
+                    tensor::l2_distance(embeddings.row(i), embeddings.row(j));
+                if (labels[i] == labels[j]) {
+                    intra += d;
+                    ++intra_n;
+                } else {
+                    inter += d;
+                    ++inter_n;
+                }
+            }
+        }
+        const tensor::PcaResult projection = tensor::pca(embeddings, 2);
+
+        util::Table table{"Fig 8: embedding structure after training"};
+        table.set_header({"Quantity", "Value"});
+        table.add_row({"mean intra-class distance",
+                       util::Table::fmt(intra / static_cast<double>(intra_n), 3)});
+        table.add_row({"mean inter-class distance",
+                       util::Table::fmt(inter / static_cast<double>(inter_n), 3)});
+        table.add_row(
+            {"separation ratio (inter/intra)",
+             util::Table::fmt(inter / static_cast<double>(inter_n) /
+                                  (intra / static_cast<double>(intra_n)),
+                              2)});
+        table.add_row({"PCA-2D explained variance",
+                       util::Table::fmt(projection.explained_variance[0], 3) +
+                           " + " +
+                           util::Table::fmt(projection.explained_variance[1], 3)});
+        table.print(std::cout);
+        std::cout << "paper: same-class embeddings cluster, classes separate\n\n";
+    }
+
+    // ---- Fig 11: Eq. 8 trajectories under fixed penalties.
+    {
+        util::Table table{"Fig 11: imp-ratio(t) for r 90%->80% under Eq. 8"};
+        table.set_header({"t/T", "u=0 (fast)", "u=0.5", "u=1 (slow)"});
+        for (const double progress : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+            std::vector<std::string> row = {util::Table::fmt(progress, 2)};
+            for (const double u : {0.0, 0.5, 1.0}) {
+                const double ratio =
+                    0.9 - (0.9 - 0.8) * std::pow(progress, 1.0 + u);
+                row.push_back(util::Table::fmt(ratio * 100.0, 1) + "%");
+            }
+            table.add_row(std::move(row));
+        }
+        table.print(std::cout);
+        std::cout << "paper: u->1 slows the early shift (protecting accuracy),\n"
+                     "u->0 accelerates it (harvesting hit ratio)\n";
+    }
+    return 0;
+}

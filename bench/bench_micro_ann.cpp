@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark) for the ANN substrate: HNSW insert,
+// search and in-place update across index sizes and embedding dimensions,
+// brute-force comparison, PQ train/encode/ADC.
+
+#include <benchmark/benchmark.h>
+
+#include "ann/bruteforce.hpp"
+#include "ann/hnsw.hpp"
+#include "ann/pq.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spider;
+
+std::vector<float> random_point(util::Rng& rng, std::size_t dim) {
+    std::vector<float> p(dim);
+    for (float& x : p) {
+        x = static_cast<float>(rng.normal(static_cast<double>(rng.uniform_index(8)), 1.0));
+    }
+    return p;
+}
+
+ann::HnswIndex build_index(std::size_t n, std::size_t dim) {
+    ann::HnswConfig config;
+    config.dim = dim;
+    ann::HnswIndex index{config};
+    util::Rng rng{n * 31 + dim};
+    for (std::uint32_t i = 0; i < n; ++i) {
+        index.upsert(i, random_point(rng, dim));
+    }
+    return index;
+}
+
+void BM_HnswInsert(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    ann::HnswConfig config;
+    config.dim = dim;
+    ann::HnswIndex index{config};
+    util::Rng rng{7};
+    std::uint32_t next_id = 0;
+    for (auto _ : state) {
+        index.upsert(next_id++, random_point(rng, dim));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HnswInsert)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_HnswSearch(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::size_t dim = 32;
+    const ann::HnswIndex index = build_index(n, dim);
+    util::Rng rng{11};
+    const std::vector<float> query = random_point(rng, dim);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(index.knn(query, 10));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HnswSearch)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_HnswUpdate(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const std::size_t dim = 32;
+    ann::HnswIndex index = build_index(n, dim);
+    util::Rng rng{13};
+    std::uint32_t id = 0;
+    for (auto _ : state) {
+        index.upsert(id, random_point(rng, dim));
+        id = (id + 1) % static_cast<std::uint32_t>(n);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HnswUpdate)->Arg(1000)->Arg(5000);
+
+void BM_BruteForceSearch(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::size_t dim = 32;
+    ann::BruteForceIndex index{dim};
+    util::Rng rng{17};
+    for (std::uint32_t i = 0; i < n; ++i) {
+        index.upsert(i, random_point(rng, dim));
+    }
+    const std::vector<float> query = random_point(rng, dim);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(index.knn(query, 10));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BruteForceSearch)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_PqEncode(benchmark::State& state) {
+    const std::size_t dim = 64;
+    ann::PqConfig config;
+    config.dim = dim;
+    config.num_subspaces = 16;
+    ann::ProductQuantizer pq{config};
+    util::Rng rng{19};
+    const std::size_t n = 2000;
+    std::vector<float> data(n * dim);
+    for (float& x : data) x = static_cast<float>(rng.normal());
+    pq.train(data, n);
+    const std::span<const float> vec{data.data(), dim};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pq.encode(vec));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PqEncode);
+
+void BM_PqAdcDistanceWithTable(benchmark::State& state) {
+    const std::size_t dim = 64;
+    ann::PqConfig config;
+    config.dim = dim;
+    config.num_subspaces = 16;
+    ann::ProductQuantizer pq{config};
+    util::Rng rng{23};
+    const std::size_t n = 2000;
+    std::vector<float> data(n * dim);
+    for (float& x : data) x = static_cast<float>(rng.normal());
+    pq.train(data, n);
+    const std::span<const float> query{data.data(), dim};
+    const auto code = pq.encode(std::span<const float>{data.data() + dim, dim});
+    const auto table = pq.build_distance_table(query);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pq.table_distance(table, code));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PqAdcDistanceWithTable);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Table 1 + Figure 12 — overhead analysis and pipelining.
+//
+// Table 1 reports per-mini-batch times for Stage1 (load+forward), Stage2
+// (backward+optimize) and the graph-IS stage; Figure 12 shows the pipeline
+// that hides IS behind Stage2 (short-IS models) or Stage2 + next Stage1
+// (AlexNet/VGG16). This bench prints the Table-1 rows from the calibrated
+// cost model, derives the pipelined per-batch time for both schedules, and
+// also *measures* the real wall-clock cost of the graph-IS stage (HNSW
+// update + Eq. 4 scoring) per mini-batch on this machine.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "core/graph_scorer.hpp"
+#include "core/pipeline.hpp"
+
+int main() {
+    using namespace spider;
+    bench::print_preamble("bench_table1_overhead", "Table 1 and Figure 12");
+
+    util::Table table{"Table 1: per-mini-batch stage times (virtual ms)"};
+    table.set_header({"Model", "Stage1", "Stage2", "IS", "serial batch",
+                      "pipelined batch", "IS hidden?"});
+    for (const nn::ModelProfile& model : nn::evaluated_profiles()) {
+        const double stage1 = model.table1_stage1_ms;
+        const auto serial = core::pipelined_batch_time(
+            stage1, model.backward_ms, model.is_ms, model.long_is_pipeline,
+            true, false);
+        const auto pipelined = core::pipelined_batch_time(
+            stage1, model.backward_ms, model.is_ms, model.long_is_pipeline,
+            true, true);
+        const auto no_is = core::pipelined_batch_time(
+            stage1, model.backward_ms, model.is_ms, model.long_is_pipeline,
+            false, true);
+        table.add_row({model.name, util::Table::fmt(stage1, 0),
+                       util::Table::fmt(model.backward_ms, 0),
+                       util::Table::fmt(model.is_ms, 0),
+                       util::Table::fmt(storage::to_ms(serial), 0),
+                       util::Table::fmt(storage::to_ms(pipelined), 0),
+                       pipelined <= no_is ? "yes (fully)" : "partially"});
+    }
+    table.print(std::cout);
+    std::cout << "paper Table 1: ResNet18 42/35/16, ResNet50 48/37/18, "
+                 "AlexNet 62/33/35, Vgg16 56/28/31 ms\n"
+                 "paper Fig 12: pipelining hides the IS stage entirely\n\n";
+
+    // ---- Measured: real graph-IS stage cost per 128-sample mini-batch as
+    // a function of embedding dimension (the paper: HNSW runtime is driven
+    // by embedding dimension, not index size).
+    util::Table measured{"Measured graph-IS stage cost on this machine"};
+    measured.set_header(
+        {"Embedding dim", "batch update+score (wall ms)", "per sample (us)"});
+    for (const std::size_t dim : {32UL, 64UL, 128UL, 256UL}) {
+        ann::HnswConfig ann_config;
+        ann_config.dim = dim;
+        ann::HnswIndex index{ann_config};
+        core::ScorerConfig scorer_config;
+        core::GraphImportanceScorer scorer{
+            index, scorer_config, [](std::uint32_t id) { return id % 10; }};
+
+        util::Rng rng{dim};
+        const std::size_t population = 2000;
+        std::vector<float> embedding(dim);
+        auto fill = [&](std::uint32_t id) {
+            const double center = static_cast<double>(id % 10);
+            for (float& x : embedding) {
+                x = static_cast<float>(rng.normal(center, 1.0));
+            }
+        };
+        for (std::uint32_t id = 0; id < population; ++id) {
+            fill(id);
+            scorer.update_embedding(id, embedding);
+        }
+        // Timed: one mini-batch of 128 updates + scores (steady state).
+        const auto start = std::chrono::steady_clock::now();
+        const int batches = 4;
+        for (int b = 0; b < batches; ++b) {
+            for (std::uint32_t i = 0; i < 128; ++i) {
+                const std::uint32_t id = (b * 128 + i) % population;
+                fill(id);
+                scorer.update_embedding(id, embedding);
+                (void)scorer.score(id);
+            }
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count() /
+            batches;
+        measured.add_row({std::to_string(dim), util::Table::fmt(ms, 1),
+                          util::Table::fmt(ms * 1000.0 / 128.0, 1)});
+    }
+    measured.print(std::cout);
+    std::cout << "paper: IS cost grows with embedding dimension "
+                 "(AlexNet/VGG16 largest)\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: train a small classifier twice — once with the LRU baseline,
+// once with SpiderCache — and compare hit ratio, accuracy, and simulated
+// training time. This is the fastest way to see the whole system run.
+//
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "data/presets.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace spider;
+
+    sim::SimConfig config;
+    config.dataset = data::cifar10_like(/*scale=*/0.04);  // 2000 samples
+    config.model = nn::make_profile(nn::ModelKind::kResNet18);
+    config.cache_fraction = 0.20;
+    config.epochs = 30;
+    config.batch_size = 128;
+
+    util::Table table{"Quickstart: Baseline (LRU) vs SpiderCache"};
+    table.set_header({"System", "Avg hit ratio", "Top-1 acc (%)",
+                      "Sim. training time (min)", "Speedup"});
+
+    double baseline_minutes = 0.0;
+    for (const sim::StrategyKind strategy :
+         {sim::StrategyKind::kBaselineLru, sim::StrategyKind::kSpider}) {
+        config.strategy = strategy;
+        sim::TrainingSimulator simulator{config};
+        const metrics::RunResult run = simulator.run();
+        if (strategy == sim::StrategyKind::kBaselineLru) {
+            baseline_minutes = run.total_minutes();
+        }
+        table.add_row({run.strategy,
+                       util::Table::fmt(run.average_hit_ratio() * 100.0, 1) + "%",
+                       util::Table::fmt(run.best_accuracy * 100.0, 1),
+                       util::Table::fmt(run.total_minutes(), 1),
+                       util::Table::fmt(baseline_minutes / run.total_minutes(), 2) +
+                           "x"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nSpiderCache keeps semantically important samples cached and\n"
+                 "serves near-duplicates from the homophily section, so the\n"
+                 "same model trains in a fraction of the simulated time.\n";
+    return 0;
+}

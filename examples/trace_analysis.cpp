@@ -1,0 +1,99 @@
+// Offline trace analysis: record the access streams of uniform sampling
+// and SpiderCache's importance sampling, then explain the paper's
+// Motivation figures from first principles:
+//
+//  * Mattson reuse-distance profiles show *why* LRU fails under random
+//    sampling (every reuse distance ~ the dataset size — Fig. 3(b)) and
+//    why importance sampling makes the same stream cacheable.
+//  * Replaying one recorded stream through several policies compares them
+//    on identical access patterns.
+//
+//   ./build/examples/trace_analysis
+
+#include <iostream>
+
+#include "cache/basic_policies.hpp"
+#include "data/presets.hpp"
+#include "sim/simulator.hpp"
+#include "trace/replay.hpp"
+#include "trace/reuse_distance.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace spider;
+
+    auto record_run = [](sim::StrategyKind strategy) {
+        sim::SimConfig config;
+        config.dataset = data::cifar10_like(0.05);
+        config.strategy = strategy;
+        config.epochs = 10;
+        config.record_trace = true;
+        return sim::TrainingSimulator{config}.run();
+    };
+    const metrics::RunResult uniform_run =
+        record_run(sim::StrategyKind::kBaselineLru);
+    const metrics::RunResult spider_run = record_run(sim::StrategyKind::kSpider);
+
+    // Extract the raw requested-id streams.
+    auto stream_of = [](const metrics::RunResult& run) {
+        std::vector<std::uint32_t> stream;
+        stream.reserve(run.access_trace.size());
+        for (const trace::Record& r : run.access_trace.records()) {
+            stream.push_back(r.requested);
+        }
+        return stream;
+    };
+    const std::vector<std::uint32_t> uniform_stream = stream_of(uniform_run);
+    const std::vector<std::uint32_t> spider_stream = stream_of(spider_run);
+    const std::size_t n = data::cifar10_like(0.05).num_samples;
+
+    // ---- Reuse-distance profiles.
+    const trace::ReuseProfile uniform_profile =
+        trace::compute_reuse_profile(uniform_stream);
+    const trace::ReuseProfile spider_profile =
+        trace::compute_reuse_profile(spider_stream);
+
+    util::Table profile_table{"Reuse-distance profiles (why LRU fails)"};
+    profile_table.set_header({"Stream", "Mean reuse distance",
+                              "LRU hit @10% cache", "LRU hit @25%",
+                              "LRU hit @50%"});
+    auto profile_row = [&](const char* label, const trace::ReuseProfile& p) {
+        profile_table.add_row(
+            {label, util::Table::fmt(p.mean_reuse_distance(), 0),
+             util::Table::fmt(p.lru_hit_ratio(n / 10) * 100.0, 1) + "%",
+             util::Table::fmt(p.lru_hit_ratio(n / 4) * 100.0, 1) + "%",
+             util::Table::fmt(p.lru_hit_ratio(n / 2) * 100.0, 1) + "%"});
+    };
+    profile_row("Uniform sampling", uniform_profile);
+    profile_row("Graph-based IS", spider_profile);
+    profile_table.print(std::cout);
+    std::cout << "Uniform sampling's mean reuse distance ~ dataset size ("
+              << n << "): no practical LRU cache can hit.\n"
+              << "Importance sampling re-draws hot samples quickly, pulling\n"
+              << "reuse distances inside small caches.\n\n";
+
+    // ---- Same stream, different policies.
+    util::Table replay_table{
+        "Replaying the importance-sampled stream through classic policies"};
+    replay_table.set_header({"Policy", "Hit ratio", "Warm hit ratio"});
+    const std::size_t capacity = n / 5;
+    cache::LruCache lru{capacity};
+    cache::LfuCache lfu{capacity};
+    cache::FifoCache fifo{capacity};
+    cache::StaticCache minio{capacity};
+    for (cache::EvictionCache* policy :
+         std::initializer_list<cache::EvictionCache*>{&lru, &lfu, &fifo,
+                                                      &minio}) {
+        const trace::ReplayResult result = trace::replay(spider_stream, *policy);
+        replay_table.add_row(
+            {result.policy,
+             util::Table::fmt(result.hit_ratio() * 100.0, 1) + "%",
+             util::Table::fmt(result.warm_hit_ratio() * 100.0, 1) + "%"});
+    }
+    replay_table.print(std::cout);
+    std::cout << "\nEven classic policies profit once IS induces locality —\n"
+                 "but none reach SpiderCache's two-layer hit ratio of "
+              << util::Table::fmt(spider_run.average_hit_ratio() * 100.0, 1)
+              << "% on this run (score-driven retention + surrogates).\n";
+    return 0;
+}

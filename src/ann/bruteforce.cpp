@@ -1,0 +1,50 @@
+#include "ann/bruteforce.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace spider::ann {
+
+BruteForceIndex::BruteForceIndex(std::size_t dim) : dim_{dim} {
+    if (dim == 0) throw std::invalid_argument{"BruteForceIndex: dim must be > 0"};
+}
+
+void BruteForceIndex::upsert(std::uint32_t label, std::span<const float> vec) {
+    if (vec.size() != dim_) {
+        throw std::invalid_argument{"BruteForceIndex::upsert: bad dimension"};
+    }
+    auto [it, inserted] = slots_.try_emplace(label, vectors_.size());
+    if (inserted) {
+        vectors_.emplace_back(vec.begin(), vec.end());
+        labels_.push_back(label);
+    } else {
+        std::copy(vec.begin(), vec.end(), vectors_[it->second].begin());
+    }
+}
+
+bool BruteForceIndex::contains(std::uint32_t label) const {
+    return slots_.contains(label);
+}
+
+std::vector<Neighbor> BruteForceIndex::knn(std::span<const float> query,
+                                           std::size_t k) const {
+    if (query.size() != dim_) {
+        throw std::invalid_argument{"BruteForceIndex::knn: bad dimension"};
+    }
+    std::vector<Neighbor> all;
+    all.reserve(vectors_.size());
+    for (std::size_t i = 0; i < vectors_.size(); ++i) {
+        all.push_back({labels_[i], tensor::l2_distance(query, vectors_[i])});
+    }
+    const std::size_t take = std::min(k, all.size());
+    std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                      [](const Neighbor& a, const Neighbor& b) {
+                          return a.distance < b.distance;
+                      });
+    all.resize(take);
+    return all;
+}
+
+}  // namespace spider::ann

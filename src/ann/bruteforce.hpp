@@ -1,0 +1,41 @@
+#pragma once
+
+// Exact K-nearest-neighbor index: the correctness reference that HNSW's
+// recall is validated against in tests, and a drop-in Index implementation
+// for small datasets.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace spider::ann {
+
+struct Neighbor {
+    std::uint32_t label;
+    float distance;
+};
+
+class BruteForceIndex {
+public:
+    explicit BruteForceIndex(std::size_t dim);
+
+    [[nodiscard]] std::size_t dim() const { return dim_; }
+    [[nodiscard]] std::size_t size() const { return vectors_.size(); }
+
+    /// Inserts or replaces the vector stored under `label`.
+    void upsert(std::uint32_t label, std::span<const float> vec);
+    [[nodiscard]] bool contains(std::uint32_t label) const;
+
+    /// The k nearest stored vectors by Euclidean distance, ascending.
+    [[nodiscard]] std::vector<Neighbor> knn(std::span<const float> query,
+                                            std::size_t k) const;
+
+private:
+    std::size_t dim_;
+    std::unordered_map<std::uint32_t, std::size_t> slots_;
+    std::vector<std::vector<float>> vectors_;
+    std::vector<std::uint32_t> labels_;
+};
+
+}  // namespace spider::ann

@@ -1,0 +1,357 @@
+#include "ann/hnsw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace spider::ann {
+
+HnswIndex::HnswIndex(HnswConfig config)
+    : config_{config},
+      level_lambda_{1.0 / std::log(static_cast<double>(std::max<std::size_t>(config.M, 2)))},
+      rng_{config.seed} {
+    if (config_.dim == 0) throw std::invalid_argument{"HnswIndex: dim must be > 0"};
+    if (config_.M < 2) throw std::invalid_argument{"HnswIndex: M must be >= 2"};
+    if (config_.ef_construction < config_.M) {
+        throw std::invalid_argument{"HnswIndex: ef_construction must be >= M"};
+    }
+}
+
+bool HnswIndex::contains(std::uint32_t label) const {
+    return label_to_id_.contains(label);
+}
+
+float HnswIndex::dist(std::span<const float> a, std::span<const float> b) const {
+    ++dist_comps_;
+    return tensor::squared_l2(a, b);  // Monotone in L2; sqrt only at the API edge.
+}
+
+std::size_t HnswIndex::random_level() {
+    const double u = std::max(rng_.uniform(), 1e-12);
+    const auto level = static_cast<std::size_t>(-std::log(u) * level_lambda_);
+    return std::min<std::size_t>(level, 31);
+}
+
+std::uint32_t HnswIndex::greedy_closest(std::span<const float> query,
+                                        std::uint32_t entry,
+                                        std::size_t layer) const {
+    std::uint32_t current = entry;
+    float current_dist = dist(query, nodes_[current].point);
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (std::uint32_t neighbor : nodes_[current].links[layer]) {
+            const float d = dist(query, nodes_[neighbor].point);
+            if (d < current_dist) {
+                current = neighbor;
+                current_dist = d;
+                improved = true;
+            }
+        }
+    }
+    return current;
+}
+
+std::vector<HnswIndex::Candidate> HnswIndex::search_layer(
+    std::span<const float> query, std::uint32_t entry, std::size_t ef,
+    std::size_t layer) const {
+    // Visited set via epoch-stamped array (no per-call allocation churn).
+    if (visit_epoch_.size() < nodes_.size()) {
+        visit_epoch_.resize(nodes_.size(), 0);
+    }
+    ++current_epoch_;
+    if (current_epoch_ == 0) {  // wrapped: reset stamps
+        std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
+        current_epoch_ = 1;
+    }
+
+    std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>
+        to_visit;  // min-heap by distance
+    std::priority_queue<Candidate> best;  // max-heap: worst of the ef best on top
+
+    const float entry_dist = dist(query, nodes_[entry].point);
+    to_visit.push({entry_dist, entry});
+    best.push({entry_dist, entry});
+    visit_epoch_[entry] = current_epoch_;
+
+    while (!to_visit.empty()) {
+        const Candidate current = to_visit.top();
+        to_visit.pop();
+        if (current.distance > best.top().distance && best.size() >= ef) break;
+
+        for (std::uint32_t neighbor : nodes_[current.id].links[layer]) {
+            if (visit_epoch_[neighbor] == current_epoch_) continue;
+            visit_epoch_[neighbor] = current_epoch_;
+            const float d = dist(query, nodes_[neighbor].point);
+            if (best.size() < ef || d < best.top().distance) {
+                to_visit.push({d, neighbor});
+                best.push({d, neighbor});
+                if (best.size() > ef) best.pop();
+            }
+        }
+    }
+
+    std::vector<Candidate> result;
+    result.resize(best.size());
+    for (std::size_t i = best.size(); i-- > 0;) {
+        result[i] = best.top();
+        best.pop();
+    }
+    return result;  // ascending by distance
+}
+
+std::vector<std::uint32_t> HnswIndex::select_neighbors(
+    std::span<const float> query, std::vector<Candidate> candidates,
+    std::size_t m) const {
+    std::sort(candidates.begin(), candidates.end());
+    std::vector<std::uint32_t> selected;
+    selected.reserve(m);
+    for (const Candidate& cand : candidates) {
+        if (selected.size() >= m) break;
+        // Keep only candidates closer to the query than to any kept
+        // neighbor — spreads links across directions (HNSW Algorithm 4).
+        bool keep = true;
+        for (std::uint32_t kept : selected) {
+            const float d_to_kept =
+                dist(nodes_[cand.id].point, nodes_[kept].point);
+            if (d_to_kept < cand.distance) {
+                keep = false;
+                break;
+            }
+        }
+        if (keep) selected.push_back(cand.id);
+    }
+    // Backfill with nearest rejected candidates if underfull (keeps graphs
+    // connected in clustered data).
+    if (selected.size() < m) {
+        for (const Candidate& cand : candidates) {
+            if (selected.size() >= m) break;
+            if (std::find(selected.begin(), selected.end(), cand.id) ==
+                selected.end()) {
+                selected.push_back(cand.id);
+            }
+        }
+    }
+    (void)query;
+    return selected;
+}
+
+void HnswIndex::link(std::uint32_t id,
+                     std::span<const std::uint32_t> neighbors,
+                     std::size_t layer) {
+    auto& own_links = nodes_[id].links[layer];
+    // Replace out-edges; maintain the targets' in-degree counters. An old
+    // target whose in-degree would hit zero keeps its edge (appended past
+    // the budget) — dropping a node's last in-edge would cut it off from
+    // the directed search graph.
+    const std::vector<std::uint32_t> old_links = own_links;
+    std::vector<std::uint32_t> keep;
+    for (std::uint32_t old_target : old_links) {
+        const bool in_new = std::find(neighbors.begin(), neighbors.end(),
+                                      old_target) != neighbors.end();
+        if (in_new) continue;  // still linked; count unchanged
+        auto& count = nodes_[old_target].in_degree[layer];
+        if (count <= 1) {
+            keep.push_back(old_target);
+        } else {
+            --count;
+        }
+    }
+    own_links.assign(neighbors.begin(), neighbors.end());
+    own_links.insert(own_links.end(), keep.begin(), keep.end());
+    for (std::uint32_t target : neighbors) {
+        const bool was_old = std::find(old_links.begin(), old_links.end(),
+                                       target) != old_links.end();
+        if (!was_old) ++nodes_[target].in_degree[layer];
+    }
+
+    for (std::uint32_t neighbor : neighbors) {
+        auto& back = nodes_[neighbor].links[layer];
+        if (std::find(back.begin(), back.end(), id) != back.end()) continue;
+        back.push_back(id);
+        ++nodes_[id].in_degree[layer];
+        const std::size_t budget = max_links(layer);
+        if (back.size() > budget) {
+            // Shrink with the same heuristic, from the neighbor's view —
+            // but (a) never prune the edge just added (it may be the
+            // updated node's only in-edge) and (b) never prune an edge
+            // that is its target's *last* in-edge anywhere: either would
+            // make a node unreachable by the directed greedy search.
+            std::vector<Candidate> cands;
+            cands.reserve(back.size());
+            for (std::uint32_t other : back) {
+                cands.push_back(
+                    {dist(nodes_[neighbor].point, nodes_[other].point), other});
+            }
+            std::vector<std::uint32_t> pruned = select_neighbors(
+                nodes_[neighbor].point, std::move(cands), budget);
+            if (std::find(pruned.begin(), pruned.end(), id) == pruned.end()) {
+                pruned.back() = id;
+            }
+            for (std::uint32_t other : back) {
+                const bool kept = std::find(pruned.begin(), pruned.end(),
+                                            other) != pruned.end();
+                if (kept) continue;
+                auto& count = nodes_[other].in_degree[layer];
+                if (count <= 1) {
+                    pruned.push_back(other);  // last in-edge: keep (overflow)
+                } else {
+                    --count;
+                }
+            }
+            back = std::move(pruned);
+        }
+    }
+}
+
+void HnswIndex::wire_node(std::uint32_t id) {
+    const std::size_t node_level = nodes_[id].links.size() - 1;
+    std::span<const float> query = nodes_[id].point;
+
+    std::uint32_t entry = entry_point_;
+    // Descend through layers above the node's level greedily.
+    for (std::size_t layer = max_level_; layer > node_level; --layer) {
+        entry = greedy_closest(query, entry, layer);
+    }
+    // From min(max_level_, node_level) down to 0: beam-search and link.
+    const std::size_t top = std::min(max_level_, node_level);
+    for (std::size_t layer = top + 1; layer-- > 0;) {
+        std::vector<Candidate> candidates =
+            search_layer(query, entry, config_.ef_construction, layer);
+        // Exclude self (present when rewiring an updated node).
+        candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                        [id](const Candidate& c) {
+                                            return c.id == id;
+                                        }),
+                         candidates.end());
+        if (!candidates.empty()) {
+            entry = candidates.front().id;
+            const std::vector<std::uint32_t> neighbors = select_neighbors(
+                query, candidates, max_links(layer));
+            link(id, neighbors, layer);
+        }
+    }
+}
+
+void HnswIndex::upsert(std::uint32_t label, std::span<const float> vec) {
+    if (vec.size() != config_.dim) {
+        throw std::invalid_argument{"HnswIndex::upsert: bad dimension"};
+    }
+
+    if (auto it = label_to_id_.find(label); it != label_to_id_.end()) {
+        // In-place update (the hnswlib updatePoint strategy): replace the
+        // vector and rewire the node's *out*-links from a fresh descent,
+        // but keep existing in-edges intact. A stale in-edge is merely a
+        // sub-optimal long link — distances are always recomputed from the
+        // current vectors — while removing it could disconnect the node
+        // from the directed search graph entirely.
+        const std::uint32_t id = it->second;
+        std::copy(vec.begin(), vec.end(), nodes_[id].point.begin());
+        if (nodes_.size() == 1) return;
+        if (entry_point_ == id) {
+            // Descend from another top node so the (moved) entry doesn't
+            // anchor its own search; a linear scan for the max level is
+            // fine — updates are rare relative to searches.
+            std::uint32_t best = id == 0 ? 1 : 0;
+            std::size_t best_level = nodes_[best].links.size() - 1;
+            for (std::uint32_t other = 0; other < nodes_.size(); ++other) {
+                if (other == id) continue;
+                const std::size_t lvl = nodes_[other].links.size() - 1;
+                if (lvl > best_level) {
+                    best = other;
+                    best_level = lvl;
+                }
+            }
+            entry_point_ = best;
+            max_level_ = best_level;
+        }
+        wire_node(id);
+        // Updated node may still own the globally max level.
+        const std::size_t node_level = nodes_[id].links.size() - 1;
+        if (node_level > max_level_) {
+            max_level_ = node_level;
+            entry_point_ = id;
+        }
+        return;
+    }
+
+    Node node;
+    node.label = label;
+    node.point.assign(vec.begin(), vec.end());
+    const std::size_t level = empty_ ? 0 : random_level();
+    node.links.resize(level + 1);
+    node.in_degree.assign(level + 1, 0);
+    const auto id = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    label_to_id_.emplace(label, id);
+
+    if (empty_) {
+        entry_point_ = id;
+        max_level_ = level;
+        empty_ = false;
+        return;
+    }
+
+    wire_node(id);
+    if (level > max_level_) {
+        max_level_ = level;
+        entry_point_ = id;
+    }
+}
+
+std::vector<Neighbor> HnswIndex::knn(std::span<const float> query,
+                                     std::size_t k, std::size_t ef) const {
+    if (query.size() != config_.dim) {
+        throw std::invalid_argument{"HnswIndex::knn: bad dimension"};
+    }
+    if (empty_ || k == 0) return {};
+
+    const std::size_t beam = std::max(ef == 0 ? config_.ef_search : ef, k);
+
+    std::uint32_t entry = entry_point_;
+    for (std::size_t layer = max_level_; layer > 0; --layer) {
+        entry = greedy_closest(query, entry, layer);
+    }
+    std::vector<Candidate> found = search_layer(query, entry, beam, 0);
+
+    std::vector<Neighbor> result;
+    result.reserve(std::min(k, found.size()));
+    for (const Candidate& c : found) {
+        if (result.size() >= k) break;
+        result.push_back({nodes_[c.id].label, std::sqrt(c.distance)});
+    }
+    return result;
+}
+
+std::optional<std::span<const float>> HnswIndex::vector_of(
+    std::uint32_t label) const {
+    const auto it = label_to_id_.find(label);
+    if (it == label_to_id_.end()) return std::nullopt;
+    return std::span<const float>{nodes_[it->second].point};
+}
+
+std::size_t HnswIndex::degree(std::uint32_t label) const {
+    const auto it = label_to_id_.find(label);
+    if (it == label_to_id_.end()) return 0;
+    return nodes_[it->second].links[0].size();
+}
+
+std::size_t HnswIndex::memory_bytes() const {
+    std::size_t total = sizeof(*this);
+    for (const Node& node : nodes_) {
+        total += sizeof(Node);
+        total += node.point.capacity() * sizeof(float);
+        total += node.in_degree.capacity() * sizeof(std::uint32_t);
+        for (const auto& layer_links : node.links) {
+            total += layer_links.capacity() * sizeof(std::uint32_t);
+        }
+    }
+    total += label_to_id_.size() *
+             (sizeof(std::uint32_t) * 2 + sizeof(void*));  // bucket estimate
+    return total;
+}
+
+}  // namespace spider::ann

@@ -1,0 +1,146 @@
+#pragma once
+
+// Hierarchical Navigable Small World graph (Malkov & Yashunin, 2018),
+// implemented from scratch: multi-layer greedy search, heuristic neighbor
+// selection, dynamic insert and in-place update. This is the ANN substrate
+// the paper builds its semantic graph on (it uses the hnswlib library; we
+// reproduce the algorithm).
+//
+// Not thread-safe; the pipelined IS executor serializes access externally.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ann/bruteforce.hpp"  // Neighbor
+#include "util/rng.hpp"
+
+namespace spider::ann {
+
+struct HnswConfig {
+    std::size_t dim = 32;
+    /// Max links per node on layers > 0; layer 0 allows 2*M.
+    std::size_t M = 12;
+    /// Beam width during construction.
+    std::size_t ef_construction = 64;
+    /// Default beam width during search (raise for higher recall).
+    std::size_t ef_search = 48;
+    std::uint64_t seed = 7;
+};
+
+class HnswIndex {
+public:
+    explicit HnswIndex(HnswConfig config);
+
+    [[nodiscard]] const HnswConfig& config() const { return config_; }
+    [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+    [[nodiscard]] bool contains(std::uint32_t label) const;
+
+    /// Inserts a new vector, or — when `label` already exists — replaces
+    /// its vector in place and rewires its links at every level (the
+    /// "dynamic sample update" the paper relies on: embeddings drift every
+    /// epoch as the model trains).
+    void upsert(std::uint32_t label, std::span<const float> vec);
+
+    /// K nearest neighbors by Euclidean distance, ascending. `ef` overrides
+    /// ef_search when nonzero. The query label itself is *not* excluded.
+    [[nodiscard]] std::vector<Neighbor> knn(std::span<const float> query,
+                                            std::size_t k,
+                                            std::size_t ef = 0) const;
+
+    /// Current stored vector for a label (empty if absent).
+    [[nodiscard]] std::optional<std::span<const float>> vector_of(
+        std::uint32_t label) const;
+
+    /// Layer-0 out-degree of a label's node (0 if absent). High-degree
+    /// nodes are the homophily-cache candidates.
+    [[nodiscard]] std::size_t degree(std::uint32_t label) const;
+
+    /// Estimated resident bytes of the graph + vectors (Table 2 support).
+    [[nodiscard]] std::size_t memory_bytes() const;
+
+    /// Number of distance computations since construction (perf counters
+    /// for the microbench).
+    [[nodiscard]] std::uint64_t distance_computations() const {
+        return dist_comps_;
+    }
+
+    // Binary persistence (ann/serialize.hpp).
+    friend void save_index(const HnswIndex& index, std::ostream& os);
+    friend HnswIndex load_index(std::istream& is);
+
+private:
+    struct Node {
+        std::uint32_t label = 0;
+        std::vector<float> point;
+        /// links[l] = neighbor internal-ids at layer l; size() = level + 1.
+        std::vector<std::vector<std::uint32_t>> links;
+        /// in_degree[l] = number of edges pointing at this node at layer l.
+        /// The pruning paths preserve in_degree >= 1 so every node stays
+        /// reachable by the directed greedy search even under heavy
+        /// update churn (embeddings drift every epoch).
+        std::vector<std::uint32_t> in_degree;
+    };
+
+    struct Candidate {
+        float distance;
+        std::uint32_t id;
+        bool operator<(const Candidate& other) const {
+            return distance < other.distance;
+        }
+        bool operator>(const Candidate& other) const {
+            return distance > other.distance;
+        }
+    };
+
+    [[nodiscard]] float dist(std::span<const float> a,
+                             std::span<const float> b) const;
+    [[nodiscard]] std::size_t random_level();
+    [[nodiscard]] std::size_t max_links(std::size_t layer) const {
+        return layer == 0 ? config_.M * 2 : config_.M;
+    }
+
+    /// Greedy descent on one layer: returns the closest node found.
+    [[nodiscard]] std::uint32_t greedy_closest(std::span<const float> query,
+                                               std::uint32_t entry,
+                                               std::size_t layer) const;
+
+    /// Beam search on one layer; returns up to `ef` candidates sorted
+    /// ascending by distance.
+    [[nodiscard]] std::vector<Candidate> search_layer(
+        std::span<const float> query, std::uint32_t entry, std::size_t ef,
+        std::size_t layer) const;
+
+    /// Heuristic neighbor selection (Algorithm 4 of the HNSW paper): keeps
+    /// a candidate only if it is closer to the query than to every
+    /// already-kept neighbor, preserving graph navigability.
+    [[nodiscard]] std::vector<std::uint32_t> select_neighbors(
+        std::span<const float> query, std::vector<Candidate> candidates,
+        std::size_t m) const;
+
+    /// Connects `id` to `neighbors` bidirectionally at `layer`, shrinking
+    /// any neighbor that exceeds its link budget via the same heuristic.
+    void link(std::uint32_t id, std::span<const std::uint32_t> neighbors,
+              std::size_t layer);
+
+    /// (Re)wires the links of node `id` across all its layers, starting the
+    /// descent from the current entry point. Shared by insert and update.
+    void wire_node(std::uint32_t id);
+
+    HnswConfig config_;
+    double level_lambda_;  // 1 / ln(M)
+    util::Rng rng_;
+    std::vector<Node> nodes_;
+    std::unordered_map<std::uint32_t, std::uint32_t> label_to_id_;
+    std::uint32_t entry_point_ = 0;
+    std::size_t max_level_ = 0;
+    bool empty_ = true;
+    mutable std::uint64_t dist_comps_ = 0;
+    mutable std::vector<std::uint32_t> visit_epoch_;  // visited-set reuse
+    mutable std::uint32_t current_epoch_ = 0;
+};
+
+}  // namespace spider::ann

@@ -1,0 +1,58 @@
+#include "ann/index_size.hpp"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+namespace spider::ann {
+
+double IndexSizeModel::bytes_per_vector() const {
+    const double upper_links =
+        static_cast<double>(hnsw_m) /
+        (static_cast<double>(hnsw_m) - 1.0);  // sum_{l>=1} M (1/M)^l
+    const double link_bytes =
+        (static_cast<double>(layer0_links) + upper_links) *
+        static_cast<double>(bytes_per_link);
+    return static_cast<double>(pq_code_bytes) + link_bytes +
+           static_cast<double>(id_bytes);
+}
+
+double IndexSizeModel::index_bytes(double count) const {
+    return count * bytes_per_vector();
+}
+
+const std::vector<DatasetScale>& table2_datasets() {
+    constexpr double kGb = 1024.0 * 1024.0 * 1024.0;
+    constexpr double kTb = kGb * 1024.0;
+    constexpr double kPb = kTb * 1024.0;
+    static const std::vector<DatasetScale> datasets = {
+        {"ImageNet-1K", 1.2e6, 138.0 * kGb},
+        {"Open Images (V6)", 9.0e6, 600.0 * kGb},
+        {"ImageNet-21K", 14.0e6, 1.3 * kTb},
+        {"YFCC100M", 100.0e6, 100.0 * kTb},
+        {"LAION-400M", 400.0e6, 240.0 * kTb},
+        {"LAION-5B", 5.0e9, 2.5 * kPb},
+    };
+    return datasets;
+}
+
+std::string format_bytes(double bytes) {
+    static constexpr std::array<const char*, 6> units = {"B",  "KB", "MB",
+                                                         "GB", "TB", "PB"};
+    std::size_t unit = 0;
+    while (bytes >= 1024.0 && unit + 1 < units.size()) {
+        bytes /= 1024.0;
+        ++unit;
+    }
+    std::ostringstream oss;
+    if (bytes >= 100.0) {
+        oss << static_cast<long long>(std::llround(bytes));
+    } else {
+        oss.precision(bytes >= 10.0 ? 3 : 2);
+        oss << bytes;
+    }
+    oss << ' ' << units[unit];
+    return oss.str();
+}
+
+}  // namespace spider::ann

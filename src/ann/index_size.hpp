@@ -1,0 +1,44 @@
+#pragma once
+
+// Storage model for HNSW + Product Quantization indexes over large image
+// datasets (paper Section 5, Table 2). The paper's numbers work out to
+// roughly 110 bytes of index per image regardless of dataset scale; this
+// model makes the per-vector budget explicit (PQ code + layer-0 links +
+// expected upper-layer links + identifiers) and reproduces the table's
+// compression ratios from first principles.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spider::ann {
+
+struct IndexSizeModel {
+    std::size_t pq_code_bytes = 64;     // 64 subquantizers x 1 byte
+    std::size_t hnsw_m = 4;             // links kept per upper layer
+    std::size_t layer0_links = 8;       // compressed layer-0 degree
+    std::size_t bytes_per_link = 4;     // uint32 ids
+    std::size_t id_bytes = 8;           // external label + level byte, padded
+
+    /// Expected index bytes for one vector. Upper layers add a geometric
+    /// tail: a node appears on layer l>=1 with probability ~(1/M)^l, so the
+    /// expected extra links per node are M * 1/(M-1).
+    [[nodiscard]] double bytes_per_vector() const;
+
+    /// Total index bytes for `count` vectors.
+    [[nodiscard]] double index_bytes(double count) const;
+};
+
+struct DatasetScale {
+    std::string name;
+    double image_count;
+    double raw_bytes;
+};
+
+/// The six dataset rows of Table 2.
+[[nodiscard]] const std::vector<DatasetScale>& table2_datasets();
+
+/// Human-readable size with binary units (e.g. "134 MB", "1.5 GB").
+[[nodiscard]] std::string format_bytes(double bytes);
+
+}  // namespace spider::ann

@@ -1,0 +1,208 @@
+#include "ann/pq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace spider::ann {
+
+namespace {
+
+float sub_sq_l2(const float* a, const float* b, std::size_t n) {
+    float sum = 0.0F;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float d = a[i] - b[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+}  // namespace
+
+ProductQuantizer::ProductQuantizer(PqConfig config)
+    : config_{config},
+      sub_dim_{config.dim / std::max<std::size_t>(config.num_subspaces, 1)},
+      rng_{config.seed} {
+    if (config_.num_subspaces == 0 || config_.dim % config_.num_subspaces != 0) {
+        throw std::invalid_argument{
+            "ProductQuantizer: num_subspaces must divide dim"};
+    }
+    if (config_.codebook_size == 0 || config_.codebook_size > 256) {
+        throw std::invalid_argument{
+            "ProductQuantizer: codebook_size must be in [1, 256]"};
+    }
+    codebooks_.resize(config_.num_subspaces);
+}
+
+void ProductQuantizer::train(std::span<const float> vectors,
+                             std::size_t count) {
+    if (count == 0 || vectors.size() != count * config_.dim) {
+        throw std::invalid_argument{"ProductQuantizer::train: bad layout"};
+    }
+    const std::size_t k = std::min(config_.codebook_size, count);
+
+    for (std::size_t s = 0; s < config_.num_subspaces; ++s) {
+        const std::size_t offset = s * sub_dim_;
+        auto& codebook = codebooks_[s];
+        codebook.assign(config_.codebook_size * sub_dim_, 0.0F);
+
+        // Init centroids from random distinct training rows.
+        std::vector<std::uint32_t> order(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            order[i] = static_cast<std::uint32_t>(i);
+        }
+        rng_.shuffle(order);
+        for (std::size_t c = 0; c < k; ++c) {
+            const float* src = vectors.data() + order[c] * config_.dim + offset;
+            std::copy(src, src + sub_dim_, codebook.data() + c * sub_dim_);
+        }
+        // Duplicate-fill any remaining slots (count < codebook_size).
+        for (std::size_t c = k; c < config_.codebook_size; ++c) {
+            const float* src = codebook.data() + (c % k) * sub_dim_;
+            std::copy(src, src + sub_dim_, codebook.data() + c * sub_dim_);
+        }
+
+        // Lloyd iterations.
+        std::vector<std::uint32_t> assignment(count, 0);
+        std::vector<float> sums(k * sub_dim_);
+        std::vector<std::uint32_t> counts(k);
+        for (std::size_t iter = 0; iter < config_.kmeans_iterations; ++iter) {
+            // Assign.
+            for (std::size_t i = 0; i < count; ++i) {
+                const float* x = vectors.data() + i * config_.dim + offset;
+                float best = std::numeric_limits<float>::max();
+                std::uint32_t best_c = 0;
+                for (std::size_t c = 0; c < k; ++c) {
+                    const float d =
+                        sub_sq_l2(x, codebook.data() + c * sub_dim_, sub_dim_);
+                    if (d < best) {
+                        best = d;
+                        best_c = static_cast<std::uint32_t>(c);
+                    }
+                }
+                assignment[i] = best_c;
+            }
+            // Update.
+            std::fill(sums.begin(), sums.end(), 0.0F);
+            std::fill(counts.begin(), counts.end(), 0);
+            for (std::size_t i = 0; i < count; ++i) {
+                const float* x = vectors.data() + i * config_.dim + offset;
+                float* sum = sums.data() + assignment[i] * sub_dim_;
+                for (std::size_t d = 0; d < sub_dim_; ++d) sum[d] += x[d];
+                ++counts[assignment[i]];
+            }
+            for (std::size_t c = 0; c < k; ++c) {
+                if (counts[c] == 0) {
+                    // Re-seed empty cluster from a random row.
+                    const float* src = vectors.data() +
+                                       rng_.uniform_index(count) * config_.dim +
+                                       offset;
+                    std::copy(src, src + sub_dim_,
+                              codebook.data() + c * sub_dim_);
+                    continue;
+                }
+                float* centroid = codebook.data() + c * sub_dim_;
+                const float inv = 1.0F / static_cast<float>(counts[c]);
+                for (std::size_t d = 0; d < sub_dim_; ++d) {
+                    centroid[d] = sums[c * sub_dim_ + d] * inv;
+                }
+            }
+        }
+    }
+    trained_ = true;
+}
+
+std::vector<std::uint8_t> ProductQuantizer::encode(
+    std::span<const float> vec) const {
+    if (!trained_) throw std::logic_error{"ProductQuantizer::encode: not trained"};
+    if (vec.size() != config_.dim) {
+        throw std::invalid_argument{"ProductQuantizer::encode: bad dimension"};
+    }
+    std::vector<std::uint8_t> code(config_.num_subspaces);
+    for (std::size_t s = 0; s < config_.num_subspaces; ++s) {
+        const float* x = vec.data() + s * sub_dim_;
+        const auto& codebook = codebooks_[s];
+        float best = std::numeric_limits<float>::max();
+        std::size_t best_c = 0;
+        for (std::size_t c = 0; c < config_.codebook_size; ++c) {
+            const float d = sub_sq_l2(x, codebook.data() + c * sub_dim_, sub_dim_);
+            if (d < best) {
+                best = d;
+                best_c = c;
+            }
+        }
+        code[s] = static_cast<std::uint8_t>(best_c);
+    }
+    return code;
+}
+
+std::vector<float> ProductQuantizer::decode(
+    std::span<const std::uint8_t> code) const {
+    if (!trained_) throw std::logic_error{"ProductQuantizer::decode: not trained"};
+    if (code.size() != config_.num_subspaces) {
+        throw std::invalid_argument{"ProductQuantizer::decode: bad code size"};
+    }
+    std::vector<float> out(config_.dim);
+    for (std::size_t s = 0; s < config_.num_subspaces; ++s) {
+        const float* centroid = codebooks_[s].data() + code[s] * sub_dim_;
+        std::copy(centroid, centroid + sub_dim_, out.data() + s * sub_dim_);
+    }
+    return out;
+}
+
+double ProductQuantizer::reconstruction_mse(std::span<const float> vectors,
+                                            std::size_t count) const {
+    if (count == 0) return 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::span<const float> row{vectors.data() + i * config_.dim,
+                                         config_.dim};
+        const std::vector<float> approx = decode(encode(row));
+        for (std::size_t d = 0; d < config_.dim; ++d) {
+            const double diff = row[d] - approx[d];
+            total += diff * diff;
+        }
+    }
+    return total / static_cast<double>(count * config_.dim);
+}
+
+float ProductQuantizer::adc_distance(std::span<const float> query,
+                                     std::span<const std::uint8_t> code) const {
+    if (query.size() != config_.dim || code.size() != config_.num_subspaces) {
+        throw std::invalid_argument{"ProductQuantizer::adc_distance: bad sizes"};
+    }
+    float sum = 0.0F;
+    for (std::size_t s = 0; s < config_.num_subspaces; ++s) {
+        const float* centroid = codebooks_[s].data() + code[s] * sub_dim_;
+        sum += sub_sq_l2(query.data() + s * sub_dim_, centroid, sub_dim_);
+    }
+    return sum;
+}
+
+std::vector<float> ProductQuantizer::build_distance_table(
+    std::span<const float> query) const {
+    if (query.size() != config_.dim) {
+        throw std::invalid_argument{"build_distance_table: bad dimension"};
+    }
+    std::vector<float> table(config_.num_subspaces * config_.codebook_size);
+    for (std::size_t s = 0; s < config_.num_subspaces; ++s) {
+        const float* q = query.data() + s * sub_dim_;
+        for (std::size_t c = 0; c < config_.codebook_size; ++c) {
+            table[s * config_.codebook_size + c] =
+                sub_sq_l2(q, codebooks_[s].data() + c * sub_dim_, sub_dim_);
+        }
+    }
+    return table;
+}
+
+float ProductQuantizer::table_distance(
+    std::span<const float> table, std::span<const std::uint8_t> code) const {
+    float sum = 0.0F;
+    for (std::size_t s = 0; s < config_.num_subspaces; ++s) {
+        sum += table[s * config_.codebook_size + code[s]];
+    }
+    return sum;
+}
+
+}  // namespace spider::ann

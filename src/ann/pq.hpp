@@ -1,0 +1,80 @@
+#pragma once
+
+// Product Quantization (Jégou et al.): splits vectors into M subspaces,
+// k-means-learns a 256-entry codebook per subspace, and stores each vector
+// as M uint8 codes. The paper combines HNSW with PQ to keep ANN index
+// storage ~1000x below raw dataset size (Section 5, Table 2); this module
+// provides the quantizer plus the asymmetric-distance computation (ADC)
+// used for compressed-domain search.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spider::ann {
+
+struct PqConfig {
+    std::size_t dim = 32;
+    /// Number of subquantizers; must divide dim.
+    std::size_t num_subspaces = 8;
+    /// Codebook size per subspace (<= 256 so codes fit in a byte).
+    std::size_t codebook_size = 256;
+    std::size_t kmeans_iterations = 12;
+    std::uint64_t seed = 17;
+};
+
+class ProductQuantizer {
+public:
+    explicit ProductQuantizer(PqConfig config);
+
+    [[nodiscard]] const PqConfig& config() const { return config_; }
+    [[nodiscard]] bool trained() const { return trained_; }
+    [[nodiscard]] std::size_t sub_dim() const { return sub_dim_; }
+    [[nodiscard]] std::size_t code_bytes() const { return config_.num_subspaces; }
+
+    /// Learns the codebooks from training vectors laid out row-major
+    /// (count x dim).
+    void train(std::span<const float> vectors, std::size_t count);
+
+    /// Encodes one vector into num_subspaces bytes.
+    [[nodiscard]] std::vector<std::uint8_t> encode(
+        std::span<const float> vec) const;
+
+    /// Reconstructs the centroid approximation of a code.
+    [[nodiscard]] std::vector<float> decode(
+        std::span<const std::uint8_t> code) const;
+
+    /// Mean squared reconstruction error over a vector set — quantization
+    /// quality metric used in tests.
+    [[nodiscard]] double reconstruction_mse(std::span<const float> vectors,
+                                            std::size_t count) const;
+
+    /// Asymmetric distance: exact query vs quantized database vector.
+    /// Returns squared L2.
+    [[nodiscard]] float adc_distance(std::span<const float> query,
+                                     std::span<const std::uint8_t> code) const;
+
+    /// Precomputed per-subspace distance table for a query (ADC fast path):
+    /// table[s * codebook_size + c] = ||query_s - centroid_{s,c}||^2.
+    [[nodiscard]] std::vector<float> build_distance_table(
+        std::span<const float> query) const;
+    [[nodiscard]] float table_distance(
+        std::span<const float> table, std::span<const std::uint8_t> code) const;
+
+    // Binary persistence (ann/serialize.hpp).
+    friend void save_quantizer(const ProductQuantizer& pq, std::ostream& os);
+    friend ProductQuantizer load_quantizer(std::istream& is);
+
+private:
+    PqConfig config_;
+    std::size_t sub_dim_;
+    bool trained_ = false;
+    /// codebooks_[s] is codebook_size x sub_dim_, row-major.
+    std::vector<std::vector<float>> codebooks_;
+    util::Rng rng_;
+};
+
+}  // namespace spider::ann

@@ -1,0 +1,197 @@
+#include "cache/basic_policies.hpp"
+
+#include <algorithm>
+
+namespace spider::cache {
+
+// ---------------------------------------------------------------- LruCache
+
+LruCache::LruCache(std::size_t capacity) : capacity_{capacity} {}
+
+bool LruCache::contains(std::uint32_t id) const {
+    return index_.contains(id);
+}
+
+bool LruCache::touch(std::uint32_t id) {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+}
+
+std::optional<std::uint32_t> LruCache::evict_lru() {
+    if (order_.empty()) return std::nullopt;
+    const std::uint32_t victim = order_.back();
+    order_.pop_back();
+    index_.erase(victim);
+    return victim;
+}
+
+std::optional<std::uint32_t> LruCache::admit(std::uint32_t id) {
+    if (capacity_ == 0 || index_.contains(id)) return std::nullopt;
+    std::optional<std::uint32_t> evicted;
+    if (index_.size() >= capacity_) evicted = evict_lru();
+    order_.push_front(id);
+    index_.emplace(id, order_.begin());
+    return evicted;
+}
+
+void LruCache::set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (index_.size() > capacity_) evict_lru();
+}
+
+// ---------------------------------------------------------------- LfuCache
+
+LfuCache::LfuCache(std::size_t capacity) : capacity_{capacity} {}
+
+bool LfuCache::contains(std::uint32_t id) const {
+    return entries_.contains(id);
+}
+
+void LfuCache::bump(std::uint32_t id, Entry& entry) {
+    order_.erase({entry.frequency, entry.stamp});
+    ++entry.frequency;
+    entry.stamp = ++access_counter_;
+    order_.emplace(std::pair{entry.frequency, entry.stamp}, id);
+}
+
+bool LfuCache::touch(std::uint32_t id) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    bump(id, it->second);
+    return true;
+}
+
+std::optional<std::uint32_t> LfuCache::evict_lfu() {
+    if (order_.empty()) return std::nullopt;
+    const auto victim_it = order_.begin();
+    const std::uint32_t victim = victim_it->second;
+    order_.erase(victim_it);
+    entries_.erase(victim);
+    return victim;
+}
+
+std::optional<std::uint32_t> LfuCache::admit(std::uint32_t id) {
+    if (capacity_ == 0 || entries_.contains(id)) return std::nullopt;
+    std::optional<std::uint32_t> evicted;
+    if (entries_.size() >= capacity_) evicted = evict_lfu();
+    const Entry entry{1, ++access_counter_};
+    entries_.emplace(id, entry);
+    order_.emplace(std::pair{entry.frequency, entry.stamp}, id);
+    return evicted;
+}
+
+void LfuCache::set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (entries_.size() > capacity_) evict_lfu();
+}
+
+// --------------------------------------------------------------- FifoCache
+
+FifoCache::FifoCache(std::size_t capacity) : capacity_{capacity} {}
+
+bool FifoCache::contains(std::uint32_t id) const {
+    return index_.contains(id);
+}
+
+bool FifoCache::touch(std::uint32_t id) {
+    return index_.contains(id);  // FIFO order is insertion-only.
+}
+
+std::optional<std::uint32_t> FifoCache::admit(std::uint32_t id) {
+    if (capacity_ == 0 || index_.contains(id)) return std::nullopt;
+    std::optional<std::uint32_t> evicted;
+    if (index_.size() >= capacity_) {
+        const std::uint32_t victim = order_.front();
+        order_.pop_front();
+        index_.erase(victim);
+        evicted = victim;
+    }
+    order_.push_back(id);
+    index_.emplace(id, std::prev(order_.end()));
+    return evicted;
+}
+
+void FifoCache::set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (index_.size() > capacity_) {
+        const std::uint32_t victim = order_.front();
+        order_.pop_front();
+        index_.erase(victim);
+    }
+}
+
+// ------------------------------------------------------------- StaticCache
+
+StaticCache::StaticCache(std::size_t capacity) : capacity_{capacity} {}
+
+bool StaticCache::contains(std::uint32_t id) const {
+    return slots_.contains(id);
+}
+
+bool StaticCache::touch(std::uint32_t id) {
+    return slots_.contains(id);
+}
+
+std::optional<std::uint32_t> StaticCache::admit(std::uint32_t id) {
+    if (slots_.size() >= capacity_ || slots_.contains(id)) return std::nullopt;
+    slots_.emplace(id, items_.size());
+    items_.push_back(id);
+    return std::nullopt;  // MinIO never replaces.
+}
+
+void StaticCache::set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (items_.size() > capacity_) {
+        slots_.erase(items_.back());
+        items_.pop_back();
+    }
+}
+
+// ------------------------------------------------------------- RandomCache
+
+RandomCache::RandomCache(std::size_t capacity, util::Rng rng)
+    : capacity_{capacity}, rng_{rng} {}
+
+bool RandomCache::contains(std::uint32_t id) const {
+    return slots_.contains(id);
+}
+
+bool RandomCache::touch(std::uint32_t id) {
+    return slots_.contains(id);
+}
+
+std::optional<std::uint32_t> RandomCache::admit(std::uint32_t id) {
+    if (capacity_ == 0 || slots_.contains(id)) return std::nullopt;
+    std::optional<std::uint32_t> evicted;
+    if (items_.size() >= capacity_) {
+        // Swap-remove a uniformly random victim.
+        const std::size_t victim_slot = rng_.uniform_index(items_.size());
+        const std::uint32_t victim = items_[victim_slot];
+        items_[victim_slot] = items_.back();
+        slots_[items_.back()] = victim_slot;
+        items_.pop_back();
+        slots_.erase(victim);
+        evicted = victim;
+    }
+    slots_.emplace(id, items_.size());
+    items_.push_back(id);
+    return evicted;
+}
+
+void RandomCache::set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (items_.size() > capacity_) {
+        slots_.erase(items_.back());
+        items_.pop_back();
+    }
+}
+
+std::optional<std::uint32_t> RandomCache::random_resident(
+    util::Rng& rng) const {
+    if (items_.empty()) return std::nullopt;
+    return items_[rng.uniform_index(items_.size())];
+}
+
+}  // namespace spider::cache

@@ -1,0 +1,131 @@
+#pragma once
+
+// Classic eviction policies: LRU and LFU (the Figure 3(b) motivation
+// baselines), FIFO, the CoorDL/MinIO-style static cache, and uniform
+// random replacement (the L-section policy of iCache).
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "util/rng.hpp"
+
+namespace spider::cache {
+
+/// Least-recently-used: doubly-linked recency list + index map.
+class LruCache final : public EvictionCache {
+public:
+    explicit LruCache(std::size_t capacity);
+
+    [[nodiscard]] std::string name() const override { return "LRU"; }
+    [[nodiscard]] std::size_t size() const override { return index_.size(); }
+    [[nodiscard]] std::size_t capacity() const override { return capacity_; }
+    [[nodiscard]] bool contains(std::uint32_t id) const override;
+    bool touch(std::uint32_t id) override;
+    std::optional<std::uint32_t> admit(std::uint32_t id) override;
+    void set_capacity(std::size_t capacity) override;
+
+private:
+    std::optional<std::uint32_t> evict_lru();
+
+    std::size_t capacity_;
+    std::list<std::uint32_t> order_;  // front = most recent
+    std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> index_;
+};
+
+/// Least-frequently-used with LRU tie-break inside a frequency bucket.
+class LfuCache final : public EvictionCache {
+public:
+    explicit LfuCache(std::size_t capacity);
+
+    [[nodiscard]] std::string name() const override { return "LFU"; }
+    [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+    [[nodiscard]] std::size_t capacity() const override { return capacity_; }
+    [[nodiscard]] bool contains(std::uint32_t id) const override;
+    bool touch(std::uint32_t id) override;
+    std::optional<std::uint32_t> admit(std::uint32_t id) override;
+    void set_capacity(std::size_t capacity) override;
+
+private:
+    struct Entry {
+        std::uint64_t frequency;
+        std::uint64_t stamp;  // global access counter for LRU tie-break
+    };
+    std::optional<std::uint32_t> evict_lfu();
+    void bump(std::uint32_t id, Entry& entry);
+
+    std::size_t capacity_;
+    std::uint64_t access_counter_ = 0;
+    std::unordered_map<std::uint32_t, Entry> entries_;
+    // (frequency, stamp) -> id; begin() is the eviction victim.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> order_;
+};
+
+/// First-in-first-out ring.
+class FifoCache final : public EvictionCache {
+public:
+    explicit FifoCache(std::size_t capacity);
+
+    [[nodiscard]] std::string name() const override { return "FIFO"; }
+    [[nodiscard]] std::size_t size() const override { return index_.size(); }
+    [[nodiscard]] std::size_t capacity() const override { return capacity_; }
+    [[nodiscard]] bool contains(std::uint32_t id) const override;
+    bool touch(std::uint32_t id) override;
+    std::optional<std::uint32_t> admit(std::uint32_t id) override;
+    void set_capacity(std::size_t capacity) override;
+
+private:
+    std::size_t capacity_;
+    std::list<std::uint32_t> order_;  // front = oldest
+    std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> index_;
+};
+
+/// CoorDL's MinIO cache: admits until full, then never replaces. Random
+/// sampling touches every sample once per epoch, so a never-churning cache
+/// gives a stable hit ratio equal to the cache fraction.
+class StaticCache final : public EvictionCache {
+public:
+    explicit StaticCache(std::size_t capacity);
+
+    [[nodiscard]] std::string name() const override { return "Static(MinIO)"; }
+    [[nodiscard]] std::size_t size() const override { return items_.size(); }
+    [[nodiscard]] std::size_t capacity() const override { return capacity_; }
+    [[nodiscard]] bool contains(std::uint32_t id) const override;
+    bool touch(std::uint32_t id) override;
+    std::optional<std::uint32_t> admit(std::uint32_t id) override;
+    void set_capacity(std::size_t capacity) override;
+
+private:
+    std::size_t capacity_;
+    std::unordered_map<std::uint32_t, std::size_t> slots_;
+    std::vector<std::uint32_t> items_;
+};
+
+/// Uniform random replacement (iCache's policy for non-important samples).
+class RandomCache final : public EvictionCache {
+public:
+    RandomCache(std::size_t capacity, util::Rng rng);
+
+    [[nodiscard]] std::string name() const override { return "Random"; }
+    [[nodiscard]] std::size_t size() const override { return items_.size(); }
+    [[nodiscard]] std::size_t capacity() const override { return capacity_; }
+    [[nodiscard]] bool contains(std::uint32_t id) const override;
+    bool touch(std::uint32_t id) override;
+    std::optional<std::uint32_t> admit(std::uint32_t id) override;
+    void set_capacity(std::size_t capacity) override;
+
+    /// A uniformly random resident id — iCache serves this as a substitute
+    /// for a missed non-important sample. Empty cache -> nullopt.
+    [[nodiscard]] std::optional<std::uint32_t> random_resident(util::Rng& rng) const;
+
+private:
+    std::size_t capacity_;
+    util::Rng rng_;
+    std::unordered_map<std::uint32_t, std::size_t> slots_;
+    std::vector<std::uint32_t> items_;
+};
+
+}  // namespace spider::cache

@@ -1,0 +1,67 @@
+#include "cache/homophily_cache.hpp"
+
+#include <algorithm>
+
+namespace spider::cache {
+
+HomophilyCache::HomophilyCache(std::size_t capacity) : capacity_{capacity} {}
+
+bool HomophilyCache::contains_key(std::uint32_t id) const {
+    return entries_.contains(id);
+}
+
+std::optional<std::uint32_t> HomophilyCache::surrogate_for(
+    std::uint32_t id) const {
+    const auto it = neighbor_index_.find(id);
+    if (it == neighbor_index_.end() || it->second.empty()) return std::nullopt;
+    // Newest resident node listing this neighbor (its embedding is the
+    // freshest, hence the closest surrogate).
+    return it->second.back();
+}
+
+void HomophilyCache::evict_front() {
+    const std::uint32_t victim = fifo_.front();
+    fifo_.pop_front();
+    const auto entry_it = entries_.find(victim);
+    for (std::uint32_t neighbor : entry_it->second.neighbors) {
+        const auto idx_it = neighbor_index_.find(neighbor);
+        if (idx_it == neighbor_index_.end()) continue;
+        auto& keys = idx_it->second;
+        keys.erase(std::remove(keys.begin(), keys.end(), victim), keys.end());
+        if (keys.empty()) neighbor_index_.erase(idx_it);
+    }
+    entries_.erase(entry_it);
+}
+
+std::optional<std::uint32_t> HomophilyCache::update(
+    std::uint32_t key, std::span<const std::uint32_t> neighbors) {
+    if (capacity_ == 0 || entries_.contains(key)) return std::nullopt;
+    std::optional<std::uint32_t> evicted;
+    if (entries_.size() >= capacity_) {
+        evicted = fifo_.front();
+        evict_front();
+    }
+    fifo_.push_back(key);
+    Entry entry;
+    entry.neighbors.assign(neighbors.begin(), neighbors.end());
+    entry.fifo_pos = std::prev(fifo_.end());
+    for (std::uint32_t neighbor : entry.neighbors) {
+        neighbor_index_[neighbor].push_back(key);
+    }
+    entries_.emplace(key, std::move(entry));
+    return evicted;
+}
+
+std::span<const std::uint32_t> HomophilyCache::neighbors_of(
+    std::uint32_t key) const {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return {};
+    return it->second.neighbors;
+}
+
+void HomophilyCache::set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (entries_.size() > capacity_) evict_front();
+}
+
+}  // namespace spider::cache

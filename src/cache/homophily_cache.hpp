@@ -1,0 +1,68 @@
+#pragma once
+
+// Homophily Cache (paper Section 4.2, part 2): stores high-degree graph
+// nodes together with their neighbor-ID lists. A request that misses the
+// Importance Cache but appears in some resident node's neighbor list is
+// served the *high-degree node itself* as a semantic surrogate — similar
+// samples affect the model near-identically, so I/O is saved at negligible
+// accuracy cost. Updates are FIFO ("all samples are regularly replaced,
+// fostering diversity"), one candidate per processed batch.
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spider::cache {
+
+class HomophilyCache {
+public:
+    explicit HomophilyCache(std::size_t capacity);
+
+    [[nodiscard]] std::string name() const { return "Homophily"; }
+    /// Number of resident high-degree nodes (each entry holds one sample
+    /// payload; the neighbor-ID lists are metadata, not payload).
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    /// Is `id` itself a resident high-degree node?
+    [[nodiscard]] bool contains_key(std::uint32_t id) const;
+
+    /// Is `id` listed as a neighbor of some resident node? Returns that
+    /// node's id (the surrogate to serve) — the paper's Case 3.
+    [[nodiscard]] std::optional<std::uint32_t> surrogate_for(
+        std::uint32_t id) const;
+
+    /// Inserts the batch's highest-degree node with its neighbor list,
+    /// unless it is already resident (paper: "which was not previously in
+    /// the Homophily Cache"). Evicts FIFO when full. Returns the evicted
+    /// node id, if any.
+    std::optional<std::uint32_t> update(std::uint32_t key,
+                                        std::span<const std::uint32_t> neighbors);
+
+    /// Neighbor list of a resident node (empty span if absent) — used by
+    /// tests and by the metrics layer.
+    [[nodiscard]] std::span<const std::uint32_t> neighbors_of(
+        std::uint32_t key) const;
+
+    void set_capacity(std::size_t capacity);
+
+private:
+    struct Entry {
+        std::vector<std::uint32_t> neighbors;
+        std::list<std::uint32_t>::iterator fifo_pos;
+    };
+
+    void evict_front();
+
+    std::size_t capacity_;
+    std::list<std::uint32_t> fifo_;  // front = oldest key
+    std::unordered_map<std::uint32_t, Entry> entries_;
+    // neighbor id -> resident keys whose lists contain it (usually one).
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> neighbor_index_;
+};
+
+}  // namespace spider::cache

@@ -1,0 +1,65 @@
+#include "cache/importance_cache.hpp"
+
+namespace spider::cache {
+
+ImportanceCache::ImportanceCache(std::size_t capacity) : capacity_{capacity} {}
+
+bool ImportanceCache::contains(std::uint32_t id) const {
+    return scores_.contains(id);
+}
+
+std::optional<double> ImportanceCache::min_score() const {
+    if (order_.empty()) return std::nullopt;
+    return order_.begin()->first;
+}
+
+std::optional<double> ImportanceCache::score_of(std::uint32_t id) const {
+    const auto it = scores_.find(id);
+    if (it == scores_.end()) return std::nullopt;
+    return it->second;
+}
+
+void ImportanceCache::evict_min() {
+    const auto victim = order_.begin();
+    scores_.erase(victim->second);
+    order_.erase(victim);
+}
+
+ImportanceCache::AdmitResult ImportanceCache::admit_scored(std::uint32_t id,
+                                                           double score) {
+    AdmitResult result;
+    if (capacity_ == 0 || scores_.contains(id)) return result;
+    if (scores_.size() >= capacity_) {
+        const auto min_it = order_.begin();
+        if (score <= min_it->first) return result;  // does not beat the min
+        result.evicted = min_it->second;
+        evict_min();
+    }
+    scores_.emplace(id, score);
+    order_.emplace(score, id);
+    result.admitted = true;
+    return result;
+}
+
+void ImportanceCache::update_score(std::uint32_t id, double score) {
+    const auto it = scores_.find(id);
+    if (it == scores_.end()) return;
+    order_.erase({it->second, id});
+    it->second = score;
+    order_.emplace(score, id);
+}
+
+bool ImportanceCache::erase(std::uint32_t id) {
+    const auto it = scores_.find(id);
+    if (it == scores_.end()) return false;
+    order_.erase({it->second, id});
+    scores_.erase(it);
+    return true;
+}
+
+void ImportanceCache::set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (scores_.size() > capacity_) evict_min();
+}
+
+}  // namespace spider::cache

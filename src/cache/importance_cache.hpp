@@ -1,0 +1,55 @@
+#pragma once
+
+// Importance Cache (paper Section 4.2, part 1): retains the samples with
+// the highest global importance scores. A min-ordered structure exposes the
+// lowest resident score so the admission rule of Algorithm 1 — "insert on
+// miss only if the new sample outscores the current minimum" — is O(log n).
+// Also serves as the cache layer of SHADE and of iCache's H-section, which
+// share the score-driven eviction idea (with their own scoring functions).
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace spider::cache {
+
+class ImportanceCache {
+public:
+    explicit ImportanceCache(std::size_t capacity);
+
+    [[nodiscard]] std::string name() const { return "Importance"; }
+    [[nodiscard]] std::size_t size() const { return scores_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] bool contains(std::uint32_t id) const;
+
+    /// Lowest resident score (the min-heap top in the paper's Figure 9).
+    [[nodiscard]] std::optional<double> min_score() const;
+    [[nodiscard]] std::optional<double> score_of(std::uint32_t id) const;
+
+    /// Admission rule: inserts when there is free space, or when `score`
+    /// beats the current minimum (which is then evicted). Returns the
+    /// evicted id, if any; `admitted` reports whether the insert happened.
+    struct AdmitResult {
+        bool admitted = false;
+        std::optional<std::uint32_t> evicted;
+    };
+    AdmitResult admit_scored(std::uint32_t id, double score);
+
+    /// Re-keys a resident sample after its global score changed (scores
+    /// drift every epoch as the model trains). No-op when absent.
+    void update_score(std::uint32_t id, double score);
+
+    bool erase(std::uint32_t id);
+    void set_capacity(std::size_t capacity);
+
+private:
+    void evict_min();
+
+    std::size_t capacity_;
+    std::unordered_map<std::uint32_t, double> scores_;
+    std::set<std::pair<double, std::uint32_t>> order_;  // ascending score
+};
+
+}  // namespace spider::cache

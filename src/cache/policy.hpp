@@ -1,0 +1,41 @@
+#pragma once
+
+// Cache-policy interface shared by every eviction strategy in the repo.
+// Caches here track *which sample ids are resident*; the actual payloads
+// live in the dataset (see storage::CacheStore for the byte-budget view).
+// Capacity is in items: the paper sizes caches as a percentage of the
+// dataset, and samples within a dataset share one serialized size.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace spider::cache {
+
+class EvictionCache {
+public:
+    virtual ~EvictionCache() = default;
+
+    /// Policy name for tables and logs.
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    [[nodiscard]] virtual std::size_t size() const = 0;
+    [[nodiscard]] virtual std::size_t capacity() const = 0;
+
+    /// Pure membership test (no recency/frequency side effects).
+    [[nodiscard]] virtual bool contains(std::uint32_t id) const = 0;
+
+    /// Access on the read path: returns true on hit and applies the
+    /// policy's bookkeeping (LRU recency bump, LFU frequency bump, ...).
+    virtual bool touch(std::uint32_t id) = 0;
+
+    /// Admission after a miss. Returns the evicted id, if any. Policies
+    /// are free to reject admission (e.g. a full static cache), in which
+    /// case they return nullopt and size() is unchanged.
+    virtual std::optional<std::uint32_t> admit(std::uint32_t id) = 0;
+
+    /// Elastic resize; evicts per-policy when shrinking.
+    virtual void set_capacity(std::size_t capacity) = 0;
+};
+
+}  // namespace spider::cache

@@ -1,0 +1,60 @@
+#include "cache/semantic_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spider::cache {
+
+TwoLayerSemanticCache::TwoLayerSemanticCache(std::size_t total_capacity,
+                                             double imp_ratio)
+    : total_capacity_{total_capacity},
+      imp_ratio_{imp_ratio},
+      importance_{imp_items(imp_ratio)},
+      homophily_{total_capacity - imp_items(imp_ratio)} {
+    if (imp_ratio <= 0.0 || imp_ratio > 1.0) {
+        throw std::invalid_argument{
+            "TwoLayerSemanticCache: imp_ratio must be in (0, 1]"};
+    }
+}
+
+std::size_t TwoLayerSemanticCache::imp_items(double ratio) const {
+    const auto items = static_cast<std::size_t>(
+        std::llround(static_cast<double>(total_capacity_) * ratio));
+    return std::min(items, total_capacity_);
+}
+
+Lookup TwoLayerSemanticCache::lookup(std::uint32_t id) const {
+    if (importance_.contains(id)) {
+        return {HitKind::kImportance, id};
+    }
+    // A resident high-degree node can also be served directly: it is its
+    // own best surrogate.
+    if (homophily_.contains_key(id)) {
+        return {HitKind::kHomophily, id};
+    }
+    if (const auto surrogate = homophily_.surrogate_for(id)) {
+        return {HitKind::kHomophily, *surrogate};
+    }
+    return {HitKind::kMiss, id};
+}
+
+ImportanceCache::AdmitResult TwoLayerSemanticCache::on_miss_fetched(
+    std::uint32_t id, double score) {
+    return importance_.admit_scored(id, score);
+}
+
+std::optional<std::uint32_t> TwoLayerSemanticCache::update_homophily(
+    std::uint32_t key, std::span<const std::uint32_t> neighbors) {
+    return homophily_.update(key, neighbors);
+}
+
+void TwoLayerSemanticCache::set_imp_ratio(double imp_ratio) {
+    imp_ratio = std::clamp(imp_ratio, 0.01, 1.0);
+    imp_ratio_ = imp_ratio;
+    const std::size_t imp = imp_items(imp_ratio);
+    importance_.set_capacity(imp);
+    homophily_.set_capacity(total_capacity_ - imp);
+}
+
+}  // namespace spider::cache

@@ -1,0 +1,78 @@
+#pragma once
+
+// Semantic-aware two-layer cache (paper Section 4.2, Figure 9): an
+// Importance Cache section and a Homophily Cache section that are exclusive
+// (no data exchange). The lookup order and update rules implement
+// Algorithm 1 lines 4-13 and the paper's Cases 1-4:
+//
+//   Case 1  hit Importance Cache                 -> serve as-is
+//   Case 3  miss Importance, neighbor match      -> serve the resident
+//                                                   high-degree surrogate
+//   Case 2  miss both, score <= resident min     -> remote fetch, no admit
+//   Case 4  miss both, score >  resident min     -> remote fetch, evict the
+//                                                   min, admit the sample
+//
+// The split between sections is `imp_ratio` of total capacity, adjusted at
+// runtime by the Elastic Cache Manager (Section 4.3).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "cache/homophily_cache.hpp"
+#include "cache/importance_cache.hpp"
+
+namespace spider::cache {
+
+enum class HitKind : std::uint8_t {
+    kImportance,  // Case 1
+    kHomophily,   // Case 3 (served a surrogate)
+    kMiss,        // Cases 2 and 4
+};
+
+struct Lookup {
+    HitKind kind = HitKind::kMiss;
+    /// For kHomophily: the surrogate id actually served instead of the
+    /// requested one. Otherwise equals the requested id.
+    std::uint32_t served_id = 0;
+};
+
+class TwoLayerSemanticCache {
+public:
+    /// @param total_capacity  Items across both sections.
+    /// @param imp_ratio       Initial Importance-section fraction (0..1].
+    TwoLayerSemanticCache(std::size_t total_capacity, double imp_ratio);
+
+    [[nodiscard]] std::size_t total_capacity() const { return total_capacity_; }
+    [[nodiscard]] double imp_ratio() const { return imp_ratio_; }
+    [[nodiscard]] ImportanceCache& importance() { return importance_; }
+    [[nodiscard]] const ImportanceCache& importance() const { return importance_; }
+    [[nodiscard]] HomophilyCache& homophily() { return homophily_; }
+    [[nodiscard]] const HomophilyCache& homophily() const { return homophily_; }
+
+    /// Read path (Algorithm 1 lines 5-11): Importance first, then the
+    /// Homophily neighbor lists. Does not mutate either section.
+    [[nodiscard]] Lookup lookup(std::uint32_t id) const;
+
+    /// Miss path (line 10): called after the sample was fetched remotely.
+    /// Applies the Case 2/4 admission rule with the sample's current score.
+    ImportanceCache::AdmitResult on_miss_fetched(std::uint32_t id, double score);
+
+    /// Batch-end path (line 22): offer the batch's highest-degree node.
+    std::optional<std::uint32_t> update_homophily(
+        std::uint32_t key, std::span<const std::uint32_t> neighbors);
+
+    /// Elastic repartition: resizes both sections to match `imp_ratio` of
+    /// the unchanged total capacity (Eq. 8 output).
+    void set_imp_ratio(double imp_ratio);
+
+private:
+    [[nodiscard]] std::size_t imp_items(double ratio) const;
+
+    std::size_t total_capacity_;
+    double imp_ratio_;
+    ImportanceCache importance_;
+    HomophilyCache homophily_;
+};
+
+}  // namespace spider::cache

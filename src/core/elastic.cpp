@@ -1,0 +1,67 @@
+#include "core/elastic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spider::core {
+
+ElasticCacheManager::ElasticCacheManager(ElasticConfig config)
+    : config_{config},
+      std_window_{std::max<std::size_t>(config.slope_window, 2)},
+      sg_{config.sg_window, config.sg_poly_order},
+      current_ratio_{config.r_start} {
+    if (config_.r_start < config_.r_end) {
+        throw std::invalid_argument{
+            "ElasticCacheManager: r_start must be >= r_end"};
+    }
+    if (config_.gamma <= 0.0) {
+        throw std::invalid_argument{"ElasticCacheManager: gamma must be > 0"};
+    }
+}
+
+double ElasticCacheManager::on_epoch(double score_std, double accuracy,
+                                     std::size_t epoch,
+                                     std::size_t total_epochs) {
+    // ---- Importance Monitor (Eq. 5): latch beta once the spread shrinks.
+    std_window_.push(score_std);
+    if (!activated_ && std_window_.full() && std_window_.slope() < 0.0) {
+        activated_ = true;
+        activation_epoch_ = epoch;
+    }
+
+    // ---- Accuracy Monitor (Eqs. 6-7).
+    accuracy_history_.push_back(accuracy);
+    smoothed_accuracy_ = sg_.smooth_last(accuracy_history_);
+    smoothed_history_.push_back(smoothed_accuracy_);
+
+    const std::size_t m = config_.delta_window;
+    double delta_t = 0.0;
+    if (smoothed_history_.size() >= 2) {
+        const std::size_t window =
+            std::min(m, smoothed_history_.size() - 1);
+        double sum = 0.0;
+        const std::size_t last = smoothed_history_.size() - 1;
+        for (std::size_t i = 0; i < window; ++i) {
+            sum += smoothed_history_[last - i] - smoothed_history_[last - i - 1];
+        }
+        delta_t = sum / static_cast<double>(window);
+    }
+    delta_t = std::max(delta_t, 0.0);  // shrinking accuracy => no penalty hold
+    penalty_ = delta_t / (config_.gamma + delta_t);
+
+    // ---- Ratio Controller (Eq. 8).
+    if (!activated_ || total_epochs <= 1) {
+        current_ratio_ = config_.r_start;
+        return current_ratio_;
+    }
+    const double t = static_cast<double>(epoch);
+    const double T = static_cast<double>(total_epochs - 1);
+    const double progress = std::clamp(T > 0.0 ? t / T : 1.0, 0.0, 1.0);
+    current_ratio_ =
+        config_.r_start - (config_.r_start - config_.r_end) *
+                              std::pow(progress, 1.0 + penalty_);
+    return current_ratio_;
+}
+
+}  // namespace spider::core

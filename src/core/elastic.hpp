@@ -1,0 +1,73 @@
+#pragma once
+
+// Elastic Cache Manager (paper Section 4.3). Three cooperating parts:
+//
+//  * Importance Monitor — watches the slope of the stddev of the global
+//    importance scores. A negative slope means score spread is converging
+//    (fewer "important" samples), which latches the activation factor
+//    beta = 1 (Eq. 5).
+//  * Accuracy Monitor — smooths the raw per-epoch accuracy series with a
+//    Savitzky-Golay filter and computes the mean growth rate Delta_t over a
+//    window of m epochs (Eq. 6), then the penalty factor
+//    u = Delta_t / (gamma + Delta_t) (Eq. 7). While accuracy still climbs
+//    fast (u -> 1) the ratio moves slowly; once growth stalls (u -> 0) the
+//    shift accelerates.
+//  * Ratio Controller — the schedule (Eq. 8)
+//        imp_ratio(t) = r_start - beta (r_start - r_end) (t/T)^(1+u).
+//
+// The manager is pure bookkeeping: callers feed it one (score_std,
+// accuracy) observation per epoch and apply the returned ratio to the
+// two-layer cache.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/sg_filter.hpp"
+#include "util/stats.hpp"
+
+namespace spider::core {
+
+struct ElasticConfig {
+    double r_start = 0.90;
+    double r_end = 0.80;
+    /// Eq. 7 balancing factor: how much accuracy growth suppresses the
+    /// ratio shift. Units are accuracy fraction per epoch.
+    double gamma = 0.004;
+    /// Eq. 6 window (m), in epochs.
+    std::size_t delta_window = 5;
+    /// Savitzky-Golay smoothing parameters for the accuracy series.
+    std::size_t sg_window = 7;
+    std::size_t sg_poly_order = 2;
+    /// Epochs of score-stddev history used for the slope test.
+    std::size_t slope_window = 5;
+};
+
+class ElasticCacheManager {
+public:
+    explicit ElasticCacheManager(ElasticConfig config);
+
+    /// One observation per epoch; returns imp_ratio(t) for t = epoch
+    /// (0-based) of total_epochs.
+    double on_epoch(double score_std, double accuracy, std::size_t epoch,
+                    std::size_t total_epochs);
+
+    [[nodiscard]] bool activated() const { return activated_; }
+    [[nodiscard]] double penalty() const { return penalty_; }
+    [[nodiscard]] double current_ratio() const { return current_ratio_; }
+    [[nodiscard]] double smoothed_accuracy() const { return smoothed_accuracy_; }
+    [[nodiscard]] const ElasticConfig& config() const { return config_; }
+
+private:
+    ElasticConfig config_;
+    util::SlidingWindow std_window_;
+    util::SavitzkyGolayFilter sg_;
+    std::vector<double> accuracy_history_;
+    std::vector<double> smoothed_history_;
+    bool activated_ = false;
+    std::size_t activation_epoch_ = 0;
+    double penalty_ = 1.0;
+    double current_ratio_;
+    double smoothed_accuracy_ = 0.0;
+};
+
+}  // namespace spider::core

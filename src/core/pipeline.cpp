@@ -1,0 +1,53 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace spider::core {
+
+PipelinedIsExecutor::PipelinedIsExecutor() = default;
+
+void PipelinedIsExecutor::submit(std::function<void()> is_task) {
+    if (pending_.has_value()) {
+        if (pending_->wait_for(std::chrono::seconds::zero()) !=
+            std::future_status::ready) {
+            ++stalls_;
+        }
+        pending_->get();  // propagate exceptions from the previous task
+    }
+    pending_ = worker_.submit(std::move(is_task));
+}
+
+void PipelinedIsExecutor::drain() {
+    if (pending_.has_value()) {
+        pending_->get();
+        pending_.reset();
+    }
+}
+
+storage::SimDuration pipelined_batch_time(const nn::ModelProfile& profile,
+                                          double stage1_ms, bool is_enabled,
+                                          bool pipelined) {
+    return pipelined_batch_time(stage1_ms, profile.backward_ms, profile.is_ms,
+                                profile.long_is_pipeline, is_enabled,
+                                pipelined);
+}
+
+storage::SimDuration pipelined_batch_time(double stage1_ms, double stage2_ms,
+                                          double is_ms, bool long_is_pipeline,
+                                          bool is_enabled, bool pipelined) {
+    if (!is_enabled) {
+        return storage::from_ms(stage1_ms + stage2_ms);
+    }
+    if (!pipelined) {
+        return storage::from_ms(stage1_ms + stage2_ms + is_ms);
+    }
+    if (long_is_pipeline) {
+        // Fig. 12(b): IS overlaps Stage2 and the next Stage1.
+        return storage::from_ms(std::max(stage1_ms + stage2_ms, is_ms));
+    }
+    // Fig. 12(a): IS overlaps Stage2 only.
+    return storage::from_ms(stage1_ms + std::max(stage2_ms, is_ms));
+}
+
+}  // namespace spider::core

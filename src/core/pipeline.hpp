@@ -1,0 +1,64 @@
+#pragma once
+
+// Pipelined IS execution (paper Section 5, Figure 12). Two pieces:
+//
+//  1. PipelinedIsExecutor — a real single-worker pipeline: the IS task for
+//     batch k runs on a background thread while the caller proceeds with
+//     batch k's backward pass (and, for long-IS models, batch k+1's data
+//     loading). submit() blocks only until the *previous* IS task finished,
+//     giving exactly one batch of slack — the paper's design point: scores
+//     may lag by one batch, which does not change global comparisons.
+//
+//  2. pipelined_batch_time — the virtual-time model of the same schedule,
+//     used by the training simulator: Fig. 12(a) hides IS behind Stage2;
+//     Fig. 12(b) hides it behind Stage2 plus the next batch's Stage1.
+
+#include <functional>
+#include <future>
+#include <optional>
+
+#include "nn/model_profile.hpp"
+#include "storage/clock.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spider::core {
+
+class PipelinedIsExecutor {
+public:
+    PipelinedIsExecutor();
+
+    /// Waits for the previously submitted task (one-batch slack), then
+    /// enqueues `is_task` on the background worker.
+    void submit(std::function<void()> is_task);
+
+    /// Blocks until all submitted work has completed.
+    void drain();
+
+    /// Number of tasks that had to wait on a still-running predecessor —
+    /// nonzero means the IS stage is the pipeline bottleneck.
+    [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
+
+private:
+    util::ThreadPool worker_{1};
+    std::optional<std::future<void>> pending_;
+    std::uint64_t stalls_ = 0;
+};
+
+/// Steady-state virtual time of one training batch under the Fig. 12
+/// pipeline. `stage1_ms` = data loading + forward for this batch.
+///  - no IS:            stage1 + stage2
+///  - serial IS:        stage1 + stage2 + is
+///  - Fig. 12(a):       stage1 + max(stage2, is)
+///  - Fig. 12(b):       max(stage1 + stage2, is)   (IS spans Stage2 and the
+///                      next batch's Stage1; cycle time is the larger leg)
+[[nodiscard]] storage::SimDuration pipelined_batch_time(
+    const nn::ModelProfile& profile, double stage1_ms, bool is_enabled,
+    bool pipelined);
+
+/// Raw-parameter variant: lets callers scale Stage2 (e.g. iCache's
+/// selective backprop trains only a fraction of each batch).
+[[nodiscard]] storage::SimDuration pipelined_batch_time(
+    double stage1_ms, double stage2_ms, double is_ms, bool long_is_pipeline,
+    bool is_enabled, bool pipelined);
+
+}  // namespace spider::core

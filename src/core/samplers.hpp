@@ -1,0 +1,174 @@
+#pragma once
+
+// Epoch samplers: the four sampling strategies compared in the paper's
+// Section 6.2 (Figure 13 / Table 3).
+//
+//  * UniformSampler        — random shuffling (CoorDL / PyTorch default).
+//  * GraphIsSampler        — SpiderCache: multinomial over the global
+//                            graph-based scores (torch.multinomial analogue,
+//                            with replacement).
+//  * ShadeSampler          — SHADE: per-batch loss *ranks* converted to
+//                            sampling weights. Ranks are only comparable
+//                            within a batch — the staleness/incomparability
+//                            the paper criticizes is inherent to the design
+//                            and visible in the benches.
+//  * ComputeBoundSampler   — iCache's adopted algorithm (Jiang et al.,
+//                            "biggest losers"): uniform data order plus
+//                            selective backprop that skips low-loss samples,
+//                            and raw last-seen loss as its importance score.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spider::core {
+
+class Sampler {
+public:
+    virtual ~Sampler() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// The sequence of sample ids to visit this epoch (length = dataset
+    /// size; strategies with replacement may repeat ids).
+    [[nodiscard]] virtual std::vector<std::uint32_t> epoch_order(
+        std::size_t epoch) = 0;
+
+    /// Per-batch feedback: losses observed for the samples just trained.
+    virtual void observe_losses(std::span<const std::uint32_t> ids,
+                                std::span<const double> losses) {
+        (void)ids;
+        (void)losses;
+    }
+
+    /// Selective-backprop mask for the batch (1 = train, 0 = skip). Empty
+    /// means train on everything.
+    [[nodiscard]] virtual std::vector<std::uint8_t> train_mask(
+        std::span<const std::uint32_t> ids, std::span<const double> losses) {
+        (void)ids;
+        (void)losses;
+        return {};
+    }
+
+    /// The strategy's per-sample importance view, for cache admission.
+    /// Default: no opinion (uniform zero).
+    [[nodiscard]] virtual double importance_of(std::uint32_t id) const {
+        (void)id;
+        return 0.0;
+    }
+};
+
+class UniformSampler final : public Sampler {
+public:
+    UniformSampler(std::size_t dataset_size, util::Rng rng);
+
+    [[nodiscard]] std::string name() const override { return "Uniform"; }
+    [[nodiscard]] std::vector<std::uint32_t> epoch_order(
+        std::size_t epoch) override;
+
+private:
+    std::size_t dataset_size_;
+    util::Rng rng_;
+};
+
+/// SpiderCache's sampler: multinomial with replacement over externally
+/// maintained global scores (the facade owns the score vector and passes a
+/// view here). A uniform floor keeps never-seen samples reachable.
+class GraphIsSampler final : public Sampler {
+public:
+    GraphIsSampler(std::span<const double> scores, util::Rng rng,
+                   double uniform_floor = 0.02);
+
+    [[nodiscard]] std::string name() const override { return "SpiderCache"; }
+    [[nodiscard]] std::vector<std::uint32_t> epoch_order(
+        std::size_t epoch) override;
+    [[nodiscard]] double importance_of(std::uint32_t id) const override;
+
+private:
+    std::span<const double> scores_;
+    util::Rng rng_;
+    double uniform_floor_;
+};
+
+class ShadeSampler final : public Sampler {
+public:
+    ShadeSampler(std::size_t dataset_size, util::Rng rng);
+
+    [[nodiscard]] std::string name() const override { return "SHADE"; }
+    [[nodiscard]] std::vector<std::uint32_t> epoch_order(
+        std::size_t epoch) override;
+    void observe_losses(std::span<const std::uint32_t> ids,
+                        std::span<const double> losses) override;
+    [[nodiscard]] double importance_of(std::uint32_t id) const override;
+
+private:
+    std::size_t dataset_size_;
+    util::Rng rng_;
+    std::vector<double> weights_;  // rank-derived, in [1/B, 1]
+};
+
+/// Gradient-norm importance sampling (Johnson & Guestrin, the paper's
+/// reference [21]): weights proportional to an upper bound on each
+/// sample's gradient norm. For softmax cross-entropy the per-sample
+/// logit-gradient norm is ||p - onehot(y)||, which the caller supplies;
+/// like loss-based IS it is a *local* signal — included to round out the
+/// compute-bound IS family the paper positions against.
+class GradientNormSampler final : public Sampler {
+public:
+    GradientNormSampler(std::size_t dataset_size, util::Rng rng,
+                        double smoothing = 0.3);
+
+    [[nodiscard]] std::string name() const override { return "GradNorm"; }
+    [[nodiscard]] std::vector<std::uint32_t> epoch_order(
+        std::size_t epoch) override;
+    /// Feed ||p - onehot||_2 per sample via the losses span (the simulator
+    /// computes it alongside the loss).
+    void observe_losses(std::span<const std::uint32_t> ids,
+                        std::span<const double> grad_norms) override;
+    [[nodiscard]] double importance_of(std::uint32_t id) const override;
+
+private:
+    std::size_t dataset_size_;
+    util::Rng rng_;
+    double smoothing_;  // EMA factor for per-sample norm estimates
+    std::vector<double> norms_;
+};
+
+class ComputeBoundSampler final : public Sampler {
+public:
+    /// @param keep_fraction  Fraction of each batch that gets a backward
+    ///                       pass (highest-loss first).
+    ComputeBoundSampler(std::size_t dataset_size, util::Rng rng,
+                        double keep_fraction = 0.6);
+
+    [[nodiscard]] std::string name() const override { return "iCache-IS"; }
+    [[nodiscard]] std::vector<std::uint32_t> epoch_order(
+        std::size_t epoch) override;
+    void observe_losses(std::span<const std::uint32_t> ids,
+                        std::span<const double> losses) override;
+    [[nodiscard]] std::vector<std::uint8_t> train_mask(
+        std::span<const std::uint32_t> ids,
+        std::span<const double> losses) override;
+    [[nodiscard]] double importance_of(std::uint32_t id) const override;
+
+    /// iCache's H/L split: a sample is "important" while its raw last-seen
+    /// loss sits above the running median of observed losses.
+    [[nodiscard]] bool is_important(std::uint32_t id) const;
+
+private:
+    std::size_t dataset_size_;
+    util::Rng rng_;
+    double keep_fraction_;
+    std::vector<double> last_loss_;  // raw, epoch-incomparable by design
+    double running_loss_mean_ = 0.0;
+    bool seen_any_ = false;
+    /// Losses observed so far; selective backprop engages after warmup.
+    std::uint64_t observed_ = 0;
+    std::uint64_t warmup_observations_;
+};
+
+}  // namespace spider::core

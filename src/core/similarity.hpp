@@ -1,0 +1,41 @@
+#pragma once
+
+// Equations 1-3 of the paper: Euclidean distance between embeddings,
+// exponential-decay similarity sim(x,y) = exp(-lambda * d(x,y)), and the
+// edge rule edge(x,y) = 1 iff sim(x,y) > alpha. The edge rule is evaluated
+// in distance space (d < -ln(alpha)/lambda) so the ANN search can prune by
+// distance directly.
+
+#include <cmath>
+#include <span>
+
+#include "tensor/ops.hpp"
+
+namespace spider::core {
+
+/// Eq. 2: similarity in (0, 1], decaying with distance at rate lambda.
+[[nodiscard]] inline double similarity(double distance, double lambda) {
+    return std::exp(-lambda * distance);
+}
+
+/// Distance threshold equivalent to the similarity threshold alpha:
+/// sim(d) > alpha  <=>  d < -ln(alpha) / lambda.
+[[nodiscard]] inline double edge_distance_threshold(double lambda,
+                                                    double alpha) {
+    return -std::log(alpha) / lambda;
+}
+
+/// Eq. 3: whether an edge exists between two samples at this distance.
+[[nodiscard]] inline bool has_edge(double distance, double lambda,
+                                   double alpha) {
+    return similarity(distance, lambda) > alpha;
+}
+
+/// Eqs. 1-3 composed for raw embedding vectors.
+[[nodiscard]] inline bool has_edge(std::span<const float> x,
+                                   std::span<const float> y, double lambda,
+                                   double alpha) {
+    return has_edge(tensor::l2_distance(x, y), lambda, alpha);
+}
+
+}  // namespace spider::core

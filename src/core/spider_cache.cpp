@@ -1,0 +1,109 @@
+#include "core/spider_cache.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace spider::core {
+
+namespace {
+
+ann::HnswConfig make_ann_config(const SpiderCacheConfig& config) {
+    ann::HnswConfig ann = config.ann;
+    ann.dim = config.embedding_dim;
+    ann.seed = config.seed ^ 0xA11CE5ULL;
+    return ann;
+}
+
+}  // namespace
+
+SpiderCache::SpiderCache(SpiderCacheConfig config)
+    : config_{std::move(config)},
+      index_{make_ann_config(config_)},
+      scorer_{index_, config_.scorer, config_.label_of},
+      cache_{config_.cache_items,
+             config_.homophily_enabled ? config_.elastic.r_start : 1.0},
+      elastic_{config_.elastic},
+      scores_(config_.dataset_size, 0.0),
+      sampler_{scores_, util::Rng{config_.seed},
+               config_.sampler_uniform_floor} {
+    if (config_.dataset_size == 0) {
+        throw std::invalid_argument{"SpiderCache: dataset_size must be > 0"};
+    }
+    if (!config_.label_of) {
+        throw std::invalid_argument{"SpiderCache: label_of is required"};
+    }
+}
+
+cache::Lookup SpiderCache::lookup(std::uint32_t id) const {
+    return cache_.lookup(id);
+}
+
+cache::ImportanceCache::AdmitResult SpiderCache::on_miss_fetched(
+    std::uint32_t id) {
+    const double score = id < scores_.size() ? scores_[id] : 0.0;
+    return cache_.on_miss_fetched(id, score);
+}
+
+void SpiderCache::observe_batch(std::span<const std::uint32_t> ids,
+                                const tensor::Matrix& embeddings) {
+    if (ids.size() != embeddings.rows()) {
+        throw std::invalid_argument{
+            "SpiderCache::observe_batch: ids/embeddings mismatch"};
+    }
+    // Algorithm 1 line 15: refresh the ANN graph with this batch.
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        scorer_.update_embedding(ids[i], embeddings.row(i));
+    }
+    // Lines 16-21: rescore the batch and track its highest-degree node.
+    std::size_t max_degree = 0;
+    std::uint32_t max_id = 0;
+    std::vector<std::uint32_t> max_neighbors;
+    for (std::uint32_t id : ids) {
+        ScoreResult result = scorer_.score(id);
+        if (id < scores_.size()) {
+            scores_[id] = result.score;
+            // Resident samples keep their heap position current.
+            cache_.importance().update_score(id, result.score);
+        }
+        // Highest degree measured over *surrogate-safe* edges: only those
+        // neighbors may be served this node as a stand-in.
+        if (result.close_neighbor_ids.size() > max_degree) {
+            max_degree = result.close_neighbor_ids.size();
+            max_id = id;
+            max_neighbors = std::move(result.close_neighbor_ids);
+        }
+    }
+    // Line 22: offer the highest-degree node to the Homophily Cache.
+    if (config_.homophily_enabled && max_degree > 0) {
+        cache_.update_homophily(max_id, max_neighbors);
+    }
+}
+
+double SpiderCache::end_epoch(double test_accuracy) {
+    const double ratio =
+        elastic_.on_epoch(score_std(), test_accuracy, epoch_,
+                          config_.total_epochs);
+    ++epoch_;
+    if (config_.elastic_enabled && config_.homophily_enabled) {
+        cache_.set_imp_ratio(ratio);
+    }
+    return cache_.imp_ratio();
+}
+
+std::vector<std::uint32_t> SpiderCache::epoch_order() {
+    return sampler_.epoch_order(epoch_);
+}
+
+double SpiderCache::score_std() const {
+    // Spread over *scored* samples only. Eq. 4 scores are strictly
+    // positive (Part 1 >= 1/neighbor_k), so zero still marks "never
+    // scored"; counting those would fake a large early spread.
+    util::RunningStats stats;
+    for (double s : scores_) {
+        if (s > 0.0) stats.add(s);
+    }
+    return stats.stddev();
+}
+
+}  // namespace spider::core

@@ -1,0 +1,122 @@
+#pragma once
+
+// SpiderCache facade — the library's primary public API, wiring together
+// Algorithm 1 end to end:
+//
+//   data path     lookup() / on_miss_fetched()        (Section 4.2)
+//   learning path observe_batch()                      (Section 4.1)
+//   control path  end_epoch()                          (Section 4.3)
+//   sampling      epoch_order()                        (graph-based IS)
+//
+// A typical training loop (see examples/quickstart.cpp):
+//
+//   spider::core::SpiderCache cache{config};
+//   for (epoch ...) {
+//     auto order = cache.epoch_order();
+//     for (batch : order) {
+//       for (id : batch) {
+//         auto r = cache.lookup(id);
+//         if (r.kind == cache::HitKind::kMiss) { fetch(id); cache.on_miss_fetched(id); }
+//         else use r.served_id;
+//       }
+//       auto out = model.forward(...);
+//       model.backward_and_step(...);
+//       cache.observe_batch(batch_ids, out.embeddings);
+//     }
+//     cache.end_epoch(test_accuracy);
+//   }
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ann/hnsw.hpp"
+#include "cache/semantic_cache.hpp"
+#include "core/elastic.hpp"
+#include "core/graph_scorer.hpp"
+#include "core/samplers.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace spider::core {
+
+struct SpiderCacheConfig {
+    /// Total number of samples in the training set (score-table size).
+    std::size_t dataset_size = 0;
+    /// Label accessor for the graph scorer.
+    GraphImportanceScorer::LabelFn label_of;
+    /// Total cache capacity, in items.
+    std::size_t cache_items = 0;
+    /// Embedding dimensionality produced by the model.
+    std::size_t embedding_dim = 32;
+
+    ScorerConfig scorer;
+    ElasticConfig elastic;
+    ann::HnswConfig ann;  // dim is overwritten with embedding_dim
+
+    /// Planned number of training epochs (T in Eq. 8).
+    std::size_t total_epochs = 100;
+    /// Uniform mixing floor of the multinomial sampler, as a fraction of
+    /// the mean score: keeps low-score samples reachable so training
+    /// retains coverage of the full distribution.
+    double sampler_uniform_floor = 0.10;
+    /// Disable the elastic manager to pin a static imp-ratio (the paper's
+    /// "Imp-Ratio 90%" ablation).
+    bool elastic_enabled = true;
+    /// Disable the homophily section entirely (the "SpiderCache-imp"
+    /// ablation of Figures 14/15).
+    bool homophily_enabled = true;
+
+    std::uint64_t seed = 2025;
+};
+
+class SpiderCache {
+public:
+    explicit SpiderCache(SpiderCacheConfig config);
+
+    // ------------------------------------------------ data path (Alg. 1, 4-12)
+    [[nodiscard]] cache::Lookup lookup(std::uint32_t id) const;
+    /// After a remote fetch (Alg. 1 line 10): Case 2/4 admission.
+    cache::ImportanceCache::AdmitResult on_miss_fetched(std::uint32_t id);
+
+    // -------------------------------------------- learning path (Alg. 1, 14-22)
+    /// Feeds the batch's embeddings into the ANN graph, refreshes the
+    /// global scores of those samples, and offers the batch's highest-
+    /// degree node to the Homophily Cache.
+    void observe_batch(std::span<const std::uint32_t> ids,
+                       const tensor::Matrix& embeddings);
+
+    // ------------------------------------------------ control path (Alg. 1, 24)
+    /// Per-epoch: feeds the Elastic Cache Manager and repartitions the
+    /// cache. Returns the imp-ratio now in force.
+    double end_epoch(double test_accuracy);
+
+    // ------------------------------------------------------------- sampling
+    /// Graph-IS multinomial order for the next epoch.
+    [[nodiscard]] std::vector<std::uint32_t> epoch_order();
+
+    // ----------------------------------------------------------- inspection
+    [[nodiscard]] std::span<const double> scores() const { return scores_; }
+    [[nodiscard]] double score_std() const;
+    [[nodiscard]] const cache::TwoLayerSemanticCache& cache() const {
+        return cache_;
+    }
+    [[nodiscard]] cache::TwoLayerSemanticCache& cache() { return cache_; }
+    [[nodiscard]] double imp_ratio() const { return cache_.imp_ratio(); }
+    [[nodiscard]] const ElasticCacheManager& elastic() const { return elastic_; }
+    [[nodiscard]] const GraphImportanceScorer& scorer() const { return scorer_; }
+    [[nodiscard]] const ann::HnswIndex& index() const { return index_; }
+    [[nodiscard]] std::size_t current_epoch() const { return epoch_; }
+
+private:
+    SpiderCacheConfig config_;
+    ann::HnswIndex index_;
+    GraphImportanceScorer scorer_;
+    cache::TwoLayerSemanticCache cache_;
+    ElasticCacheManager elastic_;
+    std::vector<double> scores_;
+    GraphIsSampler sampler_;
+    std::size_t epoch_ = 0;
+};
+
+}  // namespace spider::core

@@ -1,0 +1,142 @@
+#pragma once
+
+// Synthetic training datasets. Each class is a Gaussian cluster in feature
+// space; individual samples are drawn in one of four difficulty states that
+// mirror the paper's Figure 4/8 taxonomy:
+//   kCore       — well-classified: near its class centroid.
+//   kBoundary   — between its own and a second class's centroid.
+//   kIsolated   — far from every centroid.
+//   kMislabeled — drawn from one cluster, labelled as another.
+// The graph-based importance scorer should rank these Core < Boundary ~
+// Isolated < Mislabeled (paper Section 4.1) — a property test asserts this.
+//
+// A held-out *clean* test split (no mislabeling) is generated alongside the
+// training set so per-epoch Top-1 accuracy measures true generalization.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace spider::data {
+
+enum class SampleState : std::uint8_t {
+    kCore,
+    kBoundary,
+    kIsolated,
+    kMislabeled,
+    /// Jittered copy of an earlier same-class sample. Real training sets
+    /// "frequently contain many duplicate or highly similar samples"
+    /// (paper Section 4.2) — these are what the Homophily Cache exploits.
+    kDuplicate,
+};
+
+[[nodiscard]] const char* to_string(SampleState state);
+
+struct Sample {
+    std::uint32_t id = 0;
+    std::uint32_t label = 0;       // training label (wrong for kMislabeled)
+    std::uint32_t true_class = 0;  // generating cluster
+    SampleState state = SampleState::kCore;
+    /// For kDuplicate: the id this sample was cloned from; otherwise id.
+    std::uint32_t duplicate_of = 0;
+    std::vector<float> features;
+};
+
+struct DatasetSpec {
+    std::string name = "synthetic";
+    std::size_t num_samples = 5000;
+    std::size_t num_classes = 10;
+    std::size_t feature_dim = 32;
+
+    /// Per-dimension stddev of class-centroid placement; larger = easier.
+    double class_separation = 1.6;
+    /// Per-dimension stddev of samples around their centroid.
+    double cluster_stddev = 1.0;
+
+    double boundary_fraction = 0.15;
+    double isolated_fraction = 0.05;
+    double mislabeled_fraction = 0.04;
+    /// Fraction of samples that are jittered near-copies of earlier ones.
+    double duplicate_fraction = 0.0;
+    /// Feature jitter of a duplicate, relative to cluster_stddev.
+    double duplicate_jitter = 0.05;
+    /// Training-time augmentation noise (relative to cluster_stddev) —
+    /// the stand-in for crop/flip pipelines. Makes per-view losses noisy,
+    /// which is precisely why per-batch loss ranks are unstable while
+    /// graph neighborhoods stay robust (paper Motivation 1).
+    double augment_jitter = 0.25;
+
+    /// Long-tail class imbalance: ratio between the most and least
+    /// frequent class counts (exponential profile, 1.0 = balanced). Real
+    /// image datasets are long-tailed; rare-class samples are exactly the
+    /// persistently-important ones (paper Figure 4 group (d)) that
+    /// importance sampling must keep revisiting. The test split stays
+    /// balanced, so rare-class generalization is weighted fairly.
+    double imbalance_factor = 1.0;
+
+    /// Simulated on-disk bytes per sample (drives storage modeling; a CIFAR
+    /// image is ~3 KB, an ImageNet JPEG ~110 KB).
+    std::size_t bytes_per_sample = 3 * 1024;
+
+    /// Held-out clean test samples.
+    std::size_t test_samples = 1000;
+
+    std::uint64_t seed = 42;
+};
+
+class SyntheticDataset {
+public:
+    explicit SyntheticDataset(DatasetSpec spec);
+
+    [[nodiscard]] const DatasetSpec& spec() const { return spec_; }
+    [[nodiscard]] std::size_t size() const { return samples_.size(); }
+    [[nodiscard]] std::size_t feature_dim() const { return spec_.feature_dim; }
+    [[nodiscard]] std::size_t num_classes() const { return spec_.num_classes; }
+
+    [[nodiscard]] const Sample& sample(std::uint32_t id) const;
+    [[nodiscard]] std::uint32_t label_of(std::uint32_t id) const;
+
+    /// Batch assembly: rows in `ids` order.
+    [[nodiscard]] tensor::Matrix gather_features(
+        std::span<const std::uint32_t> ids) const;
+
+    /// Batch assembly with training-time augmentation noise applied.
+    [[nodiscard]] tensor::Matrix gather_features_augmented(
+        std::span<const std::uint32_t> ids, util::Rng& rng) const;
+    [[nodiscard]] std::vector<std::uint32_t> gather_labels(
+        std::span<const std::uint32_t> ids) const;
+
+    /// Clean held-out split for accuracy measurement.
+    [[nodiscard]] const tensor::Matrix& test_features() const {
+        return test_features_;
+    }
+    [[nodiscard]] std::span<const std::uint32_t> test_labels() const {
+        return test_labels_;
+    }
+
+    /// Class centroid (for tests and for difficulty diagnostics).
+    [[nodiscard]] std::span<const float> centroid(std::uint32_t cls) const;
+
+    /// Count of training samples in each difficulty state.
+    [[nodiscard]] std::size_t count_state(SampleState state) const;
+
+private:
+    [[nodiscard]] std::uint32_t find_donor(std::uint32_t cls,
+                                           util::Rng& rng) const;
+    [[nodiscard]] std::vector<float> draw_features(std::uint32_t cls,
+                                                   SampleState state,
+                                                   std::uint32_t second_cls,
+                                                   util::Rng& rng) const;
+
+    DatasetSpec spec_;
+    std::vector<std::vector<float>> centroids_;
+    std::vector<Sample> samples_;
+    tensor::Matrix test_features_;
+    std::vector<std::uint32_t> test_labels_;
+};
+
+}  // namespace spider::data

@@ -1,0 +1,28 @@
+#pragma once
+
+// Dataset presets mirroring the paper's evaluation datasets. `scale`
+// multiplies sample counts so the whole harness runs on one CPU core;
+// EXPERIMENTS.md records the scale used per experiment. The defaults keep
+// the class structure (10 / 100 / 1000 classes) and the relative on-disk
+// sample sizes (CIFAR ~3 KB vs ImageNet ~110 KB), which is what the caching
+// results depend on.
+
+#include "data/dataset.hpp"
+
+namespace spider::data {
+
+/// CIFAR-10: 50,000 images, 10 classes, ~3 KB/image.
+[[nodiscard]] DatasetSpec cifar10_like(double scale = 0.1,
+                                       std::uint64_t seed = 42);
+
+/// CIFAR-100: 50,000 images, 100 classes (finer task: closer centroids).
+[[nodiscard]] DatasetSpec cifar100_like(double scale = 0.1,
+                                        std::uint64_t seed = 43);
+
+/// ImageNet: 1.2M images, 1000 classes, ~110 KB/image. Default scale keeps
+/// the sample count ~4x CIFAR's so the "much larger dataset" effects from
+/// the paper (Section 6.2, finding 2) remain visible.
+[[nodiscard]] DatasetSpec imagenet_like(double scale = 0.016,
+                                        std::uint64_t seed = 44);
+
+}  // namespace spider::data

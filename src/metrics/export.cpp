@@ -1,0 +1,63 @@
+#include "metrics/export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace spider::metrics {
+
+void write_epoch_csv(const RunResult& run, std::ostream& os) {
+    os << "strategy,model,dataset,epoch,accesses,hits,importance_hits,"
+          "homophily_hits,substitutions,ssd_hits,misses,hit_ratio,"
+          "train_loss,test_accuracy,score_std,imp_ratio,load_ms,compute_ms,"
+          "is_ms,epoch_ms\n";
+    for (const EpochMetrics& e : run.epochs) {
+        os << run.strategy << ',' << run.model << ',' << run.dataset << ','
+           << e.epoch << ',' << e.accesses << ',' << e.hits << ','
+           << e.importance_hits << ',' << e.homophily_hits << ','
+           << e.substitutions << ',' << e.ssd_hits << ',' << e.misses << ','
+           << e.hit_ratio() << ',' << e.train_loss << ',' << e.test_accuracy
+           << ',' << e.score_std << ',' << e.imp_ratio << ','
+           << storage::to_ms(e.load_time) << ','
+           << storage::to_ms(e.compute_time) << ','
+           << storage::to_ms(e.is_time) << ','
+           << storage::to_ms(e.epoch_time) << '\n';
+    }
+}
+
+void write_summary_csv(std::span<const RunResult> runs, std::ostream& os) {
+    os << "strategy,model,dataset,epochs,total_minutes,avg_hit_ratio,"
+          "tail_hit_ratio,final_accuracy,best_accuracy\n";
+    for (const RunResult& run : runs) {
+        os << run.strategy << ',' << run.model << ',' << run.dataset << ','
+           << run.epochs.size() << ',' << run.total_minutes() << ','
+           << run.average_hit_ratio() << ',' << run.tail_hit_ratio(5) << ','
+           << run.final_accuracy << ',' << run.best_accuracy << '\n';
+    }
+}
+
+bool export_run_csv(std::span<const RunResult> runs,
+                    const std::string& directory, const std::string& stem) {
+    const std::string summary_path = directory + "/" + stem + "_summary.csv";
+    std::ofstream summary{summary_path};
+    if (!summary) {
+        util::log_warn("export_run_csv: cannot write ", summary_path);
+        return false;
+    }
+    write_summary_csv(runs, summary);
+
+    for (const RunResult& run : runs) {
+        const std::string path = directory + "/" + stem + "_" + run.strategy +
+                                 "_" + run.dataset + "_epochs.csv";
+        std::ofstream epochs{path};
+        if (!epochs) {
+            util::log_warn("export_run_csv: cannot write ", path);
+            return false;
+        }
+        write_epoch_csv(run, epochs);
+    }
+    return true;
+}
+
+}  // namespace spider::metrics

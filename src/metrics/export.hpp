@@ -1,0 +1,28 @@
+#pragma once
+
+// Machine-readable exports for run results: per-epoch CSV (plotting the
+// paper's figure series) and a cross-run comparison CSV. Every bench can
+// dump its underlying data via SPIDER_BENCH_CSV_DIR for external plotting.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "metrics/metrics.hpp"
+
+namespace spider::metrics {
+
+/// Per-epoch series of one run: epoch, hit ratios by kind, accuracy, loss,
+/// score spread, imp-ratio, and stage timings in milliseconds.
+void write_epoch_csv(const RunResult& run, std::ostream& os);
+
+/// One summary row per run: strategy, model, dataset, totals.
+void write_summary_csv(std::span<const RunResult> runs, std::ostream& os);
+
+/// Writes both CSVs into `directory` as <stem>_epochs.csv and
+/// <stem>_summary.csv. Returns false (with a warning log) when the
+/// directory is not writable — callers treat exports as best-effort.
+bool export_run_csv(std::span<const RunResult> runs,
+                    const std::string& directory, const std::string& stem);
+
+}  // namespace spider::metrics

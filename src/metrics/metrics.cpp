@@ -1,0 +1,31 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+
+namespace spider::metrics {
+
+double RunResult::average_hit_ratio() const {
+    if (epochs.empty()) return 0.0;
+    double sum = 0.0;
+    for (const EpochMetrics& e : epochs) sum += e.hit_ratio();
+    return sum / static_cast<double>(epochs.size());
+}
+
+double RunResult::tail_hit_ratio(std::size_t n) const {
+    if (epochs.empty()) return 0.0;
+    const std::size_t take = std::min(n, epochs.size());
+    double sum = 0.0;
+    for (std::size_t i = epochs.size() - take; i < epochs.size(); ++i) {
+        sum += epochs[i].hit_ratio();
+    }
+    return sum / static_cast<double>(take);
+}
+
+storage::SimDuration RunResult::mean_epoch_time() const {
+    if (epochs.empty()) return storage::SimDuration::zero();
+    storage::SimDuration total{};
+    for (const EpochMetrics& e : epochs) total += e.epoch_time;
+    return total / static_cast<std::int64_t>(epochs.size());
+}
+
+}  // namespace spider::metrics

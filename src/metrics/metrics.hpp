@@ -1,0 +1,66 @@
+#pragma once
+
+// Per-epoch and per-run measurement records. Every bench reads these to
+// print its paper table/figure; nothing here is strategy-specific.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/clock.hpp"
+#include "trace/trace.hpp"
+
+namespace spider::metrics {
+
+struct EpochMetrics {
+    std::size_t epoch = 0;
+
+    // Cache accounting.
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;            // all hit kinds combined
+    std::uint64_t importance_hits = 0; // two-layer: importance section
+    std::uint64_t homophily_hits = 0;  // two-layer: surrogate served
+    std::uint64_t substitutions = 0;   // iCache: random substitute served
+    std::uint64_t ssd_hits = 0;       // misses absorbed by the local SSD tier
+    std::uint64_t misses = 0;
+
+    // Learning signal.
+    double train_loss = 0.0;
+    double test_accuracy = 0.0;
+    double score_std = 0.0;
+    double imp_ratio = 1.0;
+
+    // Virtual time.
+    storage::SimDuration load_time{};
+    storage::SimDuration compute_time{};
+    storage::SimDuration is_time{};
+    storage::SimDuration epoch_time{};
+
+    [[nodiscard]] double hit_ratio() const {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(accesses);
+    }
+};
+
+struct RunResult {
+    std::string strategy;
+    std::string model;
+    std::string dataset;
+    std::vector<EpochMetrics> epochs;
+    storage::SimDuration total_time{};
+    double final_accuracy = 0.0;
+    double best_accuracy = 0.0;
+    /// Full access trace (only populated when SimConfig::record_trace).
+    trace::AccessTrace access_trace;
+
+    [[nodiscard]] double average_hit_ratio() const;
+    /// Mean hit ratio over the last `n` epochs (steady-state view).
+    [[nodiscard]] double tail_hit_ratio(std::size_t n) const;
+    [[nodiscard]] double total_minutes() const {
+        return storage::to_minutes(total_time);
+    }
+    [[nodiscard]] storage::SimDuration mean_epoch_time() const;
+};
+
+}  // namespace spider::metrics

@@ -1,0 +1,98 @@
+#include "nn/model_profile.hpp"
+
+#include <stdexcept>
+
+namespace spider::nn {
+
+ModelProfile make_profile(ModelKind kind) {
+    ModelProfile p;
+    p.kind = kind;
+    switch (kind) {
+        case ModelKind::kResNet18:
+            // Table 1: Stage1 42ms, Stage2 35ms, IS 16ms.
+            p.name = "ResNet18";
+            p.paper_embedding_dim = 512;
+            p.sim_embedding_dim = 32;
+            p.sim_hidden_dims = {64, 32};
+            p.forward_ms = 14.0;
+            p.backward_ms = 35.0;
+            p.is_ms = 16.0;
+            p.table1_stage1_ms = 42.0;
+            break;
+        case ModelKind::kResNet50:
+            // Table 1: Stage1 48ms, Stage2 37ms, IS 18ms.
+            p.name = "ResNet50";
+            p.paper_embedding_dim = 2048;
+            p.sim_embedding_dim = 48;
+            p.sim_hidden_dims = {96, 64, 48};
+            p.forward_ms = 18.0;
+            p.backward_ms = 37.0;
+            p.is_ms = 18.0;
+            p.table1_stage1_ms = 48.0;
+            break;
+        case ModelKind::kAlexNet:
+            // Table 1: Stage1 62ms, Stage2 33ms, IS 35ms. Fig. 12(b) pipeline.
+            p.name = "AlexNet";
+            p.paper_embedding_dim = 4096;
+            p.sim_embedding_dim = 64;
+            p.sim_hidden_dims = {96, 64};
+            p.forward_ms = 30.0;
+            p.backward_ms = 33.0;
+            p.is_ms = 35.0;
+            p.long_is_pipeline = true;
+            p.table1_stage1_ms = 62.0;
+            break;
+        case ModelKind::kVgg16:
+            // Table 1: Stage1 56ms, Stage2 28ms, IS 31ms. Fig. 12(b) pipeline.
+            p.name = "Vgg16";
+            p.paper_embedding_dim = 4096;
+            p.sim_embedding_dim = 64;
+            p.sim_hidden_dims = {128, 64};
+            p.forward_ms = 26.0;
+            p.backward_ms = 28.0;
+            p.is_ms = 31.0;
+            p.long_is_pipeline = true;
+            p.table1_stage1_ms = 56.0;
+            break;
+        case ModelKind::kMobileNetV2:
+            p.name = "MobileNetV2";
+            p.paper_embedding_dim = 1280;
+            p.sim_embedding_dim = 40;
+            p.sim_hidden_dims = {64, 40};
+            p.forward_ms = 10.0;
+            p.backward_ms = 22.0;
+            p.is_ms = 14.0;
+            p.table1_stage1_ms = 32.0;
+            break;
+        case ModelKind::kInceptionV3:
+            p.name = "InceptionV3";
+            p.paper_embedding_dim = 2048;
+            p.sim_embedding_dim = 48;
+            p.sim_hidden_dims = {96, 48};
+            p.forward_ms = 20.0;
+            p.backward_ms = 34.0;
+            p.is_ms = 18.0;
+            p.table1_stage1_ms = 50.0;
+            break;
+        default:
+            throw std::invalid_argument{"make_profile: unknown ModelKind"};
+    }
+    return p;
+}
+
+const std::vector<ModelProfile>& all_profiles() {
+    static const std::vector<ModelProfile> profiles = {
+        make_profile(ModelKind::kResNet18),   make_profile(ModelKind::kResNet50),
+        make_profile(ModelKind::kAlexNet),    make_profile(ModelKind::kVgg16),
+        make_profile(ModelKind::kMobileNetV2),
+        make_profile(ModelKind::kInceptionV3),
+    };
+    return profiles;
+}
+
+std::vector<ModelProfile> evaluated_profiles() {
+    return {make_profile(ModelKind::kResNet18), make_profile(ModelKind::kResNet50),
+            make_profile(ModelKind::kAlexNet), make_profile(ModelKind::kVgg16)};
+}
+
+}  // namespace spider::nn

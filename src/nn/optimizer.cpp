@@ -1,0 +1,39 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace spider::nn {
+
+SgdOptimizer::SgdOptimizer(std::vector<ParamRef> params, SgdConfig config)
+    : params_{std::move(params)}, config_{config} {
+    velocity_.reserve(params_.size());
+    for (const ParamRef& ref : params_) {
+        velocity_.emplace_back(ref.value->rows(), ref.value->cols());
+    }
+}
+
+void SgdOptimizer::step() {
+    for (std::size_t p = 0; p < params_.size(); ++p) {
+        const std::span<float> value = params_[p].value->flat();
+        const std::span<float> grad = params_[p].grad->flat();
+        const std::span<float> vel = velocity_[p].flat();
+        for (std::size_t i = 0; i < value.size(); ++i) {
+            const float g = grad[i] + config_.weight_decay * value[i];
+            vel[i] = config_.momentum * vel[i] + g;
+            value[i] -= config_.learning_rate * vel[i];
+            grad[i] = 0.0F;
+        }
+    }
+}
+
+float cosine_lr(float lr_max, float lr_min, std::size_t epoch,
+                std::size_t total_epochs) {
+    if (total_epochs <= 1) return lr_max;
+    const double progress = static_cast<double>(epoch) /
+                            static_cast<double>(total_epochs - 1);
+    const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+    return lr_min + (lr_max - lr_min) * static_cast<float>(cosine);
+}
+
+}  // namespace spider::nn

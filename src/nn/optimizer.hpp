@@ -1,0 +1,38 @@
+#pragma once
+
+// SGD with momentum and decoupled weight decay — the optimizer the paper's
+// training runs use (standard for the ResNet/CIFAR family).
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace spider::nn {
+
+struct SgdConfig {
+    float learning_rate = 0.05F;
+    float momentum = 0.9F;
+    float weight_decay = 5e-4F;
+};
+
+class SgdOptimizer {
+public:
+    SgdOptimizer(std::vector<ParamRef> params, SgdConfig config);
+
+    /// Applies one update from the accumulated gradients, then zeroes them.
+    void step();
+
+    void set_learning_rate(float lr) { config_.learning_rate = lr; }
+    [[nodiscard]] float learning_rate() const { return config_.learning_rate; }
+
+private:
+    std::vector<ParamRef> params_;
+    std::vector<tensor::Matrix> velocity_;
+    SgdConfig config_;
+};
+
+/// Cosine learning-rate schedule from lr_max to lr_min over total_epochs.
+[[nodiscard]] float cosine_lr(float lr_max, float lr_min, std::size_t epoch,
+                              std::size_t total_epochs);
+
+}  // namespace spider::nn

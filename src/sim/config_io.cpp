@@ -1,0 +1,147 @@
+#include "sim/config_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <stdexcept>
+
+#include "data/presets.hpp"
+
+namespace spider::sim {
+
+namespace {
+
+std::string lower(std::string text) {
+    std::transform(text.begin(), text.end(), text.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return text;
+}
+
+const std::set<std::string>& known_keys() {
+    static const std::set<std::string> keys = {
+        "dataset.preset",      "dataset.scale",        "dataset.seed",
+        "dataset.separation",  "dataset.imbalance",    "model.name",
+        "run.strategy",        "run.epochs",           "run.batch_size",
+        "run.cache_fraction",  "run.num_gpus",         "run.seed",
+        "run.record_trace",    "storage.latency_ms",   "storage.parallelism",
+        "storage.parallel_cap", "storage.ssd_enabled", "storage.ssd_items",
+        "scorer.lambda",       "scorer.alpha",         "scorer.surrogate_alpha",
+        "scorer.neighbor_k",   "scorer.min_update_distance",
+        "sampler.floor",       "elastic.enabled",      "elastic.r_start",
+        "elastic.r_end",       "elastic.gamma",        "optimizer.lr",
+        "optimizer.momentum",  "optimizer.weight_decay",
+    };
+    return keys;
+}
+
+}  // namespace
+
+StrategyKind strategy_from_string(const std::string& name) {
+    const std::string n = lower(name);
+    if (n == "spider" || n == "spidercache") return StrategyKind::kSpider;
+    if (n == "spider-imp" || n == "spidercache-imp") {
+        return StrategyKind::kSpiderImp;
+    }
+    if (n == "shade") return StrategyKind::kShade;
+    if (n == "icache") return StrategyKind::kICache;
+    if (n == "icache-imp") return StrategyKind::kICacheImp;
+    if (n == "coordl") return StrategyKind::kCoorDL;
+    if (n == "lfu") return StrategyKind::kLfu;
+    if (n == "baseline" || n == "lru") return StrategyKind::kBaselineLru;
+    throw std::invalid_argument{"unknown strategy '" + name + "'"};
+}
+
+nn::ModelKind model_from_string(const std::string& name) {
+    const std::string n = lower(name);
+    if (n == "resnet18") return nn::ModelKind::kResNet18;
+    if (n == "resnet50") return nn::ModelKind::kResNet50;
+    if (n == "alexnet") return nn::ModelKind::kAlexNet;
+    if (n == "vgg16") return nn::ModelKind::kVgg16;
+    if (n == "mobilenetv2") return nn::ModelKind::kMobileNetV2;
+    if (n == "inceptionv3") return nn::ModelKind::kInceptionV3;
+    throw std::invalid_argument{"unknown model '" + name + "'"};
+}
+
+SimConfig sim_config_from(const util::Config& config) {
+    for (const auto& [key, value] : config.values()) {
+        if (!known_keys().contains(key)) {
+            throw std::invalid_argument{"sim_config_from: unknown key '" +
+                                        key + "'"};
+        }
+    }
+
+    SimConfig sim;
+
+    const std::string preset =
+        lower(config.get_string("dataset.preset", "cifar10"));
+    const double scale = config.get_double("dataset.scale", 0.06);
+    const auto dataset_seed =
+        static_cast<std::uint64_t>(config.get_int("dataset.seed", 42));
+    if (preset == "cifar10") {
+        sim.dataset = data::cifar10_like(scale, dataset_seed);
+    } else if (preset == "cifar100") {
+        sim.dataset = data::cifar100_like(scale, dataset_seed);
+    } else if (preset == "imagenet") {
+        sim.dataset = data::imagenet_like(scale, dataset_seed);
+    } else {
+        throw std::invalid_argument{"unknown dataset preset '" + preset + "'"};
+    }
+    if (config.contains("dataset.separation")) {
+        sim.dataset.class_separation =
+            config.get_double("dataset.separation", 0.0);
+    }
+    if (config.contains("dataset.imbalance")) {
+        sim.dataset.imbalance_factor =
+            config.get_double("dataset.imbalance", 1.0);
+    }
+
+    sim.model =
+        nn::make_profile(model_from_string(config.get_string("model.name",
+                                                             "resnet18")));
+    sim.strategy =
+        strategy_from_string(config.get_string("run.strategy", "spider"));
+    sim.epochs = static_cast<std::size_t>(config.get_int("run.epochs", 30));
+    sim.batch_size =
+        static_cast<std::size_t>(config.get_int("run.batch_size", 128));
+    sim.cache_fraction = config.get_double("run.cache_fraction", 0.20);
+    sim.num_gpus = static_cast<std::size_t>(config.get_int("run.num_gpus", 1));
+    sim.seed = static_cast<std::uint64_t>(config.get_int("run.seed", 1));
+    sim.record_trace = config.get_bool("run.record_trace", false);
+
+    sim.remote.latency_per_sample =
+        storage::from_ms(config.get_double("storage.latency_ms", 4.5));
+    sim.remote.parallelism =
+        static_cast<std::size_t>(config.get_int("storage.parallelism", 2));
+    sim.storage_parallel_cap =
+        static_cast<std::size_t>(config.get_int("storage.parallel_cap", 6));
+    sim.ssd.enabled = config.get_bool("storage.ssd_enabled", false);
+    sim.ssd.capacity_items =
+        static_cast<std::size_t>(config.get_int("storage.ssd_items", 0));
+
+    sim.scorer.lambda = config.get_double("scorer.lambda", sim.scorer.lambda);
+    sim.scorer.alpha = config.get_double("scorer.alpha", sim.scorer.alpha);
+    sim.scorer.surrogate_alpha =
+        config.get_double("scorer.surrogate_alpha", sim.scorer.surrogate_alpha);
+    sim.scorer.neighbor_k = static_cast<std::size_t>(config.get_int(
+        "scorer.neighbor_k", static_cast<std::int64_t>(sim.scorer.neighbor_k)));
+    sim.scorer.min_update_distance = config.get_double(
+        "scorer.min_update_distance", sim.scorer.min_update_distance);
+    sim.spider_sampler_floor =
+        config.get_double("sampler.floor", sim.spider_sampler_floor);
+
+    sim.elastic_enabled = config.get_bool("elastic.enabled", true);
+    sim.elastic.r_start = config.get_double("elastic.r_start", 0.90);
+    sim.elastic.r_end = config.get_double("elastic.r_end", 0.80);
+    sim.elastic.gamma = config.get_double("elastic.gamma", sim.elastic.gamma);
+
+    sim.sgd.learning_rate =
+        static_cast<float>(config.get_double("optimizer.lr", 0.05));
+    sim.sgd.momentum =
+        static_cast<float>(config.get_double("optimizer.momentum", 0.9));
+    sim.sgd.weight_decay =
+        static_cast<float>(config.get_double("optimizer.weight_decay", 5e-4));
+
+    return sim;
+}
+
+}  // namespace spider::sim

@@ -1,0 +1,24 @@
+#pragma once
+
+// Builds a SimConfig from a util::Config (INI file) — every simulation
+// knob addressable by key, so experiments are scriptable. Unknown keys are
+// rejected (catching typos); see configs/example.ini for the schema.
+
+#include "sim/simulator.hpp"
+#include "util/config.hpp"
+
+namespace spider::sim {
+
+/// Translates a parsed config into a SimConfig. Throws
+/// std::invalid_argument on unknown keys or invalid values.
+[[nodiscard]] SimConfig sim_config_from(const util::Config& config);
+
+/// Strategy name parser ("spider", "spider-imp", "shade", "icache",
+/// "icache-imp", "coordl", "lfu", "baseline") — case-insensitive.
+[[nodiscard]] StrategyKind strategy_from_string(const std::string& name);
+
+/// Model name parser ("resnet18", "resnet50", "alexnet", "vgg16",
+/// "mobilenetv2", "inceptionv3").
+[[nodiscard]] nn::ModelKind model_from_string(const std::string& name);
+
+}  // namespace spider::sim

@@ -1,0 +1,142 @@
+#include "sim/frontend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider::sim {
+
+// ----------------------------------------------------------- PolicyFrontend
+
+PolicyFrontend::PolicyFrontend(std::unique_ptr<cache::EvictionCache> policy)
+    : policy_{std::move(policy)} {}
+
+Access PolicyFrontend::access(std::uint32_t id) {
+    Access result;
+    result.served_id = id;
+    if (policy_->touch(id)) {
+        result.hit = true;
+        return result;
+    }
+    policy_->admit(id);
+    return result;
+}
+
+// ------------------------------------------------------------ ShadeFrontend
+
+ShadeFrontend::ShadeFrontend(std::size_t capacity,
+                             const core::Sampler& sampler)
+    : cache_{capacity}, sampler_{sampler} {}
+
+Access ShadeFrontend::access(std::uint32_t id) {
+    Access result;
+    result.served_id = id;
+    if (cache_.contains(id)) {
+        result.hit = true;
+        result.importance_hit = true;
+        return result;
+    }
+    cache_.admit_scored(id, sampler_.importance_of(id));
+    return result;
+}
+
+void ShadeFrontend::post_batch(std::span<const std::uint32_t> ids) {
+    // Rank weights just changed for these samples; keep resident entries'
+    // heap positions in sync.
+    for (std::uint32_t id : ids) {
+        if (cache_.contains(id)) {
+            cache_.update_score(id, sampler_.importance_of(id));
+        }
+    }
+}
+
+// ----------------------------------------------------------- ICacheFrontend
+
+ICacheFrontend::ICacheFrontend(std::size_t capacity,
+                               const core::ComputeBoundSampler& sampler,
+                               Options options, util::Rng rng)
+    : h_cache_{options.l_section_enabled
+                   ? static_cast<std::size_t>(std::llround(
+                         static_cast<double>(capacity) * options.h_ratio))
+                   : capacity},
+      l_cache_{capacity - h_cache_.capacity(), rng.split()},
+      sampler_{sampler},
+      options_{options},
+      rng_{rng} {}
+
+Access ICacheFrontend::access(std::uint32_t id) {
+    Access result;
+    result.served_id = id;
+    if (h_cache_.contains(id)) {
+        result.hit = true;
+        result.importance_hit = true;
+        return result;
+    }
+    if (options_.l_section_enabled && l_cache_.touch(id)) {
+        result.hit = true;
+        return result;
+    }
+
+    const bool important = sampler_.is_important(id);
+    if (options_.l_section_enabled && !important) {
+        // Non-important miss: usually served by a random resident sample
+        // instead of paying the remote fetch — iCache's hit-ratio booster
+        // and the root of its accuracy loss (paper Motivation 2).
+        if (rng_.uniform() < options_.substitute_prob) {
+            if (const auto substitute = l_cache_.random_resident(rng_)) {
+                result.hit = true;
+                result.substitution = true;
+                result.served_id = *substitute;
+                return result;
+            }
+        }
+        l_cache_.admit(id);
+        return result;
+    }
+
+    // Important miss (or imp-only variant): score-gated admission with the
+    // raw last-seen loss as the score.
+    h_cache_.admit_scored(id, sampler_.importance_of(id));
+    if (options_.l_section_enabled && !h_cache_.contains(id)) {
+        l_cache_.admit(id);
+    }
+    return result;
+}
+
+void ICacheFrontend::post_batch(std::span<const std::uint32_t> ids) {
+    for (std::uint32_t id : ids) {
+        if (h_cache_.contains(id)) {
+            h_cache_.update_score(id, sampler_.importance_of(id));
+        }
+    }
+}
+
+// ----------------------------------------------------------- SpiderFrontend
+
+SpiderFrontend::SpiderFrontend(core::SpiderCache& spider) : spider_{spider} {}
+
+Access SpiderFrontend::access(std::uint32_t id) {
+    Access result;
+    const cache::Lookup lookup = spider_.lookup(id);
+    result.served_id = lookup.served_id;
+    switch (lookup.kind) {
+        case cache::HitKind::kImportance:
+            result.hit = true;
+            result.importance_hit = true;
+            break;
+        case cache::HitKind::kHomophily:
+            result.hit = true;
+            result.homophily_hit = true;
+            break;
+        case cache::HitKind::kMiss:
+            spider_.on_miss_fetched(id);
+            break;
+    }
+    return result;
+}
+
+std::size_t SpiderFrontend::resident_items() const {
+    return spider_.cache().importance().size() +
+           spider_.cache().homophily().size();
+}
+
+}  // namespace spider::sim

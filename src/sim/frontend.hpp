@@ -1,0 +1,133 @@
+#pragma once
+
+// Cache frontends: the per-strategy glue between a sample request and the
+// underlying cache structures. A frontend answers one question per request
+// — hit or miss, and *which* sample is actually served — and applies its
+// strategy's admission rule on the miss path. The training simulator is
+// strategy-agnostic; all behavioural differences live here and in the
+// samplers.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cache/basic_policies.hpp"
+#include "cache/importance_cache.hpp"
+#include "core/samplers.hpp"
+#include "core/spider_cache.hpp"
+#include "util/rng.hpp"
+
+namespace spider::sim {
+
+struct Access {
+    bool hit = false;
+    /// The sample whose data is used for training. Differs from the
+    /// requested id for homophily surrogates (SpiderCache Case 3) and for
+    /// iCache's random substitutions.
+    std::uint32_t served_id = 0;
+    bool importance_hit = false;
+    bool homophily_hit = false;
+    bool substitution = false;
+};
+
+class CacheFrontend {
+public:
+    virtual ~CacheFrontend() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Request `id`. On a miss the frontend performs its admission rule
+    /// (the remote fetch itself is accounted by the simulator).
+    virtual Access access(std::uint32_t id) = 0;
+
+    /// Called after the batch's losses are known (ids are the *served*
+    /// samples, matching the data that actually went through the model).
+    virtual void post_batch(std::span<const std::uint32_t> ids) { (void)ids; }
+
+    /// Items currently resident (both sections where applicable).
+    [[nodiscard]] virtual std::size_t resident_items() const = 0;
+};
+
+/// LRU / LFU / FIFO / MinIO — any plain EvictionCache policy.
+class PolicyFrontend final : public CacheFrontend {
+public:
+    explicit PolicyFrontend(std::unique_ptr<cache::EvictionCache> policy);
+
+    [[nodiscard]] std::string name() const override { return policy_->name(); }
+    Access access(std::uint32_t id) override;
+    [[nodiscard]] std::size_t resident_items() const override {
+        return policy_->size();
+    }
+
+private:
+    std::unique_ptr<cache::EvictionCache> policy_;
+};
+
+/// SHADE: importance cache keyed by loss-rank weights from the sampler.
+class ShadeFrontend final : public CacheFrontend {
+public:
+    ShadeFrontend(std::size_t capacity, const core::Sampler& sampler);
+
+    [[nodiscard]] std::string name() const override { return "SHADE"; }
+    Access access(std::uint32_t id) override;
+    void post_batch(std::span<const std::uint32_t> ids) override;
+    [[nodiscard]] std::size_t resident_items() const override {
+        return cache_.size();
+    }
+
+private:
+    cache::ImportanceCache cache_;
+    const core::Sampler& sampler_;
+};
+
+/// iCache: H-section scored by raw last loss; optional L-section with
+/// random replacement and substitution of missed non-important samples.
+class ICacheFrontend final : public CacheFrontend {
+public:
+    struct Options {
+        /// Fraction of capacity for the H (important) section; the rest is
+        /// the L section. Ignored when `l_section_enabled` is false.
+        double h_ratio = 0.5;
+        /// Probability that a missed L-sample is served a random resident
+        /// substitute instead of being fetched.
+        double substitute_prob = 0.45;
+        bool l_section_enabled = true;
+    };
+
+    ICacheFrontend(std::size_t capacity,
+                   const core::ComputeBoundSampler& sampler, Options options,
+                   util::Rng rng);
+
+    [[nodiscard]] std::string name() const override {
+        return options_.l_section_enabled ? "iCache" : "iCache-imp";
+    }
+    Access access(std::uint32_t id) override;
+    void post_batch(std::span<const std::uint32_t> ids) override;
+    [[nodiscard]] std::size_t resident_items() const override {
+        return h_cache_.size() + l_cache_.size();
+    }
+
+private:
+    cache::ImportanceCache h_cache_;
+    cache::RandomCache l_cache_;
+    const core::ComputeBoundSampler& sampler_;
+    Options options_;
+    util::Rng rng_;
+};
+
+/// SpiderCache facade adapter (full system or -imp ablation, depending on
+/// the facade's own configuration).
+class SpiderFrontend final : public CacheFrontend {
+public:
+    explicit SpiderFrontend(core::SpiderCache& spider);
+
+    [[nodiscard]] std::string name() const override { return "SpiderCache"; }
+    Access access(std::uint32_t id) override;
+    [[nodiscard]] std::size_t resident_items() const override;
+
+private:
+    core::SpiderCache& spider_;
+};
+
+}  // namespace spider::sim

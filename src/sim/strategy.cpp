@@ -1,0 +1,36 @@
+#include "sim/strategy.hpp"
+
+namespace spider::sim {
+
+const char* to_string(StrategyKind kind) {
+    switch (kind) {
+        case StrategyKind::kBaselineLru: return "Baseline";
+        case StrategyKind::kLfu: return "LFU";
+        case StrategyKind::kCoorDL: return "CoorDL";
+        case StrategyKind::kShade: return "SHADE";
+        case StrategyKind::kICacheImp: return "iCache-imp";
+        case StrategyKind::kICache: return "iCache";
+        case StrategyKind::kSpiderImp: return "SpiderCache-imp";
+        case StrategyKind::kSpider: return "SpiderCache";
+    }
+    return "unknown";
+}
+
+bool uses_graph_is(StrategyKind kind) {
+    return kind == StrategyKind::kSpiderImp || kind == StrategyKind::kSpider;
+}
+
+bool uses_importance_sampling(StrategyKind kind) {
+    switch (kind) {
+        case StrategyKind::kShade:
+        case StrategyKind::kICacheImp:
+        case StrategyKind::kICache:
+        case StrategyKind::kSpiderImp:
+        case StrategyKind::kSpider:
+            return true;
+        default:
+            return false;
+    }
+}
+
+}  // namespace spider::sim

@@ -1,0 +1,31 @@
+#pragma once
+
+// The eight cache/sampling strategies compared across the paper's
+// evaluation, addressable by a single enum so every bench can sweep them.
+
+#include <cstdint>
+#include <string>
+
+namespace spider::sim {
+
+enum class StrategyKind : std::uint8_t {
+    kBaselineLru,  // LRU cache + uniform random sampling (the paper baseline)
+    kLfu,          // LFU cache + uniform random sampling (Fig. 3(b))
+    kCoorDL,       // MinIO static cache + uniform random sampling
+    kShade,        // loss-rank IS + importance cache
+    kICacheImp,    // compute-bound IS + importance cache only
+    kICache,       // + random-replacement L-section with substitution
+    kSpiderImp,    // graph IS + importance cache only (ablation)
+    kSpider,       // full SpiderCache: graph IS + two-layer semantic cache
+};
+
+[[nodiscard]] const char* to_string(StrategyKind kind);
+
+/// Does this strategy run the graph-based IS stage (and thus pay/hide its
+/// per-batch cost)?
+[[nodiscard]] bool uses_graph_is(StrategyKind kind);
+
+/// Is this one of the importance-sampling strategies (vs. uniform order)?
+[[nodiscard]] bool uses_importance_sampling(StrategyKind kind);
+
+}  // namespace spider::sim

@@ -1,0 +1,59 @@
+#include "storage/cache_store.hpp"
+
+#include <stdexcept>
+
+namespace spider::storage {
+
+CacheStore::CacheStore(std::uint64_t capacity_bytes,
+                       std::uint64_t bytes_per_item)
+    : capacity_bytes_{capacity_bytes}, bytes_per_item_{bytes_per_item} {
+    if (bytes_per_item == 0) {
+        throw std::invalid_argument{"CacheStore: bytes_per_item must be > 0"};
+    }
+}
+
+bool CacheStore::contains(std::uint32_t id) const {
+    const std::lock_guard lock{mutex_};
+    return items_.contains(id);
+}
+
+std::size_t CacheStore::size() const {
+    const std::lock_guard lock{mutex_};
+    return items_.size();
+}
+
+std::uint64_t CacheStore::used_bytes() const {
+    const std::lock_guard lock{mutex_};
+    return items_.size() * bytes_per_item_;
+}
+
+bool CacheStore::put(std::uint32_t id) {
+    const std::lock_guard lock{mutex_};
+    if ((items_.size() + 1) * bytes_per_item_ > capacity_bytes_) return false;
+    return items_.insert(id).second;
+}
+
+bool CacheStore::erase(std::uint32_t id) {
+    const std::lock_guard lock{mutex_};
+    return items_.erase(id) > 0;
+}
+
+void CacheStore::clear() {
+    const std::lock_guard lock{mutex_};
+    items_.clear();
+}
+
+bool CacheStore::lookup(std::uint32_t id) {
+    const std::lock_guard lock{mutex_};
+    const bool hit = items_.contains(id);
+    (hit ? hits_ : misses_) += 1;
+    return hit;
+}
+
+void CacheStore::reset_counters() {
+    const std::lock_guard lock{mutex_};
+    hits_ = 0;
+    misses_ = 0;
+}
+
+}  // namespace spider::storage

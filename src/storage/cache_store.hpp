@@ -1,0 +1,52 @@
+#pragma once
+
+// In-process byte-budgeted key-value store — the stand-in for the Redis
+// instance the paper uses as its in-memory cache tier. Policies decide
+// *which* ids live here; the store enforces the byte budget and provides
+// hit/miss accounting. Thread-safe (shared by multi-GPU workers).
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+
+namespace spider::storage {
+
+class CacheStore {
+public:
+    /// @param capacity_bytes  Total budget.
+    /// @param bytes_per_item  Uniform serialized sample size.
+    CacheStore(std::uint64_t capacity_bytes, std::uint64_t bytes_per_item);
+
+    [[nodiscard]] std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+    [[nodiscard]] std::uint64_t bytes_per_item() const { return bytes_per_item_; }
+    [[nodiscard]] std::size_t capacity_items() const {
+        return static_cast<std::size_t>(capacity_bytes_ / bytes_per_item_);
+    }
+
+    [[nodiscard]] bool contains(std::uint32_t id) const;
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::uint64_t used_bytes() const;
+
+    /// Inserts; returns false when the budget is exhausted (caller must
+    /// evict first) or the id is already present.
+    bool put(std::uint32_t id);
+    /// Removes; returns whether the id was present.
+    bool erase(std::uint32_t id);
+    void clear();
+
+    [[nodiscard]] std::uint64_t hit_count() const { return hits_; }
+    [[nodiscard]] std::uint64_t miss_count() const { return misses_; }
+    /// contains() + counter update, as a single call.
+    bool lookup(std::uint32_t id);
+    void reset_counters();
+
+private:
+    std::uint64_t capacity_bytes_;
+    std::uint64_t bytes_per_item_;
+    mutable std::mutex mutex_;
+    std::unordered_set<std::uint32_t> items_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace spider::storage

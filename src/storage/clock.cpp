@@ -1,0 +1,7 @@
+// clock.hpp is header-only; this TU anchors the target so the library has
+// at least one object file even when other sources are pruned.
+#include "storage/clock.hpp"
+
+namespace spider::storage {
+static_assert(from_ms(1.0) == SimDuration{1'000'000});
+}  // namespace spider::storage

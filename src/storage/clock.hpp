@@ -1,0 +1,51 @@
+#pragma once
+
+// Virtual time. All storage and compute costs in the simulator advance a
+// VirtualClock instead of sleeping, so 100-epoch "hours-long" training runs
+// finish in seconds of wall time while preserving every timing ratio. The
+// clock is monotone and thread-compatible: the multi-GPU simulator gives
+// each worker its own clock and merges with max() at barriers (data-parallel
+// workers synchronize on the slowest).
+
+#include <chrono>
+#include <cstdint>
+
+namespace spider::storage {
+
+using SimDuration = std::chrono::nanoseconds;
+
+[[nodiscard]] constexpr SimDuration from_ms(double ms) {
+    return SimDuration{static_cast<std::int64_t>(ms * 1e6)};
+}
+
+[[nodiscard]] constexpr double to_ms(SimDuration d) {
+    return static_cast<double>(d.count()) / 1e6;
+}
+
+[[nodiscard]] constexpr double to_minutes(SimDuration d) {
+    return static_cast<double>(d.count()) / 1e9 / 60.0;
+}
+
+[[nodiscard]] constexpr double to_hours(SimDuration d) {
+    return static_cast<double>(d.count()) / 1e9 / 3600.0;
+}
+
+class VirtualClock {
+public:
+    void advance(SimDuration d) { now_ += d; }
+    void advance_ms(double ms) { now_ += from_ms(ms); }
+
+    [[nodiscard]] SimDuration now() const { return now_; }
+
+    /// Fast-forwards to `t` if it is in the future (barrier semantics).
+    void sync_to(SimDuration t) {
+        if (t > now_) now_ = t;
+    }
+
+    void reset() { now_ = SimDuration::zero(); }
+
+private:
+    SimDuration now_ = SimDuration::zero();
+};
+
+}  // namespace spider::storage

@@ -1,0 +1,35 @@
+#include "storage/remote_store.hpp"
+
+namespace spider::storage {
+
+RemoteStore::RemoteStore(const data::SyntheticDataset& dataset,
+                         RemoteStoreConfig config)
+    : dataset_{dataset}, config_{config} {}
+
+const data::Sample& RemoteStore::fetch(std::uint32_t id) {
+    total_fetches_.fetch_add(1, std::memory_order_relaxed);
+    total_bytes_.fetch_add(dataset_.spec().bytes_per_sample,
+                           std::memory_order_relaxed);
+    return dataset_.sample(id);
+}
+
+SimDuration RemoteStore::fetch_cost(std::uint32_t /*id*/) const {
+    const double transfer_ms =
+        static_cast<double>(dataset_.spec().bytes_per_sample) /
+        config_.bytes_per_ms;
+    return config_.latency_per_sample + from_ms(transfer_ms);
+}
+
+SimDuration RemoteStore::batch_fetch_cost(std::size_t miss_count) const {
+    if (miss_count == 0) return SimDuration::zero();
+    const std::size_t workers = std::max<std::size_t>(config_.parallelism, 1);
+    const std::size_t rounds = (miss_count + workers - 1) / workers;
+    return fetch_cost(0) * static_cast<std::int64_t>(rounds);
+}
+
+void RemoteStore::reset_counters() {
+    total_fetches_.store(0, std::memory_order_relaxed);
+    total_bytes_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace spider::storage

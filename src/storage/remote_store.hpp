@@ -1,0 +1,60 @@
+#pragma once
+
+// Simulated remote dataset storage (the paper's NFS server reached over
+// 10 GbE). A fetch costs `latency_per_sample` of virtual time plus a
+// throughput term proportional to the sample's on-disk size; `parallelism`
+// models the data-loader worker count, so a batch of k misses costs
+// ceil(k / parallelism) serial rounds. Thread-safe counters support the
+// multi-GPU simulator, where several workers contend for the same store.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "data/dataset.hpp"
+#include "storage/clock.hpp"
+
+namespace spider::storage {
+
+struct RemoteStoreConfig {
+    /// Virtual per-request latency (seek + RPC round trip).
+    SimDuration latency_per_sample = from_ms(1.4);
+    /// Virtual transfer rate in bytes per millisecond (10 Gbps ~ 1.25e6).
+    double bytes_per_ms = 1.25e6;
+    /// Concurrent fetch workers (PyTorch DataLoader num_workers analogue).
+    std::size_t parallelism = 4;
+};
+
+class RemoteStore {
+public:
+    RemoteStore(const data::SyntheticDataset& dataset, RemoteStoreConfig config);
+
+    [[nodiscard]] const RemoteStoreConfig& config() const { return config_; }
+
+    /// The stored sample (features live in the dataset; the simulated I/O
+    /// cost is what fetch accounting charges).
+    [[nodiscard]] const data::Sample& fetch(std::uint32_t id);
+
+    /// Virtual time to fetch one sample.
+    [[nodiscard]] SimDuration fetch_cost(std::uint32_t id) const;
+
+    /// Virtual wall time to fetch `miss_count` samples with the configured
+    /// parallel fetch workers (the per-batch load-stage model).
+    [[nodiscard]] SimDuration batch_fetch_cost(std::size_t miss_count) const;
+
+    [[nodiscard]] std::uint64_t total_fetches() const {
+        return total_fetches_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t total_bytes() const {
+        return total_bytes_.load(std::memory_order_relaxed);
+    }
+    void reset_counters();
+
+private:
+    const data::SyntheticDataset& dataset_;
+    RemoteStoreConfig config_;
+    std::atomic<std::uint64_t> total_fetches_{0};
+    std::atomic<std::uint64_t> total_bytes_{0};
+};
+
+}  // namespace spider::storage

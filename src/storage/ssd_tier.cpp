@@ -1,0 +1,41 @@
+#include "storage/ssd_tier.hpp"
+
+#include <limits>
+
+namespace spider::storage {
+
+namespace {
+
+std::size_t effective_capacity(const SsdTierConfig& config) {
+    if (!config.enabled) return 0;
+    return config.capacity_items == 0
+               ? std::numeric_limits<std::size_t>::max() / 2
+               : config.capacity_items;
+}
+
+}  // namespace
+
+SsdTier::SsdTier(SsdTierConfig config)
+    : config_{config}, lru_{effective_capacity(config)} {}
+
+bool SsdTier::fetch(std::uint32_t id) {
+    if (!config_.enabled) return false;
+    const bool hit = lru_.touch(id);
+    (hit ? hits_ : misses_) += 1;
+    return hit;
+}
+
+void SsdTier::insert(std::uint32_t id) {
+    if (!config_.enabled) return;
+    lru_.admit(id);
+}
+
+SimDuration SsdTier::batch_read_cost(std::size_t count,
+                                     std::size_t parallelism) const {
+    if (count == 0) return SimDuration::zero();
+    const std::size_t lanes = std::max<std::size_t>(parallelism, 1);
+    const std::size_t rounds = (count + lanes - 1) / lanes;
+    return config_.read_latency * static_cast<std::int64_t>(rounds);
+}
+
+}  // namespace spider::storage

@@ -1,0 +1,55 @@
+#pragma once
+
+// Local-SSD storage tier: the middle layer of the memory -> SSD -> remote
+// hierarchy that DNN training clusters actually deploy (CoorDL caches on
+// local SSD; the paper's Spot-VM discussion is exactly about losing this
+// tier). A miss in the in-memory cache checks the SSD before paying the
+// remote fetch; remote fetches are written back to the SSD (LRU within the
+// byte budget). Costs live on the virtual clock like everything else.
+
+#include <cstdint>
+
+#include "cache/basic_policies.hpp"
+#include "storage/clock.hpp"
+
+namespace spider::storage {
+
+struct SsdTierConfig {
+    bool enabled = false;
+    /// Capacity in items (0 = unbounded, the CoorDL append-only model).
+    std::size_t capacity_items = 0;
+    /// Virtual read latency per sample (NVMe-class: ~0.1 ms vs ~ms remote).
+    SimDuration read_latency = from_ms(0.08);
+};
+
+class SsdTier {
+public:
+    explicit SsdTier(SsdTierConfig config);
+
+    [[nodiscard]] bool enabled() const { return config_.enabled; }
+    [[nodiscard]] const SsdTierConfig& config() const { return config_; }
+    [[nodiscard]] std::size_t resident_items() const { return lru_.size(); }
+
+    /// Read path: returns true when `id` was served from the SSD (and
+    /// bumps its recency). Disabled tiers always miss.
+    bool fetch(std::uint32_t id);
+
+    /// Write-back after a remote fetch.
+    void insert(std::uint32_t id);
+
+    [[nodiscard]] std::uint64_t hits() const { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+    /// Virtual time for a batch of `count` SSD reads (reads are parallel
+    /// across `parallelism` queue depths like remote fetches).
+    [[nodiscard]] SimDuration batch_read_cost(std::size_t count,
+                                              std::size_t parallelism) const;
+
+private:
+    SsdTierConfig config_;
+    cache::LruCache lru_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace spider::storage

@@ -1,0 +1,27 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_{rows}, cols_{cols}, data_(rows * cols, fill) {}
+
+void Matrix::fill(float value) {
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::randomize_normal(util::Rng& rng, float mean, float stddev) {
+    for (float& x : data_) {
+        x = static_cast<float>(rng.normal(mean, stddev));
+    }
+}
+
+void Matrix::randomize_kaiming(util::Rng& rng, std::size_t fan_in) {
+    const float stddev =
+        std::sqrt(2.0F / static_cast<float>(std::max<std::size_t>(fan_in, 1)));
+    randomize_normal(rng, 0.0F, stddev);
+}
+
+}  // namespace spider::tensor

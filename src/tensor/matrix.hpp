@@ -1,0 +1,65 @@
+#pragma once
+
+// Row-major single-precision matrix. This is the only tensor type the nn/
+// substrate needs: batches are rows, features are columns. Kept deliberately
+// small — contiguous storage, bounds-checked accessors in debug, span views
+// per row for zero-copy interop with the ANN index.
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spider::tensor {
+
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, float fill = 0.0F);
+
+    [[nodiscard]] std::size_t rows() const { return rows_; }
+    [[nodiscard]] std::size_t cols() const { return cols_; }
+    [[nodiscard]] std::size_t size() const { return data_.size(); }
+    [[nodiscard]] bool empty() const { return data_.empty(); }
+
+    [[nodiscard]] float& at(std::size_t r, std::size_t c) {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+    [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    [[nodiscard]] std::span<float> row(std::size_t r) {
+        assert(r < rows_);
+        return {data_.data() + r * cols_, cols_};
+    }
+    [[nodiscard]] std::span<const float> row(std::size_t r) const {
+        assert(r < rows_);
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    [[nodiscard]] std::span<float> flat() { return data_; }
+    [[nodiscard]] std::span<const float> flat() const { return data_; }
+    [[nodiscard]] float* data() { return data_.data(); }
+    [[nodiscard]] const float* data() const { return data_.data(); }
+
+    void fill(float value);
+    void zero() { fill(0.0F); }
+
+    /// Fills with i.i.d. normal(mean, stddev) draws — weight init.
+    void randomize_normal(util::Rng& rng, float mean, float stddev);
+
+    /// Kaiming/He initialization for a layer with `fan_in` inputs.
+    void randomize_kaiming(util::Rng& rng, std::size_t fan_in);
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+}  // namespace spider::tensor

@@ -1,0 +1,61 @@
+#pragma once
+
+// Dense kernels over Matrix. Shapes follow the "batch rows" convention:
+// activations are [batch, features], weights are [in, out].
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace spider::tensor {
+
+/// out = a @ b.   a: [m,k], b: [k,n], out: [m,n].
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T @ b. a: [k,m], b: [k,n], out: [m,n]. (Weight gradients.)
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a @ b^T. a: [m,k], b: [n,k], out: [m,n]. (Input gradients.)
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Adds `bias` (length = cols) to every row of m.
+void add_row_vector(Matrix& m, std::span<const float> bias);
+
+/// y = max(x, 0), elementwise; shapes must match.
+void relu(const Matrix& x, Matrix& y);
+
+/// dx = dy where x > 0 else 0.
+void relu_backward(const Matrix& x, const Matrix& dy, Matrix& dx);
+
+/// Row-wise softmax (numerically stable).
+void softmax_rows(const Matrix& logits, Matrix& probs);
+
+/// Mean cross-entropy over the batch given integer labels; probs must
+/// already be softmaxed. Returns the scalar loss.
+[[nodiscard]] double cross_entropy(const Matrix& probs,
+                                   std::span<const std::uint32_t> labels);
+
+/// Per-row cross-entropy losses (what loss-based IS consumes).
+[[nodiscard]] std::vector<double> cross_entropy_per_row(
+    const Matrix& probs, std::span<const std::uint32_t> labels);
+
+/// dlogits = (probs - onehot(labels)) / batch — the fused softmax+CE grad.
+void softmax_cross_entropy_backward(const Matrix& probs,
+                                    std::span<const std::uint32_t> labels,
+                                    Matrix& dlogits);
+
+/// Row-wise argmax (predicted class per sample).
+[[nodiscard]] std::vector<std::uint32_t> argmax_rows(const Matrix& m);
+
+/// y += alpha * x over flat storage; shapes must match.
+void axpy(float alpha, const Matrix& x, Matrix& y);
+
+/// Squared L2 distance between two equal-length vectors.
+[[nodiscard]] float squared_l2(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean distance (Eq. 1 in the paper).
+[[nodiscard]] float l2_distance(std::span<const float> a, std::span<const float> b);
+
+}  // namespace spider::tensor

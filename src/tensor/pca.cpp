@@ -1,0 +1,110 @@
+#include "tensor/pca.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spider::tensor {
+
+namespace {
+
+/// y = centered_data^T @ (centered_data @ v), without materializing the
+/// covariance matrix: two passes over the data per iteration.
+std::vector<double> covariance_multiply(const Matrix& data,
+                                        const std::vector<double>& mean,
+                                        const std::vector<double>& v) {
+    const std::size_t n = data.rows();
+    const std::size_t dim = data.cols();
+    std::vector<double> result(dim, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto row = data.row(i);
+        double dot = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            dot += (static_cast<double>(row[d]) - mean[d]) * v[d];
+        }
+        for (std::size_t d = 0; d < dim; ++d) {
+            result[d] += dot * (static_cast<double>(row[d]) - mean[d]);
+        }
+    }
+    for (double& x : result) {
+        x /= static_cast<double>(n);
+    }
+    return result;
+}
+
+double normalize(std::vector<double>& v) {
+    double norm_sq = 0.0;
+    for (double x : v) norm_sq += x * x;
+    const double norm = std::sqrt(norm_sq);
+    if (norm > 1e-12) {
+        for (double& x : v) x /= norm;
+    }
+    return norm;
+}
+
+}  // namespace
+
+PcaResult pca(const Matrix& data, std::size_t components,
+              std::size_t iterations, std::uint64_t seed) {
+    const std::size_t n = data.rows();
+    const std::size_t dim = data.cols();
+    if (n == 0 || components == 0 || components > dim) {
+        throw std::invalid_argument{"pca: bad shape or component count"};
+    }
+
+    PcaResult result;
+    result.mean.assign(dim, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto row = data.row(i);
+        for (std::size_t d = 0; d < dim; ++d) {
+            result.mean[d] += row[d];
+        }
+    }
+    for (double& m : result.mean) {
+        m /= static_cast<double>(n);
+    }
+
+    util::Rng rng{seed};
+    std::vector<std::vector<double>> axes;
+    axes.reserve(components);
+    for (std::size_t c = 0; c < components; ++c) {
+        std::vector<double> v(dim);
+        for (double& x : v) x = rng.normal();
+        normalize(v);
+        double eigenvalue = 0.0;
+        for (std::size_t it = 0; it < iterations; ++it) {
+            std::vector<double> w = covariance_multiply(data, result.mean, v);
+            // Deflate: remove projections onto previously found axes.
+            for (const auto& axis : axes) {
+                double dot = 0.0;
+                for (std::size_t d = 0; d < dim; ++d) dot += w[d] * axis[d];
+                for (std::size_t d = 0; d < dim; ++d) w[d] -= dot * axis[d];
+            }
+            eigenvalue = normalize(w);
+            v = std::move(w);
+        }
+        result.explained_variance.push_back(eigenvalue);
+        axes.push_back(v);
+    }
+
+    result.components = Matrix{components, dim};
+    for (std::size_t c = 0; c < components; ++c) {
+        for (std::size_t d = 0; d < dim; ++d) {
+            result.components.at(c, d) = static_cast<float>(axes[c][d]);
+        }
+    }
+    result.projected = Matrix{n, components};
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto row = data.row(i);
+        for (std::size_t c = 0; c < components; ++c) {
+            double dot = 0.0;
+            for (std::size_t d = 0; d < dim; ++d) {
+                dot += (static_cast<double>(row[d]) - result.mean[d]) *
+                       axes[c][d];
+            }
+            result.projected.at(i, c) = static_cast<float>(dot);
+        }
+    }
+    return result;
+}
+
+}  // namespace spider::tensor

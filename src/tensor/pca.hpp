@@ -1,0 +1,33 @@
+#pragma once
+
+// Principal component analysis via power iteration with deflation — just
+// enough to project high-dimensional embeddings to 2-D for the paper's
+// Figure 8 (intra-class clustering / inter-class separation plots).
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace spider::tensor {
+
+struct PcaResult {
+    /// Projected rows, [n, components].
+    Matrix projected;
+    /// Principal axes, [components, dim] (unit vectors).
+    Matrix components;
+    /// Variance captured along each component.
+    std::vector<double> explained_variance;
+    /// Column means subtracted before projection.
+    std::vector<double> mean;
+};
+
+/// Projects `data` ([n, dim]) onto its top `components` principal axes.
+/// @param iterations  Power-iteration steps per component (30 is plenty for
+///                    well-separated spectra).
+[[nodiscard]] PcaResult pca(const Matrix& data, std::size_t components,
+                            std::size_t iterations = 50,
+                            std::uint64_t seed = 12345);
+
+}  // namespace spider::tensor

@@ -1,0 +1,69 @@
+#include "trace/replay.hpp"
+
+#include <unordered_set>
+
+namespace spider::trace {
+
+namespace {
+
+struct EpochAccumulator {
+    std::vector<std::uint64_t> accesses;
+    std::vector<std::uint64_t> hits;
+
+    void note(std::uint32_t epoch, bool hit) {
+        if (epoch >= accesses.size()) {
+            accesses.resize(epoch + 1, 0);
+            hits.resize(epoch + 1, 0);
+        }
+        ++accesses[epoch];
+        hits[epoch] += hit ? 1 : 0;
+    }
+
+    [[nodiscard]] std::vector<double> ratios() const {
+        std::vector<double> out(accesses.size(), 0.0);
+        for (std::size_t e = 0; e < accesses.size(); ++e) {
+            if (accesses[e] > 0) {
+                out[e] = static_cast<double>(hits[e]) /
+                         static_cast<double>(accesses[e]);
+            }
+        }
+        return out;
+    }
+};
+
+}  // namespace
+
+ReplayResult replay(const AccessTrace& trace, cache::EvictionCache& policy) {
+    ReplayResult result;
+    result.policy = policy.name();
+    std::unordered_set<std::uint32_t> seen;
+    EpochAccumulator epochs;
+    for (const Record& r : trace.records()) {
+        ++result.accesses;
+        if (!seen.insert(r.requested).second) {
+            // warm access
+        } else {
+            ++result.cold_misses;
+        }
+        const bool hit = policy.touch(r.requested);
+        if (hit) {
+            ++result.hits;
+        } else {
+            policy.admit(r.requested);
+        }
+        epochs.note(r.epoch, hit);
+    }
+    result.epoch_hit_ratio = epochs.ratios();
+    return result;
+}
+
+ReplayResult replay(std::span<const std::uint32_t> accesses,
+                    cache::EvictionCache& policy) {
+    AccessTrace trace;
+    for (std::uint32_t id : accesses) {
+        trace.record(0, id, id, Outcome::kMiss);
+    }
+    return replay(trace, policy);
+}
+
+}  // namespace spider::trace

@@ -1,0 +1,50 @@
+#pragma once
+
+// Offline trace replay: run a recorded request stream against any
+// EvictionCache policy and report what its hit ratio *would have been* —
+// the standard methodology for comparing cache policies on equal footing
+// (same access pattern, different policy). Useful both for studying the
+// importance-sampling-induced locality the paper exploits and for
+// regression-testing policy changes against archived traces.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "trace/trace.hpp"
+
+namespace spider::trace {
+
+struct ReplayResult {
+    std::string policy;
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t cold_misses = 0;  // first touch of an id (uncacheable)
+    /// Per-epoch hit ratios (index = epoch).
+    std::vector<double> epoch_hit_ratio;
+
+    [[nodiscard]] double hit_ratio() const {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(accesses);
+    }
+    /// Hit ratio excluding compulsory (first-touch) misses.
+    [[nodiscard]] double warm_hit_ratio() const {
+        const std::uint64_t warm = accesses - cold_misses;
+        return warm == 0 ? 0.0
+                         : static_cast<double>(hits) / static_cast<double>(warm);
+    }
+};
+
+/// Replays the trace's *requested* id stream through `policy` (touch on
+/// hit, admit on miss).
+[[nodiscard]] ReplayResult replay(const AccessTrace& trace,
+                                  cache::EvictionCache& policy);
+
+/// Convenience: replays a raw id stream (no epochs) through `policy`.
+[[nodiscard]] ReplayResult replay(std::span<const std::uint32_t> accesses,
+                                  cache::EvictionCache& policy);
+
+}  // namespace spider::trace

@@ -1,0 +1,107 @@
+#include "trace/reuse_distance.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace spider::trace {
+
+namespace {
+
+/// Fenwick tree over timestamps: supports point add and prefix sums, used
+/// to count how many *distinct* items were touched since a timestamp.
+class FenwickTree {
+public:
+    explicit FenwickTree(std::size_t size) : tree_(size + 1, 0) {}
+
+    void add(std::size_t index, std::int64_t delta) {
+        for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+            tree_[i] += delta;
+        }
+    }
+
+    [[nodiscard]] std::int64_t prefix_sum(std::size_t count) const {
+        std::int64_t sum = 0;
+        for (std::size_t i = count; i > 0; i -= i & (~i + 1)) {
+            sum += tree_[i];
+        }
+        return sum;
+    }
+
+    [[nodiscard]] std::int64_t range_sum(std::size_t from,
+                                         std::size_t to_exclusive) const {
+        return prefix_sum(to_exclusive) - prefix_sum(from);
+    }
+
+private:
+    std::vector<std::int64_t> tree_;
+};
+
+}  // namespace
+
+double ReuseProfile::lru_hit_ratio(std::size_t capacity) const {
+    if (total_accesses == 0 || capacity == 0) return 0.0;
+    std::uint64_t hits = 0;
+    const std::size_t limit = std::min(capacity, histogram.size());
+    for (std::size_t d = 0; d < limit; ++d) {
+        hits += histogram[d];
+    }
+    return static_cast<double>(hits) / static_cast<double>(total_accesses);
+}
+
+std::vector<double> ReuseProfile::hit_ratio_curve(
+    std::span<const std::size_t> capacities) const {
+    std::vector<double> curve;
+    curve.reserve(capacities.size());
+    for (std::size_t capacity : capacities) {
+        curve.push_back(lru_hit_ratio(capacity));
+    }
+    return curve;
+}
+
+double ReuseProfile::mean_reuse_distance() const {
+    std::uint64_t reuses = 0;
+    double weighted = 0.0;
+    for (std::size_t d = 0; d < histogram.size(); ++d) {
+        reuses += histogram[d];
+        weighted += static_cast<double>(d) * static_cast<double>(histogram[d]);
+    }
+    return reuses == 0 ? 0.0 : weighted / static_cast<double>(reuses);
+}
+
+ReuseProfile compute_reuse_profile(std::span<const std::uint32_t> accesses,
+                                   std::size_t max_tracked) {
+    ReuseProfile profile;
+    profile.total_accesses = accesses.size();
+    if (accesses.empty()) return profile;
+    profile.histogram.assign(std::min<std::size_t>(max_tracked, 1 << 22) + 1,
+                             0);
+
+    // last_position[item] = timestamp of the previous access. A Fenwick
+    // tree marks which timestamps are the *latest* access of their item;
+    // the number of distinct items since t is the marked count in (t, now).
+    FenwickTree marked{accesses.size()};
+    std::unordered_map<std::uint32_t, std::size_t> last_position;
+    last_position.reserve(accesses.size() / 4);
+
+    for (std::size_t now = 0; now < accesses.size(); ++now) {
+        const std::uint32_t item = accesses[now];
+        const auto it = last_position.find(item);
+        if (it == last_position.end()) {
+            ++profile.cold_misses;
+        } else {
+            const std::size_t previous = it->second;
+            // Distinct items touched strictly between previous and now.
+            const auto distance = static_cast<std::uint64_t>(
+                marked.range_sum(previous + 1, now));
+            const std::size_t bin = std::min<std::uint64_t>(
+                distance, profile.histogram.size() - 1);
+            ++profile.histogram[bin];
+            marked.add(previous, -1);  // no longer the latest access
+        }
+        marked.add(now, +1);
+        last_position[item] = now;
+    }
+    return profile;
+}
+
+}  // namespace spider::trace

@@ -1,0 +1,49 @@
+#pragma once
+
+// Mattson stack-distance (reuse-distance) analysis.
+//
+// For an access stream, the *reuse distance* of an access is the number of
+// distinct items referenced since the previous access to the same item
+// (infinity for first touches). Because LRU obeys the stack inclusion
+// property, one pass over the trace yields the LRU hit ratio for EVERY
+// cache size simultaneously: an access hits an LRU cache of capacity C iff
+// its reuse distance < C. This is the classic tool for explaining why
+// random-sampling DNN training defeats LRU (paper Fig. 3(b)): each epoch
+// touches every sample once, so every reuse distance equals the dataset
+// size and no practical cache size can hit.
+//
+// Implementation: O(n log n) via an order-statistics structure (a Fenwick
+// tree over access timestamps).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spider::trace {
+
+struct ReuseProfile {
+    /// histogram[d] = number of accesses with finite reuse distance d
+    /// (capped at `max_tracked` — larger distances land in the last bin).
+    std::vector<std::uint64_t> histogram;
+    std::uint64_t cold_misses = 0;  // first touches (infinite distance)
+    std::uint64_t total_accesses = 0;
+
+    /// Exact LRU hit ratio for a cache of `capacity` items, derived from
+    /// the histogram (stack inclusion property).
+    [[nodiscard]] double lru_hit_ratio(std::size_t capacity) const;
+
+    /// The full miss-ratio curve at the given capacities.
+    [[nodiscard]] std::vector<double> hit_ratio_curve(
+        std::span<const std::size_t> capacities) const;
+
+    /// Mean finite reuse distance (0 when no reuses).
+    [[nodiscard]] double mean_reuse_distance() const;
+};
+
+/// Computes the reuse profile of an access stream of item ids.
+/// @param max_tracked  Distances >= max_tracked are clamped into the final
+///                     histogram bin (treated as "too far for any cache").
+[[nodiscard]] ReuseProfile compute_reuse_profile(
+    std::span<const std::uint32_t> accesses, std::size_t max_tracked = 1 << 20);
+
+}  // namespace spider::trace

@@ -1,0 +1,116 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace spider::trace {
+
+const char* to_string(Outcome outcome) {
+    switch (outcome) {
+        case Outcome::kMiss: return "miss";
+        case Outcome::kImportanceHit: return "imp";
+        case Outcome::kHomophilyHit: return "homo";
+        case Outcome::kPolicyHit: return "hit";
+        case Outcome::kSubstitution: return "subst";
+    }
+    return "unknown";
+}
+
+namespace {
+
+Outcome outcome_from_string(const std::string& token) {
+    if (token == "miss") return Outcome::kMiss;
+    if (token == "imp") return Outcome::kImportanceHit;
+    if (token == "homo") return Outcome::kHomophilyHit;
+    if (token == "hit") return Outcome::kPolicyHit;
+    if (token == "subst") return Outcome::kSubstitution;
+    throw std::invalid_argument{"AccessTrace: unknown outcome '" + token + "'"};
+}
+
+}  // namespace
+
+void AccessTrace::record(std::uint32_t epoch, std::uint32_t requested,
+                         std::uint32_t served, Outcome outcome) {
+    records_.push_back({epoch, requested, served, outcome});
+}
+
+std::size_t AccessTrace::epoch_count() const {
+    std::size_t max_epoch = 0;
+    if (records_.empty()) return 0;
+    for (const Record& r : records_) {
+        max_epoch = std::max<std::size_t>(max_epoch, r.epoch);
+    }
+    return max_epoch + 1;
+}
+
+double AccessTrace::hit_ratio() const {
+    if (records_.empty()) return 0.0;
+    const auto hits = static_cast<double>(
+        std::count_if(records_.begin(), records_.end(),
+                      [](const Record& r) { return r.is_hit(); }));
+    return hits / static_cast<double>(records_.size());
+}
+
+double AccessTrace::epoch_hit_ratio(std::uint32_t epoch) const {
+    std::size_t total = 0;
+    std::size_t hits = 0;
+    for (const Record& r : records_) {
+        if (r.epoch != epoch) continue;
+        ++total;
+        hits += r.is_hit() ? 1 : 0;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+std::size_t AccessTrace::unique_samples() const {
+    std::unordered_set<std::uint32_t> seen;
+    for (const Record& r : records_) {
+        seen.insert(r.requested);
+    }
+    return seen.size();
+}
+
+void AccessTrace::save(std::ostream& os) const {
+    os << "# spidercache-trace v1\n";
+    os << "# epoch requested served outcome\n";
+    for (const Record& r : records_) {
+        os << r.epoch << ' ' << r.requested << ' ' << r.served << ' '
+           << to_string(r.outcome) << '\n';
+    }
+}
+
+AccessTrace AccessTrace::load(std::istream& is) {
+    AccessTrace trace;
+    std::string line;
+    bool header_seen = false;
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        if (line.front() == '#') {
+            if (line.find("spidercache-trace v1") != std::string::npos) {
+                header_seen = true;
+            }
+            continue;
+        }
+        if (!header_seen) {
+            throw std::invalid_argument{
+                "AccessTrace::load: missing trace header"};
+        }
+        std::istringstream fields{line};
+        Record r;
+        std::string outcome_token;
+        if (!(fields >> r.epoch >> r.requested >> r.served >> outcome_token)) {
+            throw std::invalid_argument{
+                "AccessTrace::load: malformed record '" + line + "'"};
+        }
+        r.outcome = outcome_from_string(outcome_token);
+        trace.records_.push_back(r);
+    }
+    return trace;
+}
+
+}  // namespace spider::trace

@@ -1,0 +1,74 @@
+#pragma once
+
+// Access-trace recording. A trace captures the exact sample-request stream
+// a sampler/cache combination produced — (epoch, requested id, outcome,
+// served id) per access — so cache policies can be studied *offline*:
+// replayed against other policies (replay.hpp), run through reuse-distance
+// analysis (reuse_distance.hpp), or archived for regression comparisons.
+//
+// Serialization is a line-oriented text format (one record per line,
+// comment lines start with '#') — diff-able, greppable, stable.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spider::trace {
+
+enum class Outcome : std::uint8_t {
+    kMiss = 0,
+    kImportanceHit = 1,
+    kHomophilyHit = 2,   // served a semantic surrogate
+    kPolicyHit = 3,      // plain cache hit (LRU/LFU/...)
+    kSubstitution = 4,   // iCache random substitute
+};
+
+[[nodiscard]] const char* to_string(Outcome outcome);
+
+struct Record {
+    std::uint32_t epoch = 0;
+    std::uint32_t requested = 0;
+    std::uint32_t served = 0;
+    Outcome outcome = Outcome::kMiss;
+
+    [[nodiscard]] bool is_hit() const { return outcome != Outcome::kMiss; }
+    bool operator==(const Record&) const = default;
+};
+
+class AccessTrace {
+public:
+    AccessTrace() = default;
+
+    void record(std::uint32_t epoch, std::uint32_t requested,
+                std::uint32_t served, Outcome outcome);
+    void clear() { records_.clear(); }
+
+    [[nodiscard]] std::size_t size() const { return records_.size(); }
+    [[nodiscard]] bool empty() const { return records_.empty(); }
+    [[nodiscard]] const Record& operator[](std::size_t i) const {
+        return records_[i];
+    }
+    [[nodiscard]] const std::vector<Record>& records() const {
+        return records_;
+    }
+
+    /// Number of epochs spanned (max epoch + 1; 0 when empty).
+    [[nodiscard]] std::size_t epoch_count() const;
+    /// Hit ratio over the whole trace.
+    [[nodiscard]] double hit_ratio() const;
+    /// Hit ratio of one epoch.
+    [[nodiscard]] double epoch_hit_ratio(std::uint32_t epoch) const;
+    /// Distinct requested ids.
+    [[nodiscard]] std::size_t unique_samples() const;
+
+    /// Text serialization: "# spidercache-trace v1" header, then
+    /// "epoch requested served outcome" per line.
+    void save(std::ostream& os) const;
+    [[nodiscard]] static AccessTrace load(std::istream& is);
+
+private:
+    std::vector<Record> records_;
+};
+
+}  // namespace spider::trace

@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace spider::util {
+
+const char* to_string(LogLevel level) {
+    switch (level) {
+        case LogLevel::kDebug: return "debug";
+        case LogLevel::kInfo: return "info";
+        case LogLevel::kWarn: return "warn";
+        case LogLevel::kError: return "error";
+        case LogLevel::kOff: return "off";
+    }
+    return "unknown";
+}
+
+LogLevel log_level_from_string(const std::string& name) {
+    if (name == "debug") return LogLevel::kDebug;
+    if (name == "info") return LogLevel::kInfo;
+    if (name == "warn") return LogLevel::kWarn;
+    if (name == "error") return LogLevel::kError;
+    if (name == "off") return LogLevel::kOff;
+    return LogLevel::kWarn;
+}
+
+Logger::Logger() : level_{LogLevel::kWarn} {
+    if (const char* env = std::getenv("SPIDER_LOG")) {
+        level_ = log_level_from_string(env);
+    }
+}
+
+Logger& Logger::instance() {
+    static Logger logger;
+    return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+    const std::lock_guard lock{mutex_};
+    level_ = level;
+}
+
+LogLevel Logger::level() const {
+    const std::lock_guard lock{mutex_};
+    return level_;
+}
+
+bool Logger::enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(this->level());
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+    const std::lock_guard lock{mutex_};
+    std::ostream& os = level >= LogLevel::kWarn ? std::cerr : std::clog;
+    os << "[spider:" << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace spider::util

@@ -1,0 +1,79 @@
+#pragma once
+
+// Minimal leveled logger. Library code logs through this so benches and
+// examples can raise verbosity (SPIDER_LOG=debug) without recompiling;
+// default level is warn so normal runs stay quiet. Thread-safe: each call
+// formats into one string and emits it in a single write.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace spider::util {
+
+enum class LogLevel : int {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kOff = 4,
+};
+
+class Logger {
+public:
+    /// Process-wide logger. Level initialized from the SPIDER_LOG
+    /// environment variable (debug|info|warn|error|off), default warn.
+    static Logger& instance();
+
+    void set_level(LogLevel level);
+    [[nodiscard]] LogLevel level() const;
+    [[nodiscard]] bool enabled(LogLevel level) const;
+
+    void write(LogLevel level, const std::string& message);
+
+private:
+    Logger();
+    mutable std::mutex mutex_;
+    LogLevel level_;
+};
+
+[[nodiscard]] const char* to_string(LogLevel level);
+[[nodiscard]] LogLevel log_level_from_string(const std::string& name);
+
+namespace detail {
+inline void append_parts(std::ostringstream&) {}
+template <typename Head, typename... Tail>
+void append_parts(std::ostringstream& oss, Head&& head, Tail&&... tail) {
+    oss << std::forward<Head>(head);
+    append_parts(oss, std::forward<Tail>(tail)...);
+}
+}  // namespace detail
+
+/// Streams all arguments into one log line if the level is enabled.
+template <typename... Parts>
+void log(LogLevel level, Parts&&... parts) {
+    Logger& logger = Logger::instance();
+    if (!logger.enabled(level)) return;
+    std::ostringstream oss;
+    detail::append_parts(oss, std::forward<Parts>(parts)...);
+    logger.write(level, oss.str());
+}
+
+template <typename... Parts>
+void log_debug(Parts&&... parts) {
+    log(LogLevel::kDebug, std::forward<Parts>(parts)...);
+}
+template <typename... Parts>
+void log_info(Parts&&... parts) {
+    log(LogLevel::kInfo, std::forward<Parts>(parts)...);
+}
+template <typename... Parts>
+void log_warn(Parts&&... parts) {
+    log(LogLevel::kWarn, std::forward<Parts>(parts)...);
+}
+template <typename... Parts>
+void log_error(Parts&&... parts) {
+    log(LogLevel::kError, std::forward<Parts>(parts)...);
+}
+
+}  // namespace spider::util

@@ -1,0 +1,143 @@
+#include "util/sg_filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spider::util {
+
+namespace {
+
+/// Solves A x = b in place via Gaussian elimination with partial pivoting.
+/// A is n x n row-major. Small systems only (n = poly_order + 1 <= ~6).
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
+                                 std::size_t n) {
+    for (std::size_t col = 0; col < n; ++col) {
+        // Pivot.
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) {
+                pivot = row;
+            }
+        }
+        if (std::abs(a[pivot * n + col]) < 1e-12) {
+            throw std::runtime_error{"SavitzkyGolay: singular normal equations"};
+        }
+        if (pivot != col) {
+            for (std::size_t k = 0; k < n; ++k) {
+                std::swap(a[col * n + k], a[pivot * n + k]);
+            }
+            std::swap(b[col], b[pivot]);
+        }
+        // Eliminate below.
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double f = a[row * n + col] / a[col * n + col];
+            for (std::size_t k = col; k < n; ++k) {
+                a[row * n + k] -= f * a[col * n + k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double sum = b[i];
+        for (std::size_t k = i + 1; k < n; ++k) {
+            sum -= a[i * n + k] * x[k];
+        }
+        x[i] = sum / a[i * n + i];
+    }
+    return x;
+}
+
+}  // namespace
+
+SavitzkyGolayFilter::SavitzkyGolayFilter(std::size_t window,
+                                         std::size_t poly_order)
+    : window_{window}, order_{poly_order} {
+    if (window % 2 == 0 || window < 3) {
+        throw std::invalid_argument{"SavitzkyGolay: window must be odd and >= 3"};
+    }
+    if (poly_order >= window) {
+        throw std::invalid_argument{"SavitzkyGolay: poly_order must be < window"};
+    }
+
+    const std::size_t m = order_ + 1;
+    const auto half = static_cast<double>((window_ - 1) / 2);
+
+    // Build the normal-equation matrix S = V^T V once, where V is the
+    // Vandermonde matrix over in-window offsets t = -half .. +half.
+    std::vector<double> vtv(m * m, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = 0; c < m; ++c) {
+            double sum = 0.0;
+            for (std::size_t j = 0; j < window_; ++j) {
+                const double t = static_cast<double>(j) - half;
+                sum += std::pow(t, static_cast<double>(r + c));
+            }
+            vtv[r * m + c] = sum;
+        }
+    }
+
+    // For each evaluation position p, the smoothing weight on sample j is
+    // sum_k (S^-1 V^T)[k][j] * t_p^k. We get the k-th row effects by
+    // solving S x = V^T e_j for every j.
+    coeffs_.assign(window_, std::vector<double>(window_, 0.0));
+    for (std::size_t j = 0; j < window_; ++j) {
+        const double tj = static_cast<double>(j) - half;
+        std::vector<double> rhs(m, 0.0);
+        for (std::size_t k = 0; k < m; ++k) {
+            rhs[k] = std::pow(tj, static_cast<double>(k));
+        }
+        const std::vector<double> beta_j = solve_linear(vtv, rhs, m);
+        // beta_j[k] is d(coef_k)/d(y_j). Fitted value at position p:
+        // yhat(t_p) = sum_k coef_k t_p^k, so weight(p, j) = sum_k beta_j[k] t_p^k.
+        for (std::size_t p = 0; p < window_; ++p) {
+            const double tp = static_cast<double>(p) - half;
+            double w = 0.0;
+            double power = 1.0;
+            for (std::size_t k = 0; k < m; ++k) {
+                w += beta_j[k] * power;
+                power *= tp;
+            }
+            coeffs_[p][j] = w;
+        }
+    }
+}
+
+std::vector<double> SavitzkyGolayFilter::smooth(
+    std::span<const double> series) const {
+    const std::size_t n = series.size();
+    if (n < window_) {
+        return {series.begin(), series.end()};
+    }
+    const std::size_t half = (window_ - 1) / 2;
+    std::vector<double> out(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Clamp the window inside the series; evaluate the fit at the
+        // position of i within that window.
+        std::size_t start = 0;
+        if (i > half) start = i - half;
+        if (start + window_ > n) start = n - window_;
+        const std::size_t pos = i - start;
+        double acc = 0.0;
+        for (std::size_t j = 0; j < window_; ++j) {
+            acc += coeffs_[pos][j] * series[start + j];
+        }
+        out[i] = acc;
+    }
+    return out;
+}
+
+double SavitzkyGolayFilter::smooth_last(std::span<const double> series) const {
+    const std::size_t n = series.size();
+    if (n == 0) return 0.0;
+    if (n < window_) return series[n - 1];
+    const std::size_t start = n - window_;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < window_; ++j) {
+        acc += coeffs_[window_ - 1][j] * series[start + j];
+    }
+    return acc;
+}
+
+}  // namespace spider::util

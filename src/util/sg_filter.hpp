@@ -1,0 +1,48 @@
+#pragma once
+
+// Savitzky-Golay smoothing filter (Savitzky & Golay, 1964).
+//
+// The paper's Accuracy Monitor (Section 4.3, Eq. 6) smooths the raw
+// per-epoch accuracy series with a Savitzky-Golay filter before computing
+// the average accuracy growth rate. This implementation derives the
+// convolution coefficients from the least-squares polynomial fit, and
+// handles series edges by fitting the polynomial over the nearest full
+// window and evaluating it at the edge position (the standard treatment).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spider::util {
+
+class SavitzkyGolayFilter {
+public:
+    /// @param window  Odd window length, > poly_order.
+    /// @param poly_order  Degree of the fitted polynomial (typically 2-3).
+    SavitzkyGolayFilter(std::size_t window, std::size_t poly_order);
+
+    [[nodiscard]] std::size_t window() const { return window_; }
+    [[nodiscard]] std::size_t poly_order() const { return order_; }
+
+    /// Central-point convolution coefficients (for inspection/tests).
+    [[nodiscard]] std::span<const double> center_coefficients() const {
+        return coeffs_[(window_ - 1) / 2];
+    }
+
+    /// Smooths a full series. Series shorter than the window are returned
+    /// unchanged (nothing to fit against).
+    [[nodiscard]] std::vector<double> smooth(std::span<const double> series) const;
+
+    /// Smoothed value of the most recent point only, using the trailing
+    /// window; this is what an online monitor needs each epoch.
+    [[nodiscard]] double smooth_last(std::span<const double> series) const;
+
+private:
+    std::size_t window_;
+    std::size_t order_;
+    // coeffs_[p] are the weights for evaluating the fitted polynomial at
+    // in-window position p (p = (window-1)/2 is the centered smoother).
+    std::vector<std::vector<double>> coeffs_;
+};
+
+}  // namespace spider::util

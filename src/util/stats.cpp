@@ -1,0 +1,77 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spider::util {
+
+void RunningStats::add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() {
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+}
+
+double RunningStats::mean() const {
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double RunningStats::variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const {
+    return std::sqrt(variance());
+}
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+    RunningStats stats;
+    for (double x : xs) stats.add(x);
+    return stats.stddev();
+}
+
+double linear_slope(std::span<const double> ys) {
+    const std::size_t n = ys.size();
+    if (n < 2) return 0.0;
+    // Closed form for x = 0..n-1: slope = cov(x, y) / var(x).
+    const double nd = static_cast<double>(n);
+    const double x_mean = (nd - 1.0) / 2.0;
+    const double y_mean = mean(ys);
+    double cov = 0.0;
+    double var_x = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = static_cast<double>(i) - x_mean;
+        cov += dx * (ys[i] - y_mean);
+        var_x += dx * dx;
+    }
+    return cov / var_x;
+}
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_{capacity} {
+    if (capacity == 0) {
+        throw std::invalid_argument{"SlidingWindow: capacity must be > 0"};
+    }
+    values_.reserve(capacity);
+}
+
+void SlidingWindow::push(double x) {
+    if (values_.size() == capacity_) {
+        values_.erase(values_.begin());
+    }
+    values_.push_back(x);
+}
+
+}  // namespace spider::util

@@ -1,0 +1,59 @@
+#pragma once
+
+// Lightweight statistics helpers used by the Elastic Cache Manager
+// (importance-score standard deviation, slope of a time series) and by the
+// metrics layer.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace spider::util {
+
+/// Single-pass mean/variance accumulator (Welford).
+class RunningStats {
+public:
+    void add(double x);
+    void reset();
+
+    [[nodiscard]] std::size_t count() const { return count_; }
+    [[nodiscard]] double mean() const;
+    /// Population variance; 0 when fewer than two observations.
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Least-squares slope of y against x = 0, 1, 2, ... Returns 0 for fewer
+/// than two points. Used by the Importance Monitor to detect when the
+/// score-spread trend turns negative (Eq. 5 in the paper).
+[[nodiscard]] double linear_slope(std::span<const double> ys);
+
+/// Fixed-capacity sliding window over a scalar time series. The Elastic
+/// Cache Manager watches the recent window of score-stddev values and of
+/// smoothed accuracy values. Capacities are small (~10), so eviction by
+/// front-erase is fine and keeps storage contiguous for span access.
+class SlidingWindow {
+public:
+    explicit SlidingWindow(std::size_t capacity);
+
+    void push(double x);
+    [[nodiscard]] std::size_t size() const { return values_.size(); }
+    [[nodiscard]] bool full() const { return values_.size() == capacity_; }
+    [[nodiscard]] std::span<const double> values() const { return values_; }
+    [[nodiscard]] double slope() const { return linear_slope(values_); }
+    [[nodiscard]] double back() const { return values_.back(); }
+
+private:
+    std::size_t capacity_;
+    std::vector<double> values_;
+};
+
+}  // namespace spider::util

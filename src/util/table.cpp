@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace spider::util {
+
+Table::Table(std::string title) : title_{std::move(title)} {}
+
+Table& Table::set_header(std::vector<std::string> columns) {
+    header_ = std::move(columns);
+    return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+std::string Table::fmt(double value, int precision) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+void Table::print(std::ostream& os) const {
+    // Column widths = max over header + all rows.
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+        if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            widths[i] = std::max(widths[i], cells[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    auto print_rule = [&] {
+        os << '+';
+        for (std::size_t w : widths) {
+            os << std::string(w + 2, '-') << '+';
+        }
+        os << '\n';
+    };
+    auto print_cells = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+            os << ' ' << cell << std::string(widths[i] - cell.size() + 1, ' ')
+               << '|';
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty()) {
+        os << "== " << title_ << " ==\n";
+    }
+    print_rule();
+    if (!header_.empty()) {
+        print_cells(header_);
+        print_rule();
+    }
+    for (const auto& row : rows_) {
+        print_cells(row);
+    }
+    print_rule();
+}
+
+void Table::write_csv(std::ostream& os) const {
+    auto write_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0) os << ',';
+            os << cells[i];
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) write_row(header_);
+    for (const auto& row : rows_) write_row(row);
+}
+
+SeriesWriter::SeriesWriter(std::ostream& os) : os_{os} {}
+
+void SeriesWriter::emit(const std::string& series, double x, double y) {
+    os_ << series << ',' << x << ',' << y << '\n';
+}
+
+}  // namespace spider::util

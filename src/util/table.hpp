@@ -1,0 +1,46 @@
+#pragma once
+
+// Aligned ASCII table and CSV emitters. Every bench binary prints its
+// table/figure in the same layout the paper uses, via this helper.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spider::util {
+
+class Table {
+public:
+    explicit Table(std::string title = {});
+
+    Table& set_header(std::vector<std::string> columns);
+    Table& add_row(std::vector<std::string> cells);
+
+    /// Formats a double with the given precision (helper for callers).
+    [[nodiscard]] static std::string fmt(double value, int precision = 2);
+
+    /// Renders with box-drawing separators and right-padded columns.
+    void print(std::ostream& os) const;
+
+    /// Renders as CSV (header row first) — machine-readable sibling of
+    /// print(), for plotting the figures.
+    void write_csv(std::ostream& os) const;
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Emits a named data series as "name,x,y" CSV lines — the format the
+/// figure benches use so each paper figure can be re-plotted.
+class SeriesWriter {
+public:
+    explicit SeriesWriter(std::ostream& os);
+    void emit(const std::string& series, double x, double y);
+
+private:
+    std::ostream& os_;
+};
+
+}  // namespace spider::util

@@ -1,0 +1,54 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace spider::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+    if (num_threads == 0) {
+        throw std::invalid_argument{"ThreadPool: need at least one thread"};
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard lock{mutex_};
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock{mutex_};
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty()) return;
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        futures.push_back(submit([&fn, i] { fn(i); }));
+    }
+    for (auto& f : futures) {
+        f.get();
+    }
+}
+
+}  // namespace spider::util

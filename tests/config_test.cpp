@@ -1,0 +1,167 @@
+// Config parsing and SimConfig translation tests: INI syntax (sections,
+// comments, inline comments), typed getters with strict conversion, the
+// full schema round trip, and typo rejection.
+
+#include <gtest/gtest.h>
+
+#include "sim/config_io.hpp"
+#include "util/config.hpp"
+
+namespace spider::util {
+namespace {
+
+TEST(Config, ParsesKeysSectionsAndComments) {
+    const Config config = Config::parse_string(R"(
+# full-line comment
+top = 1
+[section]
+key = hello world   ; inline comment
+other = 2.5         # another inline
+; commented = out
+[deep]
+flag = true
+)");
+    EXPECT_EQ(config.size(), 4U);
+    EXPECT_EQ(config.get_string("top"), "1");
+    EXPECT_EQ(config.get_string("section.key"), "hello world");
+    EXPECT_DOUBLE_EQ(config.get_double("section.other", 0.0), 2.5);
+    EXPECT_TRUE(config.get_bool("deep.flag", false));
+    EXPECT_FALSE(config.contains("commented"));
+}
+
+TEST(Config, TypedGettersAndDefaults) {
+    const Config config = Config::parse_string("a = 7\nb = yes\nc = -1.5\n");
+    EXPECT_EQ(config.get_int("a", 0), 7);
+    EXPECT_EQ(config.get_int("missing", 42), 42);
+    EXPECT_TRUE(config.get_bool("b", false));
+    EXPECT_FALSE(config.get_bool("missing", false));
+    EXPECT_DOUBLE_EQ(config.get_double("c", 0.0), -1.5);
+    EXPECT_EQ(config.get_string("missing", "dflt"), "dflt");
+    EXPECT_THROW(config.get_string("missing"), std::out_of_range);
+}
+
+TEST(Config, StrictConversionErrors) {
+    const Config config = Config::parse_string("x = 12abc\nflag = maybe\n");
+    EXPECT_THROW(config.get_int("x", 0), std::invalid_argument);
+    EXPECT_THROW(config.get_double("x", 0.0), std::invalid_argument);
+    EXPECT_THROW(config.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(Config, MalformedLinesRejected) {
+    EXPECT_THROW(Config::parse_string("just a line\n"), std::invalid_argument);
+    EXPECT_THROW(Config::parse_string("[unterminated\n"), std::invalid_argument);
+    EXPECT_THROW(Config::parse_string("= value\n"), std::invalid_argument);
+}
+
+TEST(Config, MissingFileThrows) {
+    EXPECT_THROW(Config::load_file("/no/such/file.ini"), std::invalid_argument);
+}
+
+TEST(Config, SetOverrides) {
+    Config config = Config::parse_string("a = 1\n");
+    config.set("a", "2");
+    config.set("b.c", "3");
+    EXPECT_EQ(config.get_int("a", 0), 2);
+    EXPECT_EQ(config.get_int("b.c", 0), 3);
+}
+
+}  // namespace
+}  // namespace spider::util
+
+namespace spider::sim {
+namespace {
+
+TEST(ConfigIo, StrategyAndModelParsers) {
+    EXPECT_EQ(strategy_from_string("spider"), StrategyKind::kSpider);
+    EXPECT_EQ(strategy_from_string("SPIDER-IMP"), StrategyKind::kSpiderImp);
+    EXPECT_EQ(strategy_from_string("shade"), StrategyKind::kShade);
+    EXPECT_EQ(strategy_from_string("baseline"), StrategyKind::kBaselineLru);
+    EXPECT_THROW(strategy_from_string("nonsense"), std::invalid_argument);
+
+    EXPECT_EQ(model_from_string("ResNet50"), nn::ModelKind::kResNet50);
+    EXPECT_EQ(model_from_string("vgg16"), nn::ModelKind::kVgg16);
+    EXPECT_THROW(model_from_string("lenet"), std::invalid_argument);
+}
+
+TEST(ConfigIo, FullSchemaTranslation) {
+    const util::Config ini = util::Config::parse_string(R"(
+[dataset]
+preset = cifar100
+scale = 0.02
+seed = 9
+imbalance = 3.0
+[model]
+name = vgg16
+[run]
+strategy = shade
+epochs = 7
+batch_size = 64
+cache_fraction = 0.33
+num_gpus = 2
+record_trace = true
+[storage]
+latency_ms = 3.25
+ssd_enabled = true
+ssd_items = 123
+[scorer]
+lambda = 1.5
+neighbor_k = 16
+[sampler]
+floor = 0.2
+[elastic]
+r_end = 0.7
+[optimizer]
+lr = 0.01
+)");
+    const SimConfig config = sim_config_from(ini);
+    EXPECT_EQ(config.dataset.name, "CIFAR-100");
+    EXPECT_EQ(config.dataset.num_samples, 1000U);  // 0.02 * 50k
+    EXPECT_DOUBLE_EQ(config.dataset.imbalance_factor, 3.0);
+    EXPECT_EQ(config.model.name, "Vgg16");
+    EXPECT_EQ(config.strategy, StrategyKind::kShade);
+    EXPECT_EQ(config.epochs, 7U);
+    EXPECT_EQ(config.batch_size, 64U);
+    EXPECT_DOUBLE_EQ(config.cache_fraction, 0.33);
+    EXPECT_EQ(config.num_gpus, 2U);
+    EXPECT_TRUE(config.record_trace);
+    EXPECT_NEAR(storage::to_ms(config.remote.latency_per_sample), 3.25, 1e-9);
+    EXPECT_TRUE(config.ssd.enabled);
+    EXPECT_EQ(config.ssd.capacity_items, 123U);
+    EXPECT_DOUBLE_EQ(config.scorer.lambda, 1.5);
+    EXPECT_EQ(config.scorer.neighbor_k, 16U);
+    EXPECT_DOUBLE_EQ(config.spider_sampler_floor, 0.2);
+    EXPECT_DOUBLE_EQ(config.elastic.r_end, 0.7);
+    EXPECT_FLOAT_EQ(config.sgd.learning_rate, 0.01F);
+}
+
+TEST(ConfigIo, DefaultsWhenEmpty) {
+    const SimConfig config = sim_config_from(util::Config{});
+    EXPECT_EQ(config.dataset.name, "CIFAR-10");
+    EXPECT_EQ(config.strategy, StrategyKind::kSpider);
+    EXPECT_EQ(config.epochs, 30U);
+    EXPECT_FALSE(config.ssd.enabled);
+}
+
+TEST(ConfigIo, UnknownKeysRejected) {
+    const util::Config ini =
+        util::Config::parse_string("run.stragety = spider\n");  // typo
+    EXPECT_THROW(sim_config_from(ini), std::invalid_argument);
+}
+
+TEST(ConfigIo, BadPresetRejected) {
+    const util::Config ini =
+        util::Config::parse_string("dataset.preset = mnist\n");
+    EXPECT_THROW(sim_config_from(ini), std::invalid_argument);
+}
+
+TEST(ConfigIo, ShippedExampleConfigParses) {
+    // The checked-in example must always stay valid.
+    const SimConfig config =
+        sim_config_from(util::Config::load_file(SPIDER_SOURCE_DIR
+                                                "/configs/example.ini"));
+    EXPECT_EQ(config.strategy, StrategyKind::kSpider);
+    EXPECT_EQ(config.epochs, 24U);
+}
+
+}  // namespace
+}  // namespace spider::sim

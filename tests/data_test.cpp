@@ -1,0 +1,237 @@
+// Synthetic dataset tests: determinism, state fractions, geometric
+// properties of each difficulty state, duplicates, long-tail imbalance,
+// batch gathering, and the preset sanity.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "data/dataset.hpp"
+#include "data/presets.hpp"
+#include "tensor/ops.hpp"
+
+namespace spider::data {
+namespace {
+
+DatasetSpec small_spec() {
+    DatasetSpec spec;
+    spec.num_samples = 2000;
+    spec.num_classes = 5;
+    spec.feature_dim = 16;
+    spec.class_separation = 1.0;
+    spec.boundary_fraction = 0.2;
+    spec.isolated_fraction = 0.05;
+    spec.mislabeled_fraction = 0.05;
+    spec.duplicate_fraction = 0.1;
+    spec.test_samples = 300;
+    spec.seed = 99;
+    return spec;
+}
+
+TEST(Dataset, DeterministicForSameSeed) {
+    const SyntheticDataset a{small_spec()};
+    const SyntheticDataset b{small_spec()};
+    ASSERT_EQ(a.size(), b.size());
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.sample(i).label, b.sample(i).label);
+        EXPECT_EQ(a.sample(i).features, b.sample(i).features);
+    }
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+    DatasetSpec spec_b = small_spec();
+    spec_b.seed = 100;
+    const SyntheticDataset a{small_spec()};
+    const SyntheticDataset b{spec_b};
+    int identical = 0;
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        identical += a.sample(i).features == b.sample(i).features ? 1 : 0;
+    }
+    EXPECT_LT(identical, 5);
+}
+
+TEST(Dataset, StateFractionsApproximatelyRespected) {
+    const SyntheticDataset ds{small_spec()};
+    const double n = static_cast<double>(ds.size());
+    EXPECT_NEAR(ds.count_state(SampleState::kBoundary) / n, 0.2, 0.04);
+    EXPECT_NEAR(ds.count_state(SampleState::kIsolated) / n, 0.05, 0.02);
+    EXPECT_NEAR(ds.count_state(SampleState::kMislabeled) / n, 0.05, 0.02);
+    // Duplicates may fall back to core early on, so allow a wider band.
+    EXPECT_NEAR(ds.count_state(SampleState::kDuplicate) / n, 0.1, 0.04);
+}
+
+TEST(Dataset, MislabeledSamplesHaveWrongLabel) {
+    const SyntheticDataset ds{small_spec()};
+    for (std::uint32_t i = 0; i < ds.size(); ++i) {
+        const Sample& s = ds.sample(i);
+        if (s.state == SampleState::kMislabeled) {
+            EXPECT_NE(s.label, s.true_class);
+        } else {
+            EXPECT_EQ(s.label, s.true_class);
+        }
+    }
+}
+
+TEST(Dataset, CoreSamplesNearCentroid) {
+    const SyntheticDataset ds{small_spec()};
+    const double dim = 16.0;
+    // E||x - c||^2 = dim * stddev^2 for core samples.
+    for (std::uint32_t i = 0; i < ds.size(); ++i) {
+        const Sample& s = ds.sample(i);
+        if (s.state != SampleState::kCore) continue;
+        const float dist =
+            tensor::l2_distance(s.features, ds.centroid(s.true_class));
+        EXPECT_LT(dist, std::sqrt(dim) * 3.0) << "sample " << i;
+    }
+}
+
+TEST(Dataset, IsolatedSamplesFartherThanCore) {
+    const SyntheticDataset ds{small_spec()};
+    double core_mean = 0.0;
+    double isolated_mean = 0.0;
+    std::size_t cores = 0;
+    std::size_t isolates = 0;
+    for (std::uint32_t i = 0; i < ds.size(); ++i) {
+        const Sample& s = ds.sample(i);
+        const float dist =
+            tensor::l2_distance(s.features, ds.centroid(s.true_class));
+        if (s.state == SampleState::kCore) {
+            core_mean += dist;
+            ++cores;
+        } else if (s.state == SampleState::kIsolated) {
+            isolated_mean += dist;
+            ++isolates;
+        }
+    }
+    ASSERT_GT(cores, 0U);
+    ASSERT_GT(isolates, 0U);
+    EXPECT_GT(isolated_mean / isolates, core_mean / cores * 1.3);
+}
+
+TEST(Dataset, DuplicatesAreNearTheirDonor) {
+    const SyntheticDataset ds{small_spec()};
+    std::size_t checked = 0;
+    for (std::uint32_t i = 0; i < ds.size(); ++i) {
+        const Sample& s = ds.sample(i);
+        if (s.state != SampleState::kDuplicate) continue;
+        ASSERT_NE(s.duplicate_of, s.id);
+        const Sample& donor = ds.sample(s.duplicate_of);
+        EXPECT_EQ(s.label, donor.label);
+        const float dist = tensor::l2_distance(s.features, donor.features);
+        // Jitter 0.05 stddev over 16 dims: distance ~ 0.05*sqrt(16) = 0.2.
+        EXPECT_LT(dist, 1.0);
+        ++checked;
+    }
+    EXPECT_GT(checked, 50U);
+}
+
+TEST(Dataset, GatherBuildsRowsInOrder) {
+    const SyntheticDataset ds{small_spec()};
+    const std::vector<std::uint32_t> ids = {5, 3, 5, 100};
+    const tensor::Matrix batch = ds.gather_features(ids);
+    ASSERT_EQ(batch.rows(), 4U);
+    ASSERT_EQ(batch.cols(), ds.feature_dim());
+    for (std::size_t r = 0; r < ids.size(); ++r) {
+        const Sample& s = ds.sample(ids[r]);
+        for (std::size_t d = 0; d < ds.feature_dim(); ++d) {
+            EXPECT_FLOAT_EQ(batch.at(r, d), s.features[d]);
+        }
+    }
+    const auto labels = ds.gather_labels(ids);
+    EXPECT_EQ(labels[0], ds.sample(5).label);
+    EXPECT_EQ(labels[3], ds.sample(100).label);
+}
+
+TEST(Dataset, AugmentedGatherPerturbsButStaysClose) {
+    const SyntheticDataset ds{small_spec()};
+    util::Rng rng{1};
+    const std::vector<std::uint32_t> ids = {0, 1, 2};
+    const tensor::Matrix clean = ds.gather_features(ids);
+    const tensor::Matrix aug = ds.gather_features_augmented(ids, rng);
+    double total_shift = 0.0;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        total_shift += std::abs(aug.flat()[i] - clean.flat()[i]);
+    }
+    EXPECT_GT(total_shift, 0.0);  // actually perturbed
+    EXPECT_LT(total_shift / static_cast<double>(clean.size()),
+              1.0);  // but gently
+}
+
+TEST(Dataset, TestSplitShapesAndLabels) {
+    const SyntheticDataset ds{small_spec()};
+    EXPECT_EQ(ds.test_features().rows(), 300U);
+    EXPECT_EQ(ds.test_features().cols(), 16U);
+    EXPECT_EQ(ds.test_labels().size(), 300U);
+    for (std::uint32_t label : ds.test_labels()) {
+        EXPECT_LT(label, 5U);
+    }
+}
+
+TEST(Dataset, ImbalanceProducesLongTail) {
+    DatasetSpec spec = small_spec();
+    spec.imbalance_factor = 10.0;
+    spec.num_samples = 5000;
+    const SyntheticDataset ds{spec};
+    std::map<std::uint32_t, std::size_t> counts;
+    for (std::uint32_t i = 0; i < ds.size(); ++i) {
+        ++counts[ds.sample(i).true_class];
+    }
+    ASSERT_EQ(counts.size(), 5U);
+    // Head class at least 4x the tail class (10x nominal, sampling noise).
+    EXPECT_GT(static_cast<double>(counts[0]),
+              4.0 * static_cast<double>(counts[4]));
+}
+
+TEST(Dataset, RejectsDegenerateSpecs) {
+    DatasetSpec one_class = small_spec();
+    one_class.num_classes = 1;
+    EXPECT_THROW(SyntheticDataset{one_class}, std::invalid_argument);
+
+    DatasetSpec overfull = small_spec();
+    overfull.boundary_fraction = 0.9;
+    overfull.duplicate_fraction = 0.2;
+    EXPECT_THROW(SyntheticDataset{overfull}, std::invalid_argument);
+}
+
+TEST(Dataset, OutOfRangeAccessThrows) {
+    const SyntheticDataset ds{small_spec()};
+    EXPECT_THROW(ds.sample(static_cast<std::uint32_t>(ds.size())),
+                 std::out_of_range);
+    EXPECT_THROW(ds.centroid(99), std::out_of_range);
+}
+
+TEST(Presets, ShapesMatchPaperDatasets) {
+    const DatasetSpec c10 = cifar10_like(0.1);
+    EXPECT_EQ(c10.num_classes, 10U);
+    EXPECT_EQ(c10.num_samples, 5000U);
+    EXPECT_EQ(c10.bytes_per_sample, 3U * 1024U);
+
+    const DatasetSpec c100 = cifar100_like(0.1);
+    EXPECT_EQ(c100.num_classes, 100U);
+    // Finer task: centroids closer than CIFAR-10's.
+    EXPECT_LT(c100.class_separation, c10.class_separation);
+
+    const DatasetSpec imagenet = imagenet_like(0.016);
+    EXPECT_GT(imagenet.num_samples, 3 * c10.num_samples);
+    EXPECT_GT(imagenet.bytes_per_sample, 30 * c10.bytes_per_sample);
+}
+
+TEST(Presets, ScaleFloorsPreventDegenerateSets) {
+    const DatasetSpec tiny = cifar10_like(0.0001);
+    EXPECT_GE(tiny.num_samples, 500U);
+    const SyntheticDataset ds{tiny};  // must construct fine
+    EXPECT_EQ(ds.num_classes(), 10U);
+}
+
+TEST(SampleState, NamesAreStable) {
+    EXPECT_STREQ(to_string(SampleState::kCore), "core");
+    EXPECT_STREQ(to_string(SampleState::kBoundary), "boundary");
+    EXPECT_STREQ(to_string(SampleState::kIsolated), "isolated");
+    EXPECT_STREQ(to_string(SampleState::kMislabeled), "mislabeled");
+    EXPECT_STREQ(to_string(SampleState::kDuplicate), "duplicate");
+}
+
+}  // namespace
+}  // namespace spider::data

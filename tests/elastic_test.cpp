@@ -1,0 +1,174 @@
+// Elastic Cache Manager tests: Eq. 5 activation latching on the
+// score-stddev slope, Eq. 6/7 penalty from smoothed accuracy growth, and
+// the Eq. 8 schedule including its endpoints and the u -> {0,1} limit
+// behaviour of Figure 11.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/elastic.hpp"
+#include "util/rng.hpp"
+
+namespace spider::core {
+namespace {
+
+ElasticConfig fast_config() {
+    ElasticConfig config;
+    config.r_start = 0.9;
+    config.r_end = 0.8;
+    config.slope_window = 3;
+    config.delta_window = 3;
+    config.sg_window = 5;
+    config.sg_poly_order = 2;
+    config.gamma = 0.01;
+    return config;
+}
+
+TEST(Elastic, RatioStaysAtStartBeforeActivation) {
+    ElasticCacheManager manager{fast_config()};
+    // Rising stddev: spread still growing, beta = 0 (Eq. 5).
+    double ratio = 0.0;
+    for (std::size_t epoch = 0; epoch < 10; ++epoch) {
+        ratio = manager.on_epoch(0.1 + 0.01 * static_cast<double>(epoch), 0.5,
+                                 epoch, 100);
+        EXPECT_FALSE(manager.activated());
+    }
+    EXPECT_DOUBLE_EQ(ratio, 0.9);
+}
+
+TEST(Elastic, ActivatesWhenStdSlopeTurnsNegative) {
+    ElasticCacheManager manager{fast_config()};
+    manager.on_epoch(0.10, 0.5, 0, 100);
+    manager.on_epoch(0.12, 0.5, 1, 100);
+    manager.on_epoch(0.14, 0.5, 2, 100);
+    EXPECT_FALSE(manager.activated());
+    manager.on_epoch(0.12, 0.5, 3, 100);
+    manager.on_epoch(0.10, 0.5, 4, 100);
+    manager.on_epoch(0.08, 0.5, 5, 100);
+    EXPECT_TRUE(manager.activated());
+}
+
+TEST(Elastic, ActivationLatches) {
+    ElasticCacheManager manager{fast_config()};
+    for (double std_val : {0.3, 0.2, 0.1}) {
+        manager.on_epoch(std_val, 0.5, 0, 100);
+    }
+    ASSERT_TRUE(manager.activated());
+    // Spread rising again must not deactivate.
+    for (double std_val : {0.2, 0.3, 0.4}) {
+        manager.on_epoch(std_val, 0.5, 1, 100);
+    }
+    EXPECT_TRUE(manager.activated());
+}
+
+TEST(Elastic, ReachesREndAtFinalEpoch) {
+    ElasticCacheManager manager{fast_config()};
+    const std::size_t total = 50;
+    double ratio = 0.9;
+    for (std::size_t epoch = 0; epoch < total; ++epoch) {
+        // Monotonically decreasing spread activates immediately; flat
+        // accuracy keeps the penalty at zero (fastest schedule).
+        ratio = manager.on_epoch(1.0 / (1.0 + static_cast<double>(epoch)), 0.5,
+                                 epoch, total);
+    }
+    EXPECT_NEAR(ratio, 0.8, 1e-9);
+}
+
+TEST(Elastic, PenaltyNearOneWhileAccuracyClimbs) {
+    ElasticConfig config = fast_config();
+    config.gamma = 0.001;
+    ElasticCacheManager manager{config};
+    double accuracy = 0.1;
+    for (std::size_t epoch = 0; epoch < 12; ++epoch) {
+        accuracy += 0.05;  // fast growth
+        manager.on_epoch(0.5 - 0.01 * static_cast<double>(epoch), accuracy,
+                         epoch, 100);
+    }
+    EXPECT_GT(manager.penalty(), 0.9);
+}
+
+TEST(Elastic, PenaltyNearZeroWhenAccuracyPlateaus) {
+    ElasticCacheManager manager{fast_config()};
+    for (std::size_t epoch = 0; epoch < 15; ++epoch) {
+        manager.on_epoch(0.5 - 0.01 * static_cast<double>(epoch), 0.75, epoch,
+                         100);
+    }
+    EXPECT_LT(manager.penalty(), 0.05);
+}
+
+TEST(Elastic, NegativeGrowthClampedToZeroPenalty) {
+    ElasticCacheManager manager{fast_config()};
+    double accuracy = 0.9;
+    for (std::size_t epoch = 0; epoch < 12; ++epoch) {
+        accuracy -= 0.02;  // degrading accuracy
+        manager.on_epoch(0.5, accuracy, epoch, 100);
+    }
+    EXPECT_DOUBLE_EQ(manager.penalty(), 0.0);
+}
+
+TEST(Elastic, HighPenaltySlowsEarlySchedule) {
+    // Figure 11: with u -> 1 the curve is below the u -> 0 curve at the
+    // same mid-schedule epoch (slower early movement).
+    auto run = [](double accuracy_step) {
+        ElasticConfig config = fast_config();
+        config.gamma = 0.005;
+        ElasticCacheManager manager{config};
+        double accuracy = 0.1;
+        double ratio = 0.9;
+        for (std::size_t epoch = 0; epoch < 50; ++epoch) {
+            accuracy += accuracy_step;
+            ratio = manager.on_epoch(1.0 / (1.0 + static_cast<double>(epoch)),
+                                     accuracy, epoch, 100);
+        }
+        return ratio;
+    };
+    const double fast_growth_ratio = run(0.05);   // u ~ 1: slow shift
+    const double plateau_ratio = run(0.0);        // u ~ 0: fast shift
+    EXPECT_GT(fast_growth_ratio, plateau_ratio);
+}
+
+TEST(Elastic, SmoothedAccuracyTracksNoisyInput) {
+    ElasticCacheManager manager{fast_config()};
+    util::Rng rng{5};
+    for (std::size_t epoch = 0; epoch < 30; ++epoch) {
+        const double truth = 0.5 + 0.01 * static_cast<double>(epoch);
+        manager.on_epoch(0.5, truth + rng.normal(0.0, 0.05), epoch, 100);
+    }
+    EXPECT_NEAR(manager.smoothed_accuracy(), 0.5 + 0.01 * 29, 0.05);
+}
+
+TEST(Elastic, Eq8ClosedFormAtMidpoint) {
+    // With beta latched from epoch 0 and penalty 0, ratio at t/T = 0.5 is
+    // r_start - (r_start - r_end) * 0.5.
+    ElasticConfig config = fast_config();
+    ElasticCacheManager manager{config};
+    const std::size_t total = 101;  // T = 100
+    double ratio = 0.0;
+    for (std::size_t epoch = 0; epoch <= 50; ++epoch) {
+        ratio = manager.on_epoch(1.0 / (1.0 + static_cast<double>(epoch)), 0.5,
+                                 epoch, total);
+    }
+    EXPECT_NEAR(ratio, 0.9 - 0.1 * 0.5, 1e-6);
+}
+
+TEST(Elastic, RejectsInvalidConfig) {
+    ElasticConfig inverted = fast_config();
+    inverted.r_start = 0.5;
+    inverted.r_end = 0.9;
+    EXPECT_THROW(ElasticCacheManager{inverted}, std::invalid_argument);
+
+    ElasticConfig bad_gamma = fast_config();
+    bad_gamma.gamma = 0.0;
+    EXPECT_THROW(ElasticCacheManager{bad_gamma}, std::invalid_argument);
+}
+
+TEST(Elastic, SingleEpochRunStaysAtStart) {
+    ElasticCacheManager manager{fast_config()};
+    const double ratio = manager.on_epoch(0.5, 0.5, 0, 1);
+    EXPECT_DOUBLE_EQ(ratio, 0.9);
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -1,0 +1,195 @@
+// Cross-module integration tests: a hand-written training loop driving the
+// SpiderCache public API against a real dataset/model (the loop users of
+// the library write, independent of the simulator), plus end-to-end
+// properties that span sampler + scorer + cache + elastic manager.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/spider_cache.hpp"
+#include "data/presets.hpp"
+#include "nn/mlp_classifier.hpp"
+#include "sim/simulator.hpp"
+#include "storage/remote_store.hpp"
+
+namespace spider {
+namespace {
+
+TEST(Integration, ManualTrainingLoopWithSpiderCache) {
+    // The quickstart loop, written out by hand.
+    data::DatasetSpec spec = data::cifar10_like(0.02, 11);
+    const data::SyntheticDataset dataset{spec};
+    storage::RemoteStore remote{dataset, storage::RemoteStoreConfig{}};
+
+    nn::MlpConfig mlp;
+    mlp.input_dim = dataset.feature_dim();
+    mlp.hidden_dims = {48, 24};
+    mlp.num_classes = dataset.num_classes();
+    mlp.seed = 3;
+    nn::MlpClassifier model{mlp};
+
+    core::SpiderCacheConfig sc;
+    sc.dataset_size = dataset.size();
+    sc.label_of = [&dataset](std::uint32_t id) { return dataset.label_of(id); };
+    sc.cache_items = dataset.size() / 5;
+    sc.embedding_dim = 24;
+    sc.total_epochs = 6;
+    core::SpiderCache spider{sc};
+
+    const std::size_t batch = 64;
+    std::vector<double> hit_ratio_per_epoch;
+    double accuracy = 0.0;
+    for (std::size_t epoch = 0; epoch < 6; ++epoch) {
+        const auto order = spider.epoch_order();
+        std::size_t hits = 0;
+        for (std::size_t start = 0; start < order.size(); start += batch) {
+            const std::size_t count = std::min(batch, order.size() - start);
+            std::vector<std::uint32_t> served(count);
+            for (std::size_t i = 0; i < count; ++i) {
+                const auto lookup = spider.lookup(order[start + i]);
+                if (lookup.kind == cache::HitKind::kMiss) {
+                    remote.fetch(order[start + i]);
+                    spider.on_miss_fetched(order[start + i]);
+                    served[i] = order[start + i];
+                } else {
+                    ++hits;
+                    served[i] = lookup.served_id;
+                }
+            }
+            const tensor::Matrix features = dataset.gather_features(served);
+            const auto labels = dataset.gather_labels(served);
+            const nn::ForwardResult fwd = model.forward(features, labels);
+            model.backward_and_step(labels);
+            spider.observe_batch(served, fwd.embeddings);
+        }
+        hit_ratio_per_epoch.push_back(static_cast<double>(hits) /
+                                      static_cast<double>(order.size()));
+        accuracy = model.evaluate(dataset.test_features(), dataset.test_labels());
+        spider.end_epoch(accuracy);
+    }
+
+    // The model learned and the cache warmed up far beyond its static share.
+    EXPECT_GT(accuracy, 0.4);
+    EXPECT_LT(hit_ratio_per_epoch.front(), hit_ratio_per_epoch.back());
+    EXPECT_GT(hit_ratio_per_epoch.back(), 0.3);
+    EXPECT_GT(remote.total_fetches(), 0U);
+}
+
+TEST(Integration, PipelinedIsMatchesSerialScores) {
+    // Running the IS stage through the pipelined executor (one batch of
+    // slack) must produce exactly the same final scores as running it
+    // inline — the paper's claim that the overlap does not change results.
+    data::DatasetSpec spec = data::cifar10_like(0.01, 13);
+    const data::SyntheticDataset dataset{spec};
+
+    auto run = [&](bool pipelined) {
+        nn::MlpConfig mlp;
+        mlp.input_dim = dataset.feature_dim();
+        mlp.hidden_dims = {32, 16};
+        mlp.num_classes = dataset.num_classes();
+        mlp.seed = 4;
+        nn::MlpClassifier model{mlp};
+
+        core::SpiderCacheConfig sc;
+        sc.dataset_size = dataset.size();
+        sc.label_of = [&dataset](std::uint32_t id) {
+            return dataset.label_of(id);
+        };
+        sc.cache_items = dataset.size() / 5;
+        sc.embedding_dim = 16;
+        core::SpiderCache spider{sc};
+        core::PipelinedIsExecutor executor;
+
+        const std::size_t batch = 50;
+        std::vector<std::uint32_t> order(dataset.size());
+        for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+
+        for (std::size_t start = 0; start < order.size(); start += batch) {
+            const std::size_t count = std::min(batch, order.size() - start);
+            const std::vector<std::uint32_t> ids{
+                order.begin() + static_cast<std::ptrdiff_t>(start),
+                order.begin() + static_cast<std::ptrdiff_t>(start + count)};
+            const tensor::Matrix features = dataset.gather_features(ids);
+            const auto labels = dataset.gather_labels(ids);
+            const nn::ForwardResult fwd = model.forward(features, labels);
+            model.backward_and_step(labels);
+            if (pipelined) {
+                // Copy the embeddings into the task: batch k's IS runs
+                // while batch k+1 is being loaded/trained.
+                executor.submit([&spider, ids, embeddings = fwd.embeddings] {
+                    spider.observe_batch(ids, embeddings);
+                });
+            } else {
+                spider.observe_batch(ids, fwd.embeddings);
+            }
+        }
+        executor.drain();
+        return std::vector<double>{spider.scores().begin(),
+                                   spider.scores().end()};
+    };
+
+    const auto serial = run(false);
+    const auto pipelined = run(true);
+    ASSERT_EQ(serial.size(), pipelined.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_DOUBLE_EQ(serial[i], pipelined[i]) << "sample " << i;
+    }
+}
+
+TEST(Integration, ScoreSpreadRisesThenFalls) {
+    // Figure 6(c): the stddev of importance scores grows during early
+    // training (samples diverge) and shrinks as the model converges.
+    sim::SimConfig config;
+    config.dataset = data::cifar10_like(0.04, 17);
+    config.strategy = sim::StrategyKind::kSpider;
+    config.epochs = 25;
+    config.batch_size = 128;
+    config.seed = 9;
+    sim::TrainingSimulator simulator{config};
+    const auto result = simulator.run();
+
+    std::vector<double> spread;
+    for (const auto& epoch : result.epochs) spread.push_back(epoch.score_std);
+    const std::size_t peak =
+        std::max_element(spread.begin(), spread.end()) - spread.begin();
+    // Peak in the interior: rises first, falls later.
+    EXPECT_GT(peak, 0U);
+    EXPECT_LT(peak, spread.size() - 1);
+    EXPECT_GT(spread[peak], spread.front());
+    EXPECT_GT(spread[peak], spread.back());
+}
+
+TEST(Integration, ElasticShiftsCapacityTowardHomophilyLate) {
+    sim::SimConfig config;
+    config.dataset = data::cifar10_like(0.04, 19);
+    config.strategy = sim::StrategyKind::kSpider;
+    config.epochs = 20;
+    config.seed = 21;
+    config.elastic.r_start = 0.9;
+    config.elastic.r_end = 0.7;
+    sim::TrainingSimulator simulator{config};
+    const auto result = simulator.run();
+    EXPECT_LT(result.epochs.back().imp_ratio, 0.9);
+    EXPECT_GE(result.epochs.back().imp_ratio, 0.7 - 1e-9);
+}
+
+TEST(Integration, HomophilySectionContributesHits) {
+    sim::SimConfig config;
+    config.dataset = data::cifar10_like(0.04, 23);
+    config.strategy = sim::StrategyKind::kSpider;
+    config.epochs = 12;
+    config.seed = 25;
+    const auto result = sim::TrainingSimulator{config}.run();
+    std::uint64_t homophily_hits = 0;
+    for (const auto& epoch : result.epochs) {
+        homophily_hits += epoch.homophily_hits;
+        EXPECT_EQ(epoch.substitutions, 0U);  // SpiderCache never substitutes
+    }
+    EXPECT_GT(homophily_hits, 0U);
+}
+
+}  // namespace
+}  // namespace spider

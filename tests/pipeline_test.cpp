@@ -1,0 +1,165 @@
+// Pipelined IS executor tests: real-thread overlap semantics (one batch of
+// slack, ordering, stall counting, exception propagation) and the virtual
+// batch-time model for the serial / Fig. 12(a) / Fig. 12(b) schedules.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace spider::core {
+namespace {
+
+TEST(PipelinedExecutor, RunsSubmittedTasks) {
+    PipelinedIsExecutor executor;
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 10; ++i) {
+        executor.submit([&counter] { ++counter; });
+    }
+    executor.drain();
+    EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(PipelinedExecutor, TasksExecuteInSubmissionOrder) {
+    PipelinedIsExecutor executor;
+    std::vector<int> order;
+    std::mutex mutex;
+    for (int i = 0; i < 20; ++i) {
+        executor.submit([&, i] {
+            const std::lock_guard lock{mutex};
+            order.push_back(i);
+        });
+    }
+    executor.drain();
+    ASSERT_EQ(order.size(), 20U);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(PipelinedExecutor, OverlapsWithCallerWork) {
+    // While the IS task sleeps, the caller keeps working: total wall time
+    // must be well below the serial sum.
+    PipelinedIsExecutor executor;
+    const auto start = std::chrono::steady_clock::now();
+    static constexpr auto kTask = std::chrono::milliseconds{50};
+    executor.submit([] { std::this_thread::sleep_for(kTask); });
+    std::this_thread::sleep_for(kTask);  // caller's "Stage2"
+    executor.drain();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, kTask * 2);  // overlapped, not serialized
+}
+
+TEST(PipelinedExecutor, CountsStallsWhenIsIsBottleneck) {
+    PipelinedIsExecutor executor;
+    for (int i = 0; i < 4; ++i) {
+        executor.submit(
+            [] { std::this_thread::sleep_for(std::chrono::milliseconds{20}); });
+    }
+    executor.drain();
+    // Back-to-back submissions against slow tasks must have stalled.
+    EXPECT_GE(executor.stalls(), 2U);
+}
+
+TEST(PipelinedExecutor, NoStallsWhenCallerIsSlower) {
+    PipelinedIsExecutor executor;
+    for (int i = 0; i < 4; ++i) {
+        executor.submit([] {});
+        std::this_thread::sleep_for(std::chrono::milliseconds{10});
+    }
+    executor.drain();
+    EXPECT_EQ(executor.stalls(), 0U);
+}
+
+TEST(PipelinedExecutor, PropagatesTaskExceptions) {
+    PipelinedIsExecutor executor;
+    executor.submit([] { throw std::runtime_error{"is stage failed"}; });
+    // The failure surfaces at the next interaction with the pipeline.
+    EXPECT_THROW(
+        {
+            executor.submit([] {});
+            executor.drain();
+        },
+        std::runtime_error);
+}
+
+TEST(PipelinedExecutor, DrainIsIdempotent) {
+    PipelinedIsExecutor executor;
+    executor.submit([] {});
+    executor.drain();
+    executor.drain();  // second drain: no pending task, no crash
+    SUCCEED();
+}
+
+// ------------------------------------------------------ batch-time model
+
+TEST(BatchTime, NoIsIsJustStages) {
+    const auto t = pipelined_batch_time(40.0, 30.0, 16.0, false,
+                                        /*is_enabled=*/false, true);
+    EXPECT_NEAR(storage::to_ms(t), 70.0, 1e-9);
+}
+
+TEST(BatchTime, SerialAddsFullIsCost) {
+    const auto t = pipelined_batch_time(40.0, 30.0, 16.0, false, true,
+                                        /*pipelined=*/false);
+    EXPECT_NEAR(storage::to_ms(t), 86.0, 1e-9);
+}
+
+TEST(BatchTime, Fig12aHidesShortIsBehindStage2) {
+    // IS (16ms) < Stage2 (30ms): fully hidden.
+    const auto hidden = pipelined_batch_time(40.0, 30.0, 16.0, false, true, true);
+    EXPECT_NEAR(storage::to_ms(hidden), 70.0, 1e-9);
+    // IS (35ms) > Stage2 (30ms): IS becomes the critical path of the tail.
+    const auto exposed = pipelined_batch_time(40.0, 30.0, 35.0, false, true, true);
+    EXPECT_NEAR(storage::to_ms(exposed), 75.0, 1e-9);
+}
+
+TEST(BatchTime, Fig12bHidesLongIsBehindStage2AndNextStage1) {
+    // AlexNet-like: IS 35 <= Stage1+Stage2 = 90 -> fully hidden.
+    const auto hidden = pipelined_batch_time(62.0, 28.0, 35.0, true, true, true);
+    EXPECT_NEAR(storage::to_ms(hidden), 90.0, 1e-9);
+    // Pathological IS longer than the whole cycle: IS dominates.
+    const auto dominated =
+        pipelined_batch_time(10.0, 10.0, 50.0, true, true, true);
+    EXPECT_NEAR(storage::to_ms(dominated), 50.0, 1e-9);
+}
+
+TEST(BatchTime, ProfileOverloadMatchesRawForm) {
+    const nn::ModelProfile profile = nn::make_profile(nn::ModelKind::kResNet18);
+    const double stage1 = 40.0;
+    const auto via_profile = pipelined_batch_time(profile, stage1, true, true);
+    const auto via_raw =
+        pipelined_batch_time(stage1, profile.backward_ms, profile.is_ms,
+                             profile.long_is_pipeline, true, true);
+    EXPECT_EQ(via_profile, via_raw);
+}
+
+TEST(BatchTime, PipelineNeverSlowerThanSerial) {
+    for (double stage1 : {10.0, 40.0, 80.0}) {
+        for (double stage2 : {5.0, 30.0}) {
+            for (double is : {4.0, 20.0, 60.0}) {
+                for (bool long_is : {false, true}) {
+                    const auto pipelined =
+                        pipelined_batch_time(stage1, stage2, is, long_is, true,
+                                             true);
+                    const auto serial = pipelined_batch_time(
+                        stage1, stage2, is, long_is, true, false);
+                    EXPECT_LE(pipelined, serial)
+                        << stage1 << "/" << stage2 << "/" << is;
+                    // And never faster than the IS-free lower bound.
+                    const auto floor = pipelined_batch_time(
+                        stage1, stage2, is, long_is, false, true);
+                    EXPECT_GE(pipelined, floor);
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -1,0 +1,207 @@
+// Product Quantization tests: training/encoding round trips, quantization
+// error behaviour as codebook resolution grows, asymmetric distance
+// accuracy, the precomputed-table fast path, and the Table-2 index-size
+// model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ann/index_size.hpp"
+#include "ann/pq.hpp"
+#include "util/rng.hpp"
+
+namespace spider::ann {
+namespace {
+
+std::vector<float> clustered_vectors(util::Rng& rng, std::size_t count,
+                                     std::size_t dim, std::size_t clusters) {
+    std::vector<float> data(count * dim);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double center = static_cast<double>(i % clusters) * 4.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            data[i * dim + d] = static_cast<float>(rng.normal(center, 1.0));
+        }
+    }
+    return data;
+}
+
+TEST(Pq, RejectsBadConfig) {
+    PqConfig bad;
+    bad.dim = 10;
+    bad.num_subspaces = 3;  // does not divide
+    EXPECT_THROW(ProductQuantizer{bad}, std::invalid_argument);
+
+    PqConfig big_codebook;
+    big_codebook.codebook_size = 300;  // > 1 byte
+    EXPECT_THROW(ProductQuantizer{big_codebook}, std::invalid_argument);
+}
+
+TEST(Pq, EncodeBeforeTrainThrows) {
+    PqConfig config;
+    config.dim = 8;
+    config.num_subspaces = 2;
+    ProductQuantizer pq{config};
+    EXPECT_THROW(pq.encode(std::vector<float>(8, 0.0F)), std::logic_error);
+    EXPECT_THROW(pq.decode(std::vector<std::uint8_t>(2, 0)), std::logic_error);
+}
+
+TEST(Pq, CodeSizeMatchesSubspaces) {
+    PqConfig config;
+    config.dim = 16;
+    config.num_subspaces = 4;
+    config.codebook_size = 16;
+    ProductQuantizer pq{config};
+    util::Rng rng{3};
+    const auto data = clustered_vectors(rng, 200, 16, 4);
+    pq.train(data, 200);
+    const auto code = pq.encode(std::span<const float>{data.data(), 16});
+    EXPECT_EQ(code.size(), 4U);
+    EXPECT_EQ(pq.code_bytes(), 4U);
+    for (std::uint8_t c : code) EXPECT_LT(c, 16);
+}
+
+TEST(Pq, ReconstructionBetterThanZeroBaseline) {
+    PqConfig config;
+    config.dim = 16;
+    config.num_subspaces = 4;
+    config.codebook_size = 64;
+    ProductQuantizer pq{config};
+    util::Rng rng{5};
+    const auto data = clustered_vectors(rng, 500, 16, 4);
+    pq.train(data, 500);
+
+    const double mse = pq.reconstruction_mse(data, 500);
+    // Baseline: predicting zero has MSE ~= E[x^2] (clusters at 0,4,8,12 →
+    // large). PQ must be at least 5x better.
+    double zero_mse = 0.0;
+    for (float x : data) zero_mse += static_cast<double>(x) * x;
+    zero_mse /= static_cast<double>(data.size());
+    EXPECT_LT(mse, zero_mse / 5.0);
+}
+
+TEST(Pq, MoreCentroidsReduceError) {
+    util::Rng rng{7};
+    const auto data = clustered_vectors(rng, 600, 16, 6);
+    double previous = 1e30;
+    for (std::size_t k : {4, 16, 64}) {
+        PqConfig config;
+        config.dim = 16;
+        config.num_subspaces = 4;
+        config.codebook_size = k;
+        ProductQuantizer pq{config};
+        pq.train(data, 600);
+        const double mse = pq.reconstruction_mse(data, 600);
+        EXPECT_LT(mse, previous) << "k=" << k;
+        previous = mse;
+    }
+}
+
+TEST(Pq, AdcDistanceApproximatesTrueDistance) {
+    PqConfig config;
+    config.dim = 8;
+    config.num_subspaces = 4;
+    config.codebook_size = 128;
+    ProductQuantizer pq{config};
+    util::Rng rng{11};
+    const auto data = clustered_vectors(rng, 400, 8, 3);
+    pq.train(data, 400);
+
+    // ADC distance to an encoded vector should approximate the exact
+    // squared distance within the quantization error scale.
+    const std::span<const float> query{data.data(), 8};
+    double total_rel_error = 0.0;
+    int counted = 0;
+    for (std::size_t i = 1; i < 50; ++i) {
+        const std::span<const float> target{data.data() + i * 8, 8};
+        float exact = 0.0F;
+        for (std::size_t d = 0; d < 8; ++d) {
+            const float diff = query[d] - target[d];
+            exact += diff * diff;
+        }
+        if (exact < 1.0F) continue;  // relative error unstable near zero
+        const auto code = pq.encode(target);
+        const float adc = pq.adc_distance(query, code);
+        total_rel_error += std::abs(adc - exact) / exact;
+        ++counted;
+    }
+    ASSERT_GT(counted, 10);
+    EXPECT_LT(total_rel_error / counted, 0.25);
+}
+
+TEST(Pq, TableDistanceMatchesAdc) {
+    PqConfig config;
+    config.dim = 8;
+    config.num_subspaces = 2;
+    config.codebook_size = 32;
+    ProductQuantizer pq{config};
+    util::Rng rng{13};
+    const auto data = clustered_vectors(rng, 300, 8, 3);
+    pq.train(data, 300);
+
+    const std::span<const float> query{data.data(), 8};
+    const auto table = pq.build_distance_table(query);
+    EXPECT_EQ(table.size(), 2U * 32U);
+    for (std::size_t i = 0; i < 20; ++i) {
+        const std::span<const float> target{data.data() + i * 8, 8};
+        const auto code = pq.encode(target);
+        EXPECT_NEAR(pq.table_distance(table, code), pq.adc_distance(query, code),
+                    1e-4);
+    }
+}
+
+TEST(Pq, TrainHandlesFewerVectorsThanCentroids) {
+    PqConfig config;
+    config.dim = 4;
+    config.num_subspaces = 2;
+    config.codebook_size = 256;
+    ProductQuantizer pq{config};
+    util::Rng rng{17};
+    const auto data = clustered_vectors(rng, 10, 4, 2);
+    pq.train(data, 10);  // count << codebook_size must not crash
+    const auto code = pq.encode(std::span<const float>{data.data(), 4});
+    const auto decoded = pq.decode(code);
+    EXPECT_EQ(decoded.size(), 4U);
+}
+
+// --------------------------------------------------------- index size model
+
+TEST(IndexSizeModel, PerVectorBudgetNearPaperValue) {
+    const IndexSizeModel model;
+    // Paper Table 2 works out to ~110 bytes per indexed image across six
+    // dataset scales.
+    EXPECT_GT(model.bytes_per_vector(), 90.0);
+    EXPECT_LT(model.bytes_per_vector(), 130.0);
+}
+
+TEST(IndexSizeModel, ImageNetRowMatchesPaperScale) {
+    const IndexSizeModel model;
+    // Paper: ImageNet-1K -> ~134 MB index, >1000x compression of 138 GB.
+    const double bytes = model.index_bytes(1.2e6);
+    const double mb = bytes / (1024.0 * 1024.0);
+    EXPECT_GT(mb, 100.0);
+    EXPECT_LT(mb, 170.0);
+    const double compression = 138.0 * 1024.0 / mb;
+    EXPECT_GT(compression, 800.0);
+}
+
+TEST(IndexSizeModel, Table2HasSixDatasets) {
+    const auto& datasets = table2_datasets();
+    ASSERT_EQ(datasets.size(), 6U);
+    EXPECT_EQ(datasets.front().name, "ImageNet-1K");
+    EXPECT_EQ(datasets.back().name, "LAION-5B");
+    // Monotone image counts.
+    for (std::size_t i = 1; i < datasets.size(); ++i) {
+        EXPECT_GT(datasets[i].image_count, datasets[i - 1].image_count);
+    }
+}
+
+TEST(IndexSizeModel, FormatBytesHumanReadable) {
+    EXPECT_EQ(format_bytes(512.0), "512 B");
+    EXPECT_EQ(format_bytes(1024.0), "1 KB");
+    EXPECT_EQ(format_bytes(1.5 * 1024 * 1024 * 1024), "1.5 GB");
+}
+
+}  // namespace
+}  // namespace spider::ann

@@ -1,0 +1,271 @@
+// Sampler tests: uniform permutation behaviour, graph-IS multinomial
+// proportionality and floor coverage, SHADE rank-weight mechanics (and the
+// within-batch-only comparability the paper criticizes), and the
+// compute-bound sampler's selective-backprop mask and H/L split.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/samplers.hpp"
+
+namespace spider::core {
+namespace {
+
+TEST(UniformSampler, EveryEpochIsAPermutation) {
+    UniformSampler sampler{100, util::Rng{1}};
+    for (std::size_t epoch = 0; epoch < 3; ++epoch) {
+        std::vector<std::uint32_t> order = sampler.epoch_order(epoch);
+        ASSERT_EQ(order.size(), 100U);
+        std::sort(order.begin(), order.end());
+        for (std::uint32_t i = 0; i < 100; ++i) {
+            EXPECT_EQ(order[i], i);
+        }
+    }
+}
+
+TEST(UniformSampler, OrdersDifferAcrossEpochs) {
+    UniformSampler sampler{50, util::Rng{2}};
+    const auto a = sampler.epoch_order(0);
+    const auto b = sampler.epoch_order(1);
+    EXPECT_NE(a, b);
+}
+
+TEST(GraphIsSampler, DrawsProportionalToScores) {
+    std::vector<double> scores = {0.1, 0.1, 0.1, 0.7};
+    GraphIsSampler sampler{scores, util::Rng{3}, /*uniform_floor=*/0.0};
+    std::map<std::uint32_t, int> counts;
+    for (int rep = 0; rep < 300; ++rep) {
+        for (std::uint32_t id : sampler.epoch_order(0)) {
+            ++counts[id];
+        }
+    }
+    const double total = 300.0 * 4.0;
+    EXPECT_NEAR(counts[3] / total, 0.7, 0.03);
+    EXPECT_NEAR(counts[0] / total, 0.1, 0.03);
+}
+
+TEST(GraphIsSampler, UniformBeforeAnyScores) {
+    // All-zero scores: the floor term alone drives the draw -> uniform.
+    std::vector<double> scores(10, 0.0);
+    GraphIsSampler sampler{scores, util::Rng{5}, 0.1};
+    std::map<std::uint32_t, int> counts;
+    for (int rep = 0; rep < 500; ++rep) {
+        for (std::uint32_t id : sampler.epoch_order(0)) {
+            ++counts[id];
+        }
+    }
+    for (const auto& [id, count] : counts) {
+        EXPECT_NEAR(count / 5000.0, 0.1, 0.02) << "id " << id;
+    }
+}
+
+TEST(GraphIsSampler, ZeroFloorWithNoScoresFallsBackToUniform) {
+    // Before any scores exist, floor = 0 must not crash the alias table.
+    std::vector<double> scores(20, 0.0);
+    GraphIsSampler sampler{scores, util::Rng{99}, /*uniform_floor=*/0.0};
+    const auto order = sampler.epoch_order(0);
+    EXPECT_EQ(order.size(), 20U);
+    for (std::uint32_t id : order) {
+        EXPECT_LT(id, 20U);
+    }
+}
+
+TEST(GraphIsSampler, FloorKeepsZeroScoreSamplesReachable) {
+    std::vector<double> scores = {0.0, 1.0};
+    GraphIsSampler sampler{scores, util::Rng{7}, 0.2};
+    int zero_draws = 0;
+    for (int rep = 0; rep < 200; ++rep) {
+        for (std::uint32_t id : sampler.epoch_order(0)) {
+            zero_draws += id == 0 ? 1 : 0;
+        }
+    }
+    EXPECT_GT(zero_draws, 10);  // floor mass keeps id 0 alive
+}
+
+TEST(GraphIsSampler, LiveViewTracksScoreUpdates) {
+    std::vector<double> scores = {1.0, 0.0};
+    GraphIsSampler sampler{scores, util::Rng{9}, 0.0};
+    scores[0] = 0.0;
+    scores[1] = 1.0;  // flip the mass; the sampler sees the same memory
+    const auto order = sampler.epoch_order(0);
+    const std::size_t ones =
+        static_cast<std::size_t>(std::count(order.begin(), order.end(), 1U));
+    EXPECT_EQ(ones, order.size());
+}
+
+TEST(GraphIsSampler, ImportanceOfReflectsScores) {
+    std::vector<double> scores = {0.25, 0.5};
+    GraphIsSampler sampler{scores, util::Rng{11}};
+    EXPECT_DOUBLE_EQ(sampler.importance_of(0), 0.25);
+    EXPECT_DOUBLE_EQ(sampler.importance_of(1), 0.5);
+    EXPECT_DOUBLE_EQ(sampler.importance_of(999), 0.0);
+}
+
+TEST(GraphIsSampler, RejectsEmptyScores) {
+    std::vector<double> empty;
+    EXPECT_THROW((GraphIsSampler{empty, util::Rng{1}}), std::invalid_argument);
+}
+
+TEST(ShadeSampler, InitialWeightsUniform) {
+    ShadeSampler sampler{100, util::Rng{13}};
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(sampler.importance_of(i), 1.0);
+    }
+}
+
+TEST(ShadeSampler, RanksAssignedWithinBatch) {
+    ShadeSampler sampler{10, util::Rng{17}};
+    const std::vector<std::uint32_t> ids = {0, 1, 2, 3};
+    const std::vector<double> losses = {0.5, 2.0, 0.1, 1.0};
+    sampler.observe_losses(ids, losses);
+    // Highest loss -> rank 4/4 = 1.0; lowest -> 1/4.
+    EXPECT_DOUBLE_EQ(sampler.importance_of(1), 1.0);
+    EXPECT_DOUBLE_EQ(sampler.importance_of(2), 0.25);
+    EXPECT_DOUBLE_EQ(sampler.importance_of(0), 0.5);
+    EXPECT_DOUBLE_EQ(sampler.importance_of(3), 0.75);
+}
+
+TEST(ShadeSampler, RanksNotComparableAcrossBatches) {
+    // The paper's Motivation 1: a batch of easy samples still spreads the
+    // full rank range, so an easy sample can outrank a hard one from a
+    // different batch.
+    ShadeSampler sampler{10, util::Rng{19}};
+    sampler.observe_losses(std::vector<std::uint32_t>{0, 1},
+                           std::vector<double>{5.0, 4.0});  // both hard
+    sampler.observe_losses(std::vector<std::uint32_t>{2, 3},
+                           std::vector<double>{0.2, 0.1});  // both easy
+    // Sample 2 (loss 0.2) gets rank weight 1.0 — higher than sample 1
+    // (loss 4.0, weight 0.5) despite being 20x easier.
+    EXPECT_GT(sampler.importance_of(2), sampler.importance_of(1));
+}
+
+TEST(ShadeSampler, SamplesWithReplacementFollowWeights) {
+    ShadeSampler sampler{4, util::Rng{23}};
+    sampler.observe_losses(std::vector<std::uint32_t>{0, 1, 2, 3},
+                           std::vector<double>{0.1, 0.2, 0.3, 10.0});
+    std::map<std::uint32_t, int> counts;
+    for (int rep = 0; rep < 500; ++rep) {
+        for (std::uint32_t id : sampler.epoch_order(0)) {
+            ++counts[id];
+        }
+    }
+    // Weights are 0.25, 0.5, 0.75, 1.0 -> sample 3 drawn most.
+    EXPECT_GT(counts[3], counts[0]);
+    EXPECT_GT(counts[3], counts[1]);
+}
+
+TEST(ComputeBoundSampler, UniformDataOrder) {
+    ComputeBoundSampler sampler{50, util::Rng{29}};
+    std::vector<std::uint32_t> order = sampler.epoch_order(0);
+    ASSERT_EQ(order.size(), 50U);
+    std::sort(order.begin(), order.end());
+    for (std::uint32_t i = 0; i < 50; ++i) {
+        EXPECT_EQ(order[i], i);  // permutation: I/O unchanged by design
+    }
+}
+
+namespace {
+/// Feeds enough loss observations to pass the selective-backprop warmup.
+void finish_warmup(ComputeBoundSampler& sampler, std::size_t dataset_size) {
+    std::vector<std::uint32_t> ids(dataset_size);
+    std::iota(ids.begin(), ids.end(), 0U);
+    const std::vector<double> losses(dataset_size, 1.0);
+    sampler.observe_losses(ids, losses);
+    sampler.observe_losses(ids, losses);
+}
+}  // namespace
+
+TEST(ComputeBoundSampler, NoMaskDuringWarmup) {
+    ComputeBoundSampler sampler{100, util::Rng{31}, 0.5};
+    const std::vector<std::uint32_t> ids = {0, 1, 2, 3};
+    const std::vector<double> losses = {0.1, 0.9, 0.5, 0.7};
+    EXPECT_TRUE(sampler.train_mask(ids, losses).empty());
+}
+
+TEST(ComputeBoundSampler, MaskKeepsRoughlyTheTargetFraction) {
+    ComputeBoundSampler sampler{10, util::Rng{31}, /*keep_fraction=*/0.5};
+    finish_warmup(sampler, 10);
+    util::Rng rng{1};
+    const std::size_t batch = 128;
+    std::size_t trained = 0;
+    std::size_t total = 0;
+    std::size_t high_trained = 0;  // the max-loss row
+    std::size_t low_trained = 0;   // the min-loss row
+    const int rounds = 200;
+    for (int round = 0; round < rounds; ++round) {
+        std::vector<std::uint32_t> ids(batch);
+        std::vector<double> losses(batch);
+        for (std::size_t i = 0; i < batch; ++i) {
+            ids[i] = static_cast<std::uint32_t>(i % 10);
+            losses[i] = rng.uniform(0.1, 0.9);
+        }
+        losses[0] = 5.0;    // guaranteed highest
+        losses[1] = 0.001;  // guaranteed lowest
+        const auto mask = sampler.train_mask(ids, losses);
+        ASSERT_EQ(mask.size(), batch);
+        trained += std::count(mask.begin(), mask.end(), std::uint8_t{1});
+        total += mask.size();
+        high_trained += mask[0];
+        low_trained += mask[1];
+    }
+    // Expected fraction ~= keep_fraction (probabilistic percentile rule;
+    // exact mean for rank-based P is (n+1)/(2n) at keep 0.5).
+    EXPECT_NEAR(static_cast<double>(trained) / static_cast<double>(total), 0.5,
+                0.05);
+    // Highest loss trained far more often than lowest.
+    EXPECT_GT(high_trained, low_trained * 5 + 10);
+}
+
+TEST(ComputeBoundSampler, MaskAlwaysKeepsAtLeastOne) {
+    ComputeBoundSampler sampler{10, util::Rng{37}, 0.01};
+    finish_warmup(sampler, 10);
+    const std::vector<std::uint32_t> ids = {0, 1};
+    const std::vector<double> losses = {0.1, 0.2};
+    for (int round = 0; round < 50; ++round) {
+        const auto mask = sampler.train_mask(ids, losses);
+        EXPECT_GE(std::count(mask.begin(), mask.end(), std::uint8_t{1}), 1);
+    }
+}
+
+TEST(ComputeBoundSampler, ImportanceIsRawLastLoss) {
+    ComputeBoundSampler sampler{10, util::Rng{41}};
+    sampler.observe_losses(std::vector<std::uint32_t>{3},
+                           std::vector<double>{2.5});
+    EXPECT_DOUBLE_EQ(sampler.importance_of(3), 2.5);
+    // Raw loss, not rank: a later smaller observation lowers it.
+    sampler.observe_losses(std::vector<std::uint32_t>{3},
+                           std::vector<double>{0.5});
+    EXPECT_DOUBLE_EQ(sampler.importance_of(3), 0.5);
+}
+
+TEST(ComputeBoundSampler, ImportantMeansAboveRunningMean) {
+    ComputeBoundSampler sampler{10, util::Rng{43}};
+    EXPECT_FALSE(sampler.is_important(0));  // nothing observed yet
+    sampler.observe_losses(std::vector<std::uint32_t>{0, 1},
+                           std::vector<double>{10.0, 0.1});
+    EXPECT_TRUE(sampler.is_important(0));
+    EXPECT_FALSE(sampler.is_important(1));
+}
+
+TEST(ComputeBoundSampler, RejectsBadKeepFraction) {
+    EXPECT_THROW((ComputeBoundSampler{10, util::Rng{1}, 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW((ComputeBoundSampler{10, util::Rng{1}, 1.5}),
+                 std::invalid_argument);
+}
+
+TEST(Samplers, NamesAreStable) {
+    std::vector<double> scores(3, 1.0);
+    EXPECT_EQ(UniformSampler(3, util::Rng{1}).name(), "Uniform");
+    EXPECT_EQ((GraphIsSampler{scores, util::Rng{1}}).name(), "SpiderCache");
+    EXPECT_EQ((ShadeSampler{3, util::Rng{1}}).name(), "SHADE");
+    EXPECT_EQ((ComputeBoundSampler{3, util::Rng{1}}).name(), "iCache-IS");
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -1,0 +1,117 @@
+// SSD tier tests: enable/disable semantics, LRU write-back behaviour,
+// batch read-cost model, and end-to-end effect inside the simulator (an
+// SSD tier absorbs remote fetches and shortens epochs for every strategy).
+
+#include <gtest/gtest.h>
+
+#include "data/presets.hpp"
+#include "sim/simulator.hpp"
+#include "storage/ssd_tier.hpp"
+
+namespace spider::storage {
+namespace {
+
+TEST(SsdTier, DisabledTierAlwaysMisses) {
+    SsdTier tier{SsdTierConfig{}};  // enabled = false
+    EXPECT_FALSE(tier.enabled());
+    tier.insert(1);
+    EXPECT_FALSE(tier.fetch(1));
+    EXPECT_EQ(tier.resident_items(), 0U);
+}
+
+TEST(SsdTier, WriteBackThenHit) {
+    SsdTierConfig config;
+    config.enabled = true;
+    config.capacity_items = 10;
+    SsdTier tier{config};
+    EXPECT_FALSE(tier.fetch(5));
+    tier.insert(5);
+    EXPECT_TRUE(tier.fetch(5));
+    EXPECT_EQ(tier.hits(), 1U);
+    EXPECT_EQ(tier.misses(), 1U);
+}
+
+TEST(SsdTier, LruEvictionWithinBudget) {
+    SsdTierConfig config;
+    config.enabled = true;
+    config.capacity_items = 2;
+    SsdTier tier{config};
+    tier.insert(1);
+    tier.insert(2);
+    EXPECT_TRUE(tier.fetch(1));  // bump 1
+    tier.insert(3);              // evicts 2
+    EXPECT_TRUE(tier.fetch(1));
+    EXPECT_FALSE(tier.fetch(2));
+    EXPECT_TRUE(tier.fetch(3));
+    EXPECT_EQ(tier.resident_items(), 2U);
+}
+
+TEST(SsdTier, UnboundedCapacityNeverEvicts) {
+    SsdTierConfig config;
+    config.enabled = true;
+    config.capacity_items = 0;  // CoorDL append-only model
+    SsdTier tier{config};
+    for (std::uint32_t i = 0; i < 10000; ++i) {
+        tier.insert(i);
+    }
+    EXPECT_EQ(tier.resident_items(), 10000U);
+    EXPECT_TRUE(tier.fetch(0));
+}
+
+TEST(SsdTier, BatchReadCostModel) {
+    SsdTierConfig config;
+    config.enabled = true;
+    config.read_latency = from_ms(0.1);
+    SsdTier tier{config};
+    EXPECT_EQ(tier.batch_read_cost(0, 4), SimDuration::zero());
+    // 8 reads over 4 lanes = 2 rounds.
+    EXPECT_NEAR(to_ms(tier.batch_read_cost(8, 4)), 0.2, 1e-9);
+    EXPECT_NEAR(to_ms(tier.batch_read_cost(9, 4)), 0.3, 1e-9);
+}
+
+TEST(SsdTier, SimulatorAbsorbsRemoteFetches) {
+    sim::SimConfig without;
+    without.dataset = data::cifar10_like(0.02, 41);
+    without.strategy = sim::StrategyKind::kBaselineLru;
+    without.epochs = 5;
+    without.seed = 17;
+
+    sim::SimConfig with = without;
+    with.ssd.enabled = true;
+    with.ssd.capacity_items = 0;  // hold everything after first touch
+
+    const metrics::RunResult cold = sim::TrainingSimulator{without}.run();
+    const metrics::RunResult tiered = sim::TrainingSimulator{with}.run();
+
+    std::uint64_t ssd_hits = 0;
+    for (const auto& epoch : tiered.epochs) ssd_hits += epoch.ssd_hits;
+    EXPECT_GT(ssd_hits, 0U);
+    // From epoch 2 on, nearly every miss is an SSD hit; the run is much
+    // faster than paying remote latency each epoch.
+    EXPECT_LT(tiered.total_time, cold.total_time / 2);
+    // Accuracy identical: the tier changes timing, not data.
+    EXPECT_DOUBLE_EQ(tiered.final_accuracy, cold.final_accuracy);
+    for (const auto& epoch : cold.epochs) {
+        EXPECT_EQ(epoch.ssd_hits, 0U);
+    }
+}
+
+TEST(SsdTier, SpiderStillBenefitsOnTopOfSsd) {
+    // Even with an SSD absorbing remote fetches, SpiderCache's in-memory
+    // hits avoid the SSD reads entirely.
+    auto run = [](sim::StrategyKind strategy) {
+        sim::SimConfig config;
+        config.dataset = data::cifar10_like(0.02, 43);
+        config.strategy = strategy;
+        config.epochs = 6;
+        config.ssd.enabled = true;
+        config.ssd.capacity_items = 0;
+        return sim::TrainingSimulator{config}.run();
+    };
+    const auto baseline = run(sim::StrategyKind::kBaselineLru);
+    const auto spider = run(sim::StrategyKind::kSpider);
+    EXPECT_LT(spider.total_time, baseline.total_time);
+}
+
+}  // namespace
+}  // namespace spider::storage

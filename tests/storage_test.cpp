@@ -1,0 +1,156 @@
+// Storage substrate tests: virtual clock arithmetic, remote-store fetch
+// cost model and counters, and the byte-budgeted cache store.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "storage/cache_store.hpp"
+#include "storage/clock.hpp"
+#include "storage/remote_store.hpp"
+
+namespace spider::storage {
+namespace {
+
+data::DatasetSpec tiny_spec() {
+    data::DatasetSpec spec;
+    spec.num_samples = 100;
+    spec.num_classes = 4;
+    spec.feature_dim = 8;
+    spec.bytes_per_sample = 2048;
+    spec.test_samples = 20;
+    return spec;
+}
+
+TEST(VirtualClock, AdvanceAndConversions) {
+    VirtualClock clock;
+    EXPECT_EQ(clock.now(), SimDuration::zero());
+    clock.advance_ms(1500.0);
+    EXPECT_NEAR(to_ms(clock.now()), 1500.0, 1e-9);
+    EXPECT_NEAR(to_minutes(clock.now()), 0.025, 1e-9);
+    clock.advance(from_ms(500.0));
+    EXPECT_NEAR(to_ms(clock.now()), 2000.0, 1e-9);
+    EXPECT_NEAR(to_hours(from_ms(3600.0 * 1000.0)), 1.0, 1e-12);
+}
+
+TEST(VirtualClock, SyncToOnlyMovesForward) {
+    VirtualClock clock;
+    clock.advance_ms(100.0);
+    clock.sync_to(from_ms(50.0));  // in the past: no-op
+    EXPECT_NEAR(to_ms(clock.now()), 100.0, 1e-9);
+    clock.sync_to(from_ms(250.0));
+    EXPECT_NEAR(to_ms(clock.now()), 250.0, 1e-9);
+    clock.reset();
+    EXPECT_EQ(clock.now(), SimDuration::zero());
+}
+
+TEST(RemoteStore, FetchCostIncludesLatencyAndTransfer) {
+    const data::SyntheticDataset dataset{tiny_spec()};
+    RemoteStoreConfig config;
+    config.latency_per_sample = from_ms(2.0);
+    config.bytes_per_ms = 1024.0;  // 2048 bytes -> 2 ms transfer
+    RemoteStore store{dataset, config};
+    EXPECT_NEAR(to_ms(store.fetch_cost(0)), 4.0, 1e-9);
+}
+
+TEST(RemoteStore, BatchCostDividesAcrossWorkers) {
+    const data::SyntheticDataset dataset{tiny_spec()};
+    RemoteStoreConfig config;
+    config.latency_per_sample = from_ms(1.0);
+    config.bytes_per_ms = 1e12;  // transfer negligible
+    config.parallelism = 4;
+    RemoteStore store{dataset, config};
+    EXPECT_EQ(store.batch_fetch_cost(0), SimDuration::zero());
+    // 8 misses over 4 workers = 2 serial rounds.
+    EXPECT_NEAR(to_ms(store.batch_fetch_cost(8)), 2.0, 1e-9);
+    // 9 misses = 3 rounds (ceiling).
+    EXPECT_NEAR(to_ms(store.batch_fetch_cost(9)), 3.0, 1e-9);
+}
+
+TEST(RemoteStore, CountersTrackFetches) {
+    const data::SyntheticDataset dataset{tiny_spec()};
+    RemoteStore store{dataset, RemoteStoreConfig{}};
+    EXPECT_EQ(store.total_fetches(), 0U);
+    const data::Sample& s = store.fetch(3);
+    EXPECT_EQ(s.id, 3U);
+    store.fetch(4);
+    EXPECT_EQ(store.total_fetches(), 2U);
+    EXPECT_EQ(store.total_bytes(), 2U * 2048U);
+    store.reset_counters();
+    EXPECT_EQ(store.total_fetches(), 0U);
+}
+
+TEST(RemoteStore, ConcurrentFetchesAreCounted) {
+    const data::SyntheticDataset dataset{tiny_spec()};
+    RemoteStore store{dataset, RemoteStoreConfig{}};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&store] {
+            for (std::uint32_t i = 0; i < 100; ++i) {
+                store.fetch(i % 100);
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(store.total_fetches(), 400U);
+}
+
+TEST(CacheStore, CapacityInItems) {
+    CacheStore store{10 * 100, 100};
+    EXPECT_EQ(store.capacity_items(), 10U);
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        EXPECT_TRUE(store.put(i));
+    }
+    EXPECT_FALSE(store.put(10));  // budget exhausted
+    EXPECT_EQ(store.size(), 10U);
+    EXPECT_EQ(store.used_bytes(), 1000U);
+}
+
+TEST(CacheStore, PutEraseLookup) {
+    CacheStore store{1000, 100};
+    EXPECT_TRUE(store.put(1));
+    EXPECT_FALSE(store.put(1));  // duplicate
+    EXPECT_TRUE(store.contains(1));
+    EXPECT_TRUE(store.lookup(1));
+    EXPECT_FALSE(store.lookup(2));
+    EXPECT_EQ(store.hit_count(), 1U);
+    EXPECT_EQ(store.miss_count(), 1U);
+    EXPECT_TRUE(store.erase(1));
+    EXPECT_FALSE(store.erase(1));
+    store.reset_counters();
+    EXPECT_EQ(store.hit_count(), 0U);
+}
+
+TEST(CacheStore, ClearEmptiesStore) {
+    CacheStore store{1000, 10};
+    store.put(1);
+    store.put(2);
+    store.clear();
+    EXPECT_EQ(store.size(), 0U);
+    EXPECT_FALSE(store.contains(1));
+}
+
+TEST(CacheStore, RejectsZeroItemSize) {
+    EXPECT_THROW((CacheStore{100, 0}), std::invalid_argument);
+}
+
+TEST(CacheStore, ThreadSafeUnderContention) {
+    CacheStore store{100000 * 8, 8};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&store, t] {
+            for (std::uint32_t i = 0; i < 1000; ++i) {
+                store.put(static_cast<std::uint32_t>(t) * 1000 + i);
+                store.lookup(i);
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(store.size(), 4000U);
+    EXPECT_EQ(store.hit_count() + store.miss_count(), 4000U);
+}
+
+}  // namespace
+}  // namespace spider::storage

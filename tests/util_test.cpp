@@ -1,0 +1,366 @@
+// Unit and property tests for the util substrate: RNG determinism and
+// statistical sanity, alias sampling correctness, Welford stats, slope
+// estimation, sliding windows, Savitzky-Golay filtering, the thread pool,
+// and the table formatter.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sg_filter.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spider::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a{123};
+    Rng b{123};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a{1};
+    Rng b{2};
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += a.next() == b.next() ? 1 : 0;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng{7};
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+    Rng rng{11};
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng{13};
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(x, -3.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+    Rng rng{17};
+    std::vector<int> counts(7, 0);
+    for (int i = 0; i < 7000; ++i) {
+        ++counts[rng.uniform_index(7)];
+    }
+    for (int c : counts) {
+        EXPECT_GT(c, 700);  // each bucket within ~30% of expectation
+        EXPECT_LT(c, 1300);
+    }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+    Rng rng{19};
+    EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng rng{23};
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i) stats.add(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng parent{31};
+    Rng child = parent.split();
+    // The child stream should not track the parent.
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += parent.next() == child.next() ? 1 : 0;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng{37};
+    std::vector<std::uint32_t> values(100);
+    std::iota(values.begin(), values.end(), 0U);
+    rng.shuffle(values);
+    std::vector<std::uint32_t> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(sorted[i], i);
+    }
+}
+
+TEST(Rng, WeightedChoiceRespectsZeroWeights) {
+    Rng rng{41};
+    const std::vector<double> weights = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(rng.weighted_choice(weights), 1U);
+    }
+}
+
+TEST(Rng, WeightedChoiceThrowsOnAllZero) {
+    Rng rng{43};
+    const std::vector<double> weights = {0.0, 0.0};
+    EXPECT_THROW(rng.weighted_choice(weights), std::invalid_argument);
+}
+
+TEST(AliasSampler, MatchesWeightDistribution) {
+    Rng rng{47};
+    const std::vector<double> weights = {1.0, 2.0, 4.0, 8.0};
+    const AliasSampler alias{weights};
+    std::vector<int> counts(4, 0);
+    const int n = 150000;
+    for (int i = 0; i < n; ++i) ++counts[alias.draw(rng)];
+    const double total = 15.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double expected = weights[i] / total;
+        const double observed = static_cast<double>(counts[i]) / n;
+        EXPECT_NEAR(observed, expected, 0.01) << "bucket " << i;
+    }
+}
+
+TEST(AliasSampler, HandlesZeroWeightEntries) {
+    Rng rng{53};
+    const std::vector<double> weights = {0.0, 5.0, 0.0, 5.0};
+    const AliasSampler alias{weights};
+    for (int i = 0; i < 1000; ++i) {
+        const std::size_t drawn = alias.draw(rng);
+        EXPECT_TRUE(drawn == 1 || drawn == 3);
+    }
+}
+
+TEST(AliasSampler, RejectsEmptyAndNegative) {
+    const std::vector<double> empty;
+    const std::vector<double> negative = {1.0, -1.0};
+    const std::vector<double> zeros = {0.0, 0.0};
+    EXPECT_THROW(AliasSampler{empty}, std::invalid_argument);
+    EXPECT_THROW(AliasSampler{negative}, std::invalid_argument);
+    EXPECT_THROW(AliasSampler{zeros}, std::invalid_argument);
+}
+
+TEST(AliasSampler, DrawManyLengthAndRange) {
+    Rng rng{59};
+    const std::vector<double> weights = {1.0, 1.0, 1.0};
+    const AliasSampler alias{weights};
+    const auto draws = alias.draw_many(rng, 500);
+    ASSERT_EQ(draws.size(), 500U);
+    for (std::uint32_t d : draws) EXPECT_LT(d, 3U);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+    RunningStats stats;
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double x : xs) stats.add(x);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+    RunningStats stats;
+    EXPECT_EQ(stats.mean(), 0.0);
+    EXPECT_EQ(stats.variance(), 0.0);
+    stats.add(42.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+    EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, ResetClears) {
+    RunningStats stats;
+    stats.add(1.0);
+    stats.add(2.0);
+    stats.reset();
+    EXPECT_EQ(stats.count(), 0U);
+    EXPECT_EQ(stats.mean(), 0.0);
+}
+
+TEST(Stats, LinearSlopeExact) {
+    // y = 3x + 1 over x = 0..9.
+    std::vector<double> ys(10);
+    for (int i = 0; i < 10; ++i) ys[i] = 3.0 * i + 1.0;
+    EXPECT_NEAR(linear_slope(ys), 3.0, 1e-12);
+}
+
+TEST(Stats, LinearSlopeOfConstantIsZero) {
+    const std::vector<double> ys(20, 5.0);
+    EXPECT_DOUBLE_EQ(linear_slope(ys), 0.0);
+}
+
+TEST(Stats, LinearSlopeDegenerateInputs) {
+    EXPECT_DOUBLE_EQ(linear_slope({}), 0.0);
+    const std::vector<double> one = {4.0};
+    EXPECT_DOUBLE_EQ(linear_slope(one), 0.0);
+}
+
+TEST(SlidingWindow, EvictsOldest) {
+    SlidingWindow window{3};
+    window.push(1.0);
+    window.push(2.0);
+    window.push(3.0);
+    EXPECT_TRUE(window.full());
+    window.push(4.0);
+    ASSERT_EQ(window.size(), 3U);
+    EXPECT_DOUBLE_EQ(window.values()[0], 2.0);
+    EXPECT_DOUBLE_EQ(window.back(), 4.0);
+}
+
+TEST(SlidingWindow, SlopeTracksTrend) {
+    SlidingWindow window{4};
+    for (double x : {1.0, 2.0, 3.0, 4.0}) window.push(x);
+    EXPECT_GT(window.slope(), 0.0);
+    for (double x : {3.0, 2.0, 1.0, 0.0}) window.push(x);
+    EXPECT_LT(window.slope(), 0.0);
+}
+
+TEST(SlidingWindow, RejectsZeroCapacity) {
+    EXPECT_THROW(SlidingWindow{0}, std::invalid_argument);
+}
+
+TEST(SavitzkyGolay, PreservesPolynomialUpToOrder) {
+    // A filter of order p reproduces degree-<=p polynomials exactly.
+    const SavitzkyGolayFilter filter{7, 2};
+    std::vector<double> quadratic(40);
+    for (int i = 0; i < 40; ++i) {
+        quadratic[i] = 0.5 * i * i - 3.0 * i + 2.0;
+    }
+    const std::vector<double> smoothed = filter.smooth(quadratic);
+    ASSERT_EQ(smoothed.size(), quadratic.size());
+    for (std::size_t i = 0; i < quadratic.size(); ++i) {
+        EXPECT_NEAR(smoothed[i], quadratic[i], 1e-6) << "index " << i;
+    }
+}
+
+TEST(SavitzkyGolay, CenterCoefficientsMatchKnownValues) {
+    // Classic 5-point quadratic smoother: (-3, 12, 17, 12, -3) / 35.
+    const SavitzkyGolayFilter filter{5, 2};
+    const auto coeffs = filter.center_coefficients();
+    ASSERT_EQ(coeffs.size(), 5U);
+    const double expected[5] = {-3.0 / 35, 12.0 / 35, 17.0 / 35, 12.0 / 35,
+                                -3.0 / 35};
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_NEAR(coeffs[i], expected[i], 1e-9);
+    }
+}
+
+TEST(SavitzkyGolay, ReducesNoiseVariance) {
+    Rng rng{61};
+    std::vector<double> noisy(200);
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+        noisy[i] = std::sin(0.05 * static_cast<double>(i)) + rng.normal(0, 0.3);
+    }
+    const SavitzkyGolayFilter filter{9, 2};
+    const std::vector<double> smoothed = filter.smooth(noisy);
+    double noisy_error = 0.0;
+    double smooth_error = 0.0;
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+        const double truth = std::sin(0.05 * static_cast<double>(i));
+        noisy_error += (noisy[i] - truth) * (noisy[i] - truth);
+        smooth_error += (smoothed[i] - truth) * (smoothed[i] - truth);
+    }
+    EXPECT_LT(smooth_error, noisy_error * 0.5);
+}
+
+TEST(SavitzkyGolay, ShortSeriesReturnedVerbatim) {
+    const SavitzkyGolayFilter filter{7, 2};
+    const std::vector<double> shorty = {1.0, 2.0, 3.0};
+    EXPECT_EQ(filter.smooth(shorty), shorty);
+    EXPECT_DOUBLE_EQ(filter.smooth_last(shorty), 3.0);
+}
+
+TEST(SavitzkyGolay, RejectsBadParameters) {
+    EXPECT_THROW((SavitzkyGolayFilter{4, 2}), std::invalid_argument);  // even
+    EXPECT_THROW((SavitzkyGolayFilter{5, 5}), std::invalid_argument);  // order
+    EXPECT_THROW((SavitzkyGolayFilter{1, 0}), std::invalid_argument);  // tiny
+}
+
+TEST(SavitzkyGolay, SmoothLastTracksTrailingWindow) {
+    const SavitzkyGolayFilter filter{5, 1};
+    std::vector<double> linear(30);
+    for (int i = 0; i < 30; ++i) linear[i] = 2.0 * i;
+    EXPECT_NEAR(filter.smooth_last(linear), 58.0, 1e-9);
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+    ThreadPool pool{4};
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+    ThreadPool pool{2};
+    auto f = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+    ThreadPool pool{1};
+    auto f = pool.submit([]() -> int { throw std::runtime_error{"boom"}; });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+    ThreadPool pool{3};
+    std::vector<std::atomic<int>> touched(64);
+    pool.parallel_for(64, [&](std::size_t i) { touched[i] = 1; });
+    for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+    EXPECT_THROW(ThreadPool{0}, std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+    Table table{"T"};
+    table.set_header({"a", "bbbb"});
+    table.add_row({"xx", "y"});
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("== T =="), std::string::npos);
+    EXPECT_NE(out.find("| a  | bbbb |"), std::string::npos);
+    EXPECT_NE(out.find("| xx | y    |"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+    Table table;
+    table.set_header({"x", "y"});
+    table.add_row({"1", "2"});
+    std::ostringstream oss;
+    table.write_csv(oss);
+    EXPECT_EQ(oss.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, FmtPrecision) {
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace spider::util

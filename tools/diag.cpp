@@ -1,0 +1,41 @@
+#include <cstdlib>
+#include <cstdio>
+#include <map>
+#include <vector>
+#include "data/presets.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+    using namespace spider;
+    double sep = argc > 1 ? std::atof(argv[1]) : 0.55;
+    int epochs = argc > 2 ? std::atoi(argv[2]) : 40;
+    double scale = argc > 3 ? std::atof(argv[3]) : 0.1;
+    int seeds = argc > 4 ? std::atoi(argv[4]) : 2;
+    double lr = argc > 5 ? std::atof(argv[5]) : 0.05;
+
+    for (auto s : {sim::StrategyKind::kBaselineLru, sim::StrategyKind::kCoorDL,
+                   sim::StrategyKind::kShade, sim::StrategyKind::kICache,
+                   sim::StrategyKind::kSpiderImp, sim::StrategyKind::kSpider}) {
+        double hit=0, tail=0, acc=0, best=0, t=0, imp=0, homo=0, subst=0;
+        for (int seed = 1; seed <= seeds; ++seed) {
+            sim::SimConfig c;
+            c.dataset = data::cifar10_like(scale, 42 + seed);
+            c.dataset.class_separation = sep;
+            c.epochs = (size_t)epochs;
+            c.seed = (uint64_t)seed;
+            c.sgd.learning_rate = (float)lr;
+            c.strategy = s;
+            sim::TrainingSimulator simulator{c};
+            auto r = simulator.run();
+            hit += r.average_hit_ratio(); tail += r.tail_hit_ratio(5);
+            acc += r.final_accuracy; best += r.best_accuracy; t += r.total_minutes();
+            imp += (double)r.epochs.back().importance_hits;
+            homo += (double)r.epochs.back().homophily_hits;
+            subst += (double)r.epochs.back().substitutions;
+        }
+        double k = seeds;
+        printf("%-16s hit=%5.1f%% tail=%5.1f%% acc=%5.1f%% best=%5.1f%% time=%6.1fmin imp=%.0f homo=%.0f subst=%.0f\n",
+               to_string(s), hit/k*100, tail/k*100, acc/k*100, best/k*100, t/k, imp/k, homo/k, subst/k);
+    }
+    return 0;
+}

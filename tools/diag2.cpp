@@ -1,0 +1,68 @@
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+#include "data/presets.hpp"
+#include "nn/mlp_classifier.hpp"
+#include "nn/optimizer.hpp"
+#include "core/spider_cache.hpp"
+
+// Direct driver replicating the simulator loop with instrumentation.
+int main() {
+    using namespace spider;
+    auto spec = data::cifar10_like(0.04);
+    spec.class_separation = 0.55;
+    data::SyntheticDataset ds{spec};
+
+    nn::MlpConfig mc; mc.input_dim = ds.feature_dim(); mc.hidden_dims = {64,32};
+    mc.num_classes = ds.num_classes(); mc.seed = 7;
+    nn::MlpClassifier model{mc};
+
+    core::SpiderCacheConfig sc;
+    sc.dataset_size = ds.size();
+    sc.label_of = [&](uint32_t id){ return ds.label_of(id); };
+    sc.cache_items = (size_t)(0.2 * ds.size());
+    sc.embedding_dim = 32;
+    core::SpiderCache spider{sc};
+
+    const size_t B = 128, epochs = 40;
+    for (size_t e = 0; e < epochs; ++e) {
+        auto order = spider.epoch_order();
+        size_t imp=0, homo=0, miss=0;
+        for (size_t s = 0; s < order.size(); s += B) {
+            size_t cnt = std::min(B, order.size()-s);
+            std::vector<uint32_t> served(cnt);
+            for (size_t i=0;i<cnt;++i){
+                auto r = spider.lookup(order[s+i]);
+                served[i]=r.served_id;
+                if (r.kind==cache::HitKind::kImportance) imp++;
+                else if (r.kind==cache::HitKind::kHomophily) homo++;
+                else { miss++; spider.on_miss_fetched(order[s+i]); }
+            }
+            auto X = ds.gather_features(served);
+            auto y = ds.gather_labels(served);
+            auto fwd = model.forward(X, y);
+            model.backward_and_step(y);
+            spider.observe_batch(served, fwd.embeddings);
+        }
+        double acc = model.evaluate(ds.test_features(), ds.test_labels());
+        double ratio = spider.end_epoch(acc);
+        if (e%5==0 || e==epochs-1) {
+            auto scores = spider.scores();
+            std::vector<double> sorted(scores.begin(), scores.end());
+            std::sort(sorted.rbegin(), sorted.rend());
+            double total=0, top=0; size_t topn=sc.cache_items;
+            for (size_t i=0;i<sorted.size();++i){ total+=sorted[i]; if(i<topn) top+=sorted[i]; }
+            // overlap: residents in top-N?
+            size_t resident_in_top=0;
+            double cutoff = sorted[topn-1];
+            size_t imp_size = spider.cache().importance().size();
+            for (uint32_t id=0; id<ds.size(); ++id)
+                if (spider.cache().importance().contains(id) && scores[id] >= cutoff) resident_in_top++;
+            printf("ep%2zu acc=%.3f imp=%zu homo=%zu miss=%zu | std=%.4f topshare=%.2f cut=%.3f max=%.3f med=%.3f | imp_sz=%zu in_top=%zu homo_sz=%zu ratio=%.2f\n",
+                   e, acc, imp, homo, miss, spider.score_std(), top/total, cutoff, sorted[0],
+                   sorted[sorted.size()/2], imp_size, resident_in_top,
+                   spider.cache().homophily().size(), ratio);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,27 @@
+#include <cstdio>
+#include <cstdlib>
+#include "data/presets.hpp"
+#include "sim/simulator.hpp"
+
+// Ablation: SpiderCache with varying sampling floor (floor=1e6 ~ uniform
+// with replacement) to isolate replacement vs emphasis effects.
+int main(int argc, char** argv) {
+    using namespace spider;
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+    for (double floor_v : {0.05, 0.1, 0.5, 2.0, 1e6}) {
+        double acc = 0, hit = 0;
+        for (int seed = 1; seed <= 2; ++seed) {
+            sim::SimConfig c;
+            c.dataset = data::cifar10_like(scale, 42 + seed);
+            c.epochs = 40;
+            c.seed = (uint64_t)seed;
+            c.strategy = sim::StrategyKind::kSpider;
+            c.spider_sampler_floor = floor_v;
+            sim::TrainingSimulator s2{c};
+            auto r = s2.run();
+            acc += r.final_accuracy; hit += r.tail_hit_ratio(5);
+        }
+        printf("floor=%8.2f acc=%5.1f%% tail_hit=%5.1f%%\n", floor_v, acc/2*100, hit/2*100);
+    }
+    return 0;
+}

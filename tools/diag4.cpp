@@ -1,0 +1,18 @@
+#include <cstdio>
+#include <cstdlib>
+#include "data/presets.hpp"
+#include "sim/simulator.hpp"
+int main(int argc, char** argv) {
+    using namespace spider;
+    double keep = argc > 1 ? std::atof(argv[1]) : 0.6;
+    sim::SimConfig c;
+    c.dataset = data::cifar100_like(0.06);
+    c.strategy = sim::StrategyKind::kICache;
+    c.cache_fraction = 0.0;
+    c.epochs = 16;
+    c.icache_keep_fraction = keep;
+    auto r = sim::TrainingSimulator{c}.run();
+    for (size_t e = 0; e < r.epochs.size(); e += 3)
+        printf("ep%zu loss=%.3f acc=%.3f\n", e, r.epochs[e].train_loss, r.epochs[e].test_accuracy);
+    return 0;
+}
