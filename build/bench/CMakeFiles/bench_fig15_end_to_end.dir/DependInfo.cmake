@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_end_to_end.cpp" "bench/CMakeFiles/bench_fig15_end_to_end.dir/bench_fig15_end_to_end.cpp.o" "gcc" "bench/CMakeFiles/bench_fig15_end_to_end.dir/bench_fig15_end_to_end.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spider_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/spider_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/spider_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/spider_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/spider_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/spider_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spider_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/spider_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_multigpu.dir/bench_fig17_multigpu.cpp.o"
+  "CMakeFiles/bench_fig17_multigpu.dir/bench_fig17_multigpu.cpp.o.d"
+  "bench_fig17_multigpu"
+  "bench_fig17_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_observations.dir/bench_fig6_observations.cpp.o"
+  "CMakeFiles/bench_fig6_observations.dir/bench_fig6_observations.cpp.o.d"
+  "bench_fig6_observations"
+  "bench_fig6_observations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_observations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_concepts.dir/bench_fig_concepts.cpp.o"
+  "CMakeFiles/bench_fig_concepts.dir/bench_fig_concepts.cpp.o.d"
+  "bench_fig_concepts"
+  "bench_fig_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ann.dir/bench_micro_ann.cpp.o"
+  "CMakeFiles/bench_micro_ann.dir/bench_micro_ann.cpp.o.d"
+  "bench_micro_ann"
+  "bench_micro_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

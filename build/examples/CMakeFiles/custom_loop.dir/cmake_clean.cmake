@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_loop.dir/custom_loop.cpp.o"
+  "CMakeFiles/custom_loop.dir/custom_loop.cpp.o.d"
+  "custom_loop"
+  "custom_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_tuning.dir/elastic_tuning.cpp.o"
+  "CMakeFiles/elastic_tuning.dir/elastic_tuning.cpp.o.d"
+  "elastic_tuning"
+  "elastic_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

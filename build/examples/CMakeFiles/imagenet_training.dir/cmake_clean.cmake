@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imagenet_training.dir/imagenet_training.cpp.o"
+  "CMakeFiles/imagenet_training.dir/imagenet_training.cpp.o.d"
+  "imagenet_training"
+  "imagenet_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imagenet_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

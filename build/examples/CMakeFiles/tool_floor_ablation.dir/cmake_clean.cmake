@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_floor_ablation.dir/__/tools/diag3.cpp.o"
+  "CMakeFiles/tool_floor_ablation.dir/__/tools/diag3.cpp.o.d"
+  "tool_floor_ablation"
+  "tool_floor_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_floor_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_icache_debug.dir/__/tools/diag4.cpp.o"
+  "CMakeFiles/tool_icache_debug.dir/__/tools/diag4.cpp.o.d"
+  "tool_icache_debug"
+  "tool_icache_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_icache_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

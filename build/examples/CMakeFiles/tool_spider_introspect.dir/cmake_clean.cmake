@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_spider_introspect.dir/__/tools/diag2.cpp.o"
+  "CMakeFiles/tool_spider_introspect.dir/__/tools/diag2.cpp.o.d"
+  "tool_spider_introspect"
+  "tool_spider_introspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_spider_introspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

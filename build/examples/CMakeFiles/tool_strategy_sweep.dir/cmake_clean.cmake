@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_strategy_sweep.dir/__/tools/diag.cpp.o"
+  "CMakeFiles/tool_strategy_sweep.dir/__/tools/diag.cpp.o.d"
+  "tool_strategy_sweep"
+  "tool_strategy_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_strategy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ann/bruteforce.cpp" "src/ann/CMakeFiles/spider_ann.dir/bruteforce.cpp.o" "gcc" "src/ann/CMakeFiles/spider_ann.dir/bruteforce.cpp.o.d"
+  "/root/repo/src/ann/hnsw.cpp" "src/ann/CMakeFiles/spider_ann.dir/hnsw.cpp.o" "gcc" "src/ann/CMakeFiles/spider_ann.dir/hnsw.cpp.o.d"
+  "/root/repo/src/ann/index_size.cpp" "src/ann/CMakeFiles/spider_ann.dir/index_size.cpp.o" "gcc" "src/ann/CMakeFiles/spider_ann.dir/index_size.cpp.o.d"
+  "/root/repo/src/ann/pq.cpp" "src/ann/CMakeFiles/spider_ann.dir/pq.cpp.o" "gcc" "src/ann/CMakeFiles/spider_ann.dir/pq.cpp.o.d"
+  "/root/repo/src/ann/serialize.cpp" "src/ann/CMakeFiles/spider_ann.dir/serialize.cpp.o" "gcc" "src/ann/CMakeFiles/spider_ann.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/spider_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_ann.dir/bruteforce.cpp.o"
+  "CMakeFiles/spider_ann.dir/bruteforce.cpp.o.d"
+  "CMakeFiles/spider_ann.dir/hnsw.cpp.o"
+  "CMakeFiles/spider_ann.dir/hnsw.cpp.o.d"
+  "CMakeFiles/spider_ann.dir/index_size.cpp.o"
+  "CMakeFiles/spider_ann.dir/index_size.cpp.o.d"
+  "CMakeFiles/spider_ann.dir/pq.cpp.o"
+  "CMakeFiles/spider_ann.dir/pq.cpp.o.d"
+  "CMakeFiles/spider_ann.dir/serialize.cpp.o"
+  "CMakeFiles/spider_ann.dir/serialize.cpp.o.d"
+  "libspider_ann.a"
+  "libspider_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/basic_policies.cpp" "src/cache/CMakeFiles/spider_cache.dir/basic_policies.cpp.o" "gcc" "src/cache/CMakeFiles/spider_cache.dir/basic_policies.cpp.o.d"
+  "/root/repo/src/cache/homophily_cache.cpp" "src/cache/CMakeFiles/spider_cache.dir/homophily_cache.cpp.o" "gcc" "src/cache/CMakeFiles/spider_cache.dir/homophily_cache.cpp.o.d"
+  "/root/repo/src/cache/importance_cache.cpp" "src/cache/CMakeFiles/spider_cache.dir/importance_cache.cpp.o" "gcc" "src/cache/CMakeFiles/spider_cache.dir/importance_cache.cpp.o.d"
+  "/root/repo/src/cache/semantic_cache.cpp" "src/cache/CMakeFiles/spider_cache.dir/semantic_cache.cpp.o" "gcc" "src/cache/CMakeFiles/spider_cache.dir/semantic_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_cache.dir/basic_policies.cpp.o"
+  "CMakeFiles/spider_cache.dir/basic_policies.cpp.o.d"
+  "CMakeFiles/spider_cache.dir/homophily_cache.cpp.o"
+  "CMakeFiles/spider_cache.dir/homophily_cache.cpp.o.d"
+  "CMakeFiles/spider_cache.dir/importance_cache.cpp.o"
+  "CMakeFiles/spider_cache.dir/importance_cache.cpp.o.d"
+  "CMakeFiles/spider_cache.dir/semantic_cache.cpp.o"
+  "CMakeFiles/spider_cache.dir/semantic_cache.cpp.o.d"
+  "libspider_cache.a"
+  "libspider_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

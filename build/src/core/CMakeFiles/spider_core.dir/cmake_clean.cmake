@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_core.dir/elastic.cpp.o"
+  "CMakeFiles/spider_core.dir/elastic.cpp.o.d"
+  "CMakeFiles/spider_core.dir/graph_scorer.cpp.o"
+  "CMakeFiles/spider_core.dir/graph_scorer.cpp.o.d"
+  "CMakeFiles/spider_core.dir/pipeline.cpp.o"
+  "CMakeFiles/spider_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/spider_core.dir/samplers.cpp.o"
+  "CMakeFiles/spider_core.dir/samplers.cpp.o.d"
+  "CMakeFiles/spider_core.dir/spider_cache.cpp.o"
+  "CMakeFiles/spider_core.dir/spider_cache.cpp.o.d"
+  "libspider_core.a"
+  "libspider_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

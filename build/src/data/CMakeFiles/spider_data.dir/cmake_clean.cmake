@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_data.dir/dataset.cpp.o"
+  "CMakeFiles/spider_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/spider_data.dir/presets.cpp.o"
+  "CMakeFiles/spider_data.dir/presets.cpp.o.d"
+  "libspider_data.a"
+  "libspider_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

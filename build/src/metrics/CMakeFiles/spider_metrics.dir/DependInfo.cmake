@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/export.cpp" "src/metrics/CMakeFiles/spider_metrics.dir/export.cpp.o" "gcc" "src/metrics/CMakeFiles/spider_metrics.dir/export.cpp.o.d"
+  "/root/repo/src/metrics/metrics.cpp" "src/metrics/CMakeFiles/spider_metrics.dir/metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/spider_metrics.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/spider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spider_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/spider_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/spider_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/spider_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_metrics.dir/export.cpp.o"
+  "CMakeFiles/spider_metrics.dir/export.cpp.o.d"
+  "CMakeFiles/spider_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/spider_metrics.dir/metrics.cpp.o.d"
+  "libspider_metrics.a"
+  "libspider_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

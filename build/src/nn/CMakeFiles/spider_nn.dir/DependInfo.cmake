@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/spider_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/spider_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/mlp_classifier.cpp" "src/nn/CMakeFiles/spider_nn.dir/mlp_classifier.cpp.o" "gcc" "src/nn/CMakeFiles/spider_nn.dir/mlp_classifier.cpp.o.d"
+  "/root/repo/src/nn/model_profile.cpp" "src/nn/CMakeFiles/spider_nn.dir/model_profile.cpp.o" "gcc" "src/nn/CMakeFiles/spider_nn.dir/model_profile.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/spider_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/spider_nn.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/spider_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spider_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_nn.dir/layers.cpp.o"
+  "CMakeFiles/spider_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/spider_nn.dir/mlp_classifier.cpp.o"
+  "CMakeFiles/spider_nn.dir/mlp_classifier.cpp.o.d"
+  "CMakeFiles/spider_nn.dir/model_profile.cpp.o"
+  "CMakeFiles/spider_nn.dir/model_profile.cpp.o.d"
+  "CMakeFiles/spider_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/spider_nn.dir/optimizer.cpp.o.d"
+  "libspider_nn.a"
+  "libspider_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_storage.dir/cache_store.cpp.o"
+  "CMakeFiles/spider_storage.dir/cache_store.cpp.o.d"
+  "CMakeFiles/spider_storage.dir/clock.cpp.o"
+  "CMakeFiles/spider_storage.dir/clock.cpp.o.d"
+  "CMakeFiles/spider_storage.dir/remote_store.cpp.o"
+  "CMakeFiles/spider_storage.dir/remote_store.cpp.o.d"
+  "CMakeFiles/spider_storage.dir/ssd_tier.cpp.o"
+  "CMakeFiles/spider_storage.dir/ssd_tier.cpp.o.d"
+  "libspider_storage.a"
+  "libspider_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/spider_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/spider_tensor.dir/ops.cpp.o"
+  "CMakeFiles/spider_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/spider_tensor.dir/pca.cpp.o"
+  "CMakeFiles/spider_tensor.dir/pca.cpp.o.d"
+  "libspider_tensor.a"
+  "libspider_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_trace.dir/replay.cpp.o"
+  "CMakeFiles/spider_trace.dir/replay.cpp.o.d"
+  "CMakeFiles/spider_trace.dir/reuse_distance.cpp.o"
+  "CMakeFiles/spider_trace.dir/reuse_distance.cpp.o.d"
+  "CMakeFiles/spider_trace.dir/trace.cpp.o"
+  "CMakeFiles/spider_trace.dir/trace.cpp.o.d"
+  "libspider_trace.a"
+  "libspider_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

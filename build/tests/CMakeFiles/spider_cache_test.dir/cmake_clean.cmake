@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_cache_test.dir/spider_cache_test.cpp.o"
+  "CMakeFiles/spider_cache_test.dir/spider_cache_test.cpp.o.d"
+  "spider_cache_test"
+  "spider_cache_test.pdb"
+  "spider_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/ann_test[1]_include.cmake")
+include("/root/repo/build/tests/pq_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/scorer_test[1]_include.cmake")
+include("/root/repo/build/tests/sampler_test[1]_include.cmake")
+include("/root/repo/build/tests/elastic_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/spider_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/ssd_tier_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/pca_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
