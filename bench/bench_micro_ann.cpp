@@ -73,6 +73,20 @@ void BM_HnswUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_HnswUpdate)->Arg(1000)->Arg(5000);
 
+// Threaded axis: the scoring phase issues knn from many threads against a
+// fixed graph (hnsw.hpp phase contract). gbench's --benchmark_filter can
+// pin one thread count; the registered range sweeps 1..8.
+void BM_HnswSearchConcurrent(benchmark::State& state) {
+    static const ann::HnswIndex index = build_index(5000, 32);
+    util::Rng rng{100 + static_cast<std::uint64_t>(state.thread_index())};
+    const std::vector<float> query = random_point(rng, 32);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(index.knn(query, 10));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HnswSearchConcurrent)->ThreadRange(1, 8)->UseRealTime();
+
 void BM_BruteForceSearch(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
     const std::size_t dim = 32;

@@ -1,0 +1,263 @@
+// Before/after microbench for the vectorized hot path (ISSUE 1):
+//
+//   - squared_l2 at ANN-relevant dims      -> GB/s   (scalar vs dispatched)
+//   - GEMM at training-loop shapes          -> GFLOP/s (scalar vs dispatched)
+//   - graph-IS batch scoring                -> samples/s (serial vs
+//     score_batch over a thread pool, --threads N)
+//
+// Prints human-readable tables and writes BENCH_kernels.json (path
+// overridable as argv) so perf baselines are diffable across PRs.
+//
+// Usage: bench_micro_kernels [--threads N] [--out BENCH_kernels.json]
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ann/hnsw.hpp"
+#include "core/graph_scorer.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace spider;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Runs `body` enough times to pass ~80ms of wall clock and returns the
+/// per-iteration time in seconds (median-free but warm: one calibration
+/// pass then one timed pass).
+template <typename F>
+double time_per_iter(F&& body) {
+    // Calibrate iteration count.
+    std::size_t iters = 1;
+    for (;;) {
+        const auto start = Clock::now();
+        for (std::size_t i = 0; i < iters; ++i) body();
+        const double elapsed = seconds_since(start);
+        if (elapsed > 0.02 || iters > (1ULL << 30)) break;
+        iters *= 8;
+    }
+    // Timed pass at ~4x the calibrated count.
+    iters *= 4;
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) body();
+    return seconds_since(start) / static_cast<double>(iters);
+}
+
+struct JsonWriter {
+    std::ostringstream out;
+    bool first_section = true;
+
+    void open() { out << "{\n"; }
+    void section(const std::string& name) {
+        if (!first_section) out << ",\n";
+        first_section = false;
+        out << "  \"" << name << "\": [\n";
+    }
+    void close_section() { out << "\n  ]"; }
+    void close(const std::string& isa, std::size_t threads) {
+        out << ",\n  \"isa\": \"" << isa << "\",\n  \"threads\": " << threads
+            << "\n}\n";
+    }
+};
+
+std::vector<float> random_vec(util::Rng& rng, std::size_t n) {
+    std::vector<float> v(n);
+    for (float& x : v) x = static_cast<float>(rng.normal());
+    return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::size_t threads = 8;
+    std::string out_path = "BENCH_kernels.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::cerr << "usage: bench_micro_kernels [--threads N] [--out F]\n";
+            return 2;
+        }
+    }
+
+    const char* isa = tensor::simd::active_kernels().name;
+    std::cout << "### bench_micro_kernels — vectorized hot-path baseline\n"
+              << "### dispatched ISA: " << isa << ", scoring threads: "
+              << threads << "\n\n";
+
+    JsonWriter json;
+    json.open();
+
+    // ---- squared_l2: GB/s over both input vectors.
+    util::Table dist_table{"squared_l2 throughput (scalar vs dispatched)"};
+    dist_table.set_header(
+        {"dim", "scalar GB/s", "simd GB/s", "speedup"});
+    json.section("squared_l2");
+    bool first = true;
+    util::Rng rng{2025};
+    for (const std::size_t dim : {32UL, 64UL, 128UL, 256UL}) {
+        const std::vector<float> a = random_vec(rng, dim);
+        const std::vector<float> b = random_vec(rng, dim);
+        // volatile sink defeats dead-code elimination across iterations.
+        volatile float sink = 0.0F;
+        const double t_scalar = time_per_iter(
+            [&] { sink = sink + tensor::squared_l2_scalar(a, b); });
+        const double t_simd =
+            time_per_iter([&] { sink = sink + tensor::squared_l2(a, b); });
+        const double bytes = 2.0 * static_cast<double>(dim) * sizeof(float);
+        const double gbps_scalar = bytes / t_scalar / 1e9;
+        const double gbps_simd = bytes / t_simd / 1e9;
+        const double speedup = t_scalar / t_simd;
+        dist_table.add_row({std::to_string(dim),
+                            util::Table::fmt(gbps_scalar, 2),
+                            util::Table::fmt(gbps_simd, 2),
+                            util::Table::fmt(speedup, 2)});
+        if (!first) json.out << ",\n";
+        first = false;
+        json.out << "    {\"dim\": " << dim << ", \"scalar_gbps\": "
+                 << gbps_scalar << ", \"simd_gbps\": " << gbps_simd
+                 << ", \"speedup\": " << speedup << "}";
+    }
+    json.close_section();
+    dist_table.print(std::cout);
+
+    // ---- GEMM: GFLOP/s at the shapes the MLP training loop issues
+    // (batch x hidden forward, gradient transposes) plus a square stress.
+    util::Table gemm_table{"GEMM throughput (scalar vs dispatched)"};
+    gemm_table.set_header(
+        {"shape (m*k*n)", "op", "scalar GFLOP/s", "simd GFLOP/s", "speedup"});
+    json.section("gemm");
+    first = true;
+    struct Shape {
+        std::size_t m, k, n;
+        const char* op;
+    };
+    const Shape shapes[] = {{128, 64, 64, "a@b"},
+                            {128, 128, 10, "a@b"},
+                            {64, 128, 128, "atb"},
+                            {256, 256, 256, "a@b"}};
+    for (const Shape& s : shapes) {
+        util::Rng grng{s.m * 31 + s.n};
+        tensor::Matrix a{s.m, s.k};
+        tensor::Matrix b{s.k, s.n};
+        a.randomize_normal(grng, 0.0F, 1.0F);
+        b.randomize_normal(grng, 0.0F, 1.0F);
+        tensor::Matrix out;
+        const bool atb = std::string{s.op} == "atb";
+        // For a^T@b the left operand is [k, m]; reuse a with swapped dims.
+        tensor::Matrix at{s.k, s.m};
+        at.randomize_normal(grng, 0.0F, 1.0F);
+        const double t_scalar = time_per_iter([&] {
+            if (atb) {
+                tensor::matmul_at_b_scalar(at, b, out);
+            } else {
+                tensor::matmul_scalar(a, b, out);
+            }
+        });
+        const double t_simd = time_per_iter([&] {
+            if (atb) {
+                tensor::matmul_at_b(at, b, out);
+            } else {
+                tensor::matmul(a, b, out);
+            }
+        });
+        const double flops = 2.0 * static_cast<double>(s.m) *
+                             static_cast<double>(s.k) *
+                             static_cast<double>(s.n);
+        const double gf_scalar = flops / t_scalar / 1e9;
+        const double gf_simd = flops / t_simd / 1e9;
+        const double speedup = t_scalar / t_simd;
+        std::ostringstream shape_str;
+        shape_str << s.m << "x" << s.k << "x" << s.n;
+        gemm_table.add_row({shape_str.str(), s.op,
+                            util::Table::fmt(gf_scalar, 2),
+                            util::Table::fmt(gf_simd, 2),
+                            util::Table::fmt(speedup, 2)});
+        if (!first) json.out << ",\n";
+        first = false;
+        json.out << "    {\"m\": " << s.m << ", \"k\": " << s.k
+                 << ", \"n\": " << s.n << ", \"op\": \"" << s.op
+                 << "\", \"scalar_gflops\": " << gf_scalar
+                 << ", \"simd_gflops\": " << gf_simd
+                 << ", \"speedup\": " << speedup << "}";
+    }
+    json.close_section();
+    gemm_table.print(std::cout);
+
+    // ---- Batch scoring: samples/s, serial vs score_batch over a pool.
+    util::Table score_table{"graph-IS batch scoring (serial vs parallel)"};
+    score_table.set_header({"dim", "serial samples/s", "parallel samples/s",
+                            "speedup", "threads"});
+    json.section("scoring");
+    first = true;
+    for (const std::size_t dim : {32UL, 64UL}) {
+        ann::HnswConfig ann_config;
+        ann_config.dim = dim;
+        ann::HnswIndex index{ann_config};
+        core::ScorerConfig scorer_config;
+        core::GraphImportanceScorer scorer{
+            index, scorer_config, [](std::uint32_t id) { return id % 10; }};
+        util::Rng srng{dim};
+        const std::size_t population = 2000;
+        std::vector<float> embedding(dim);
+        for (std::uint32_t id = 0; id < population; ++id) {
+            const double center = static_cast<double>(id % 10);
+            for (float& x : embedding) {
+                x = static_cast<float>(srng.normal(center, 1.0));
+            }
+            scorer.update_embedding(id, embedding);
+        }
+        std::vector<std::uint32_t> batch(512);
+        for (std::uint32_t i = 0; i < batch.size(); ++i) {
+            batch[i] = i % population;
+        }
+        const double t_serial = time_per_iter(
+            [&] { (void)scorer.score_batch(batch, nullptr); });
+        util::ThreadPool pool{threads};
+        const double t_parallel =
+            time_per_iter([&] { (void)scorer.score_batch(batch, &pool); });
+        const double sps_serial = static_cast<double>(batch.size()) / t_serial;
+        const double sps_parallel =
+            static_cast<double>(batch.size()) / t_parallel;
+        const double speedup = t_serial / t_parallel;
+        score_table.add_row({std::to_string(dim),
+                             util::Table::fmt(sps_serial, 0),
+                             util::Table::fmt(sps_parallel, 0),
+                             util::Table::fmt(speedup, 2),
+                             std::to_string(threads)});
+        if (!first) json.out << ",\n";
+        first = false;
+        json.out << "    {\"dim\": " << dim << ", \"serial_samples_per_s\": "
+                 << sps_serial << ", \"parallel_samples_per_s\": "
+                 << sps_parallel << ", \"speedup\": " << speedup << "}";
+    }
+    json.close_section();
+    score_table.print(std::cout);
+
+    json.close(isa, threads);
+    std::ofstream out_file{out_path};
+    out_file << json.out.str();
+    if (!out_file) {
+        std::cerr << "warning: could not write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "\nwrote " << out_path << "\n";
+    return 0;
+}

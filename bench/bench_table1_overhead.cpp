@@ -9,13 +9,24 @@
 // update + Eq. 4 scoring) per mini-batch on this machine.
 
 #include <chrono>
+#include <memory>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/graph_scorer.hpp"
 #include "core/pipeline.hpp"
+#include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace spider;
+    // --threads N: fan the measured scoring half across a pool, showing
+    // how much of the IS stage batch-parallel scoring removes.
+    std::size_t threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string{argv[i]} == "--threads" && i + 1 < argc) {
+            threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+        }
+    }
     bench::print_preamble("bench_table1_overhead", "Table 1 and Figure 12");
 
     util::Table table{"Table 1: per-mini-batch stage times (virtual ms)"};
@@ -48,8 +59,10 @@ int main() {
     // a function of embedding dimension (the paper: HNSW runtime is driven
     // by embedding dimension, not index size).
     util::Table measured{"Measured graph-IS stage cost on this machine"};
-    measured.set_header(
-        {"Embedding dim", "batch update+score (wall ms)", "per sample (us)"});
+    measured.set_header({"Embedding dim", "batch update+score (wall ms)",
+                         "per sample (us)", "threads"});
+    std::unique_ptr<util::ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
     for (const std::size_t dim : {32UL, 64UL, 128UL, 256UL}) {
         ann::HnswConfig ann_config;
         ann_config.dim = dim;
@@ -72,15 +85,19 @@ int main() {
             scorer.update_embedding(id, embedding);
         }
         // Timed: one mini-batch of 128 updates + scores (steady state).
+        // Updates stay serial (writer phase); scoring fans across the pool
+        // when --threads > 1 (reader phase), mirroring observe_batch.
         const auto start = std::chrono::steady_clock::now();
         const int batches = 4;
+        std::vector<std::uint32_t> batch_ids(128);
         for (int b = 0; b < batches; ++b) {
             for (std::uint32_t i = 0; i < 128; ++i) {
                 const std::uint32_t id = (b * 128 + i) % population;
                 fill(id);
                 scorer.update_embedding(id, embedding);
-                (void)scorer.score(id);
+                batch_ids[i] = id;
             }
+            (void)scorer.score_batch(batch_ids, pool.get());
         }
         const double ms =
             std::chrono::duration<double, std::milli>(
@@ -88,10 +105,13 @@ int main() {
                 .count() /
             batches;
         measured.add_row({std::to_string(dim), util::Table::fmt(ms, 1),
-                          util::Table::fmt(ms * 1000.0 / 128.0, 1)});
+                          util::Table::fmt(ms * 1000.0 / 128.0, 1),
+                          std::to_string(threads)});
     }
     measured.print(std::cout);
     std::cout << "paper: IS cost grows with embedding dimension "
-                 "(AlexNet/VGG16 largest)\n";
+                 "(AlexNet/VGG16 largest)\n"
+                 "rerun with --threads N to see the scoring half shrink "
+                 "with batch-parallel knn\n";
     return 0;
 }

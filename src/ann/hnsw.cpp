@@ -20,12 +20,68 @@ HnswIndex::HnswIndex(HnswConfig config)
     }
 }
 
+HnswIndex::HnswIndex(HnswIndex&& other) noexcept
+    : config_{other.config_},
+      level_lambda_{other.level_lambda_},
+      rng_{other.rng_},
+      nodes_{std::move(other.nodes_)},
+      label_to_id_{std::move(other.label_to_id_)},
+      entry_point_{other.entry_point_},
+      max_level_{other.max_level_},
+      empty_{other.empty_},
+      dist_comps_{other.dist_comps_.load(std::memory_order_relaxed)} {
+    // visit_pool_ / phase_mutex_ start fresh: a moved index has no
+    // in-flight queries by precondition.
+}
+
+HnswIndex& HnswIndex::operator=(HnswIndex&& other) noexcept {
+    if (this != &other) {
+        config_ = other.config_;
+        level_lambda_ = other.level_lambda_;
+        rng_ = other.rng_;
+        nodes_ = std::move(other.nodes_);
+        label_to_id_ = std::move(other.label_to_id_);
+        entry_point_ = other.entry_point_;
+        max_level_ = other.max_level_;
+        empty_ = other.empty_;
+        dist_comps_.store(other.dist_comps_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    return *this;
+}
+
+HnswIndex::VisitTable HnswIndex::VisitTablePool::acquire(std::size_t n) {
+    VisitTable table;
+    {
+        const std::lock_guard lock{mutex_};
+        if (!free_.empty()) {
+            table = std::move(free_.back());
+            free_.pop_back();
+        }
+    }
+    if (table.stamp.size() < n) {
+        table.stamp.resize(n, 0);
+    }
+    ++table.epoch;
+    if (table.epoch == 0) {  // wrapped: reset stamps
+        std::fill(table.stamp.begin(), table.stamp.end(), 0);
+        table.epoch = 1;
+    }
+    return table;
+}
+
+void HnswIndex::VisitTablePool::release(VisitTable&& table) {
+    const std::lock_guard lock{mutex_};
+    free_.push_back(std::move(table));
+}
+
 bool HnswIndex::contains(std::uint32_t label) const {
+    const std::shared_lock lock{phase_mutex_};
     return label_to_id_.contains(label);
 }
 
 float HnswIndex::dist(std::span<const float> a, std::span<const float> b) const {
-    ++dist_comps_;
+    dist_comps_.fetch_add(1, std::memory_order_relaxed);
     return tensor::squared_l2(a, b);  // Monotone in L2; sqrt only at the API edge.
 }
 
@@ -57,16 +113,16 @@ std::uint32_t HnswIndex::greedy_closest(std::span<const float> query,
 
 std::vector<HnswIndex::Candidate> HnswIndex::search_layer(
     std::span<const float> query, std::uint32_t entry, std::size_t ef,
-    std::size_t layer) const {
-    // Visited set via epoch-stamped array (no per-call allocation churn).
-    if (visit_epoch_.size() < nodes_.size()) {
-        visit_epoch_.resize(nodes_.size(), 0);
+    std::size_t layer, VisitTable& visited) const {
+    // One lease covers a whole descent; a fresh epoch per layer resets the
+    // visited set without touching memory.
+    std::vector<std::uint32_t>& stamp = visited.stamp;
+    ++visited.epoch;
+    if (visited.epoch == 0) {  // wrapped: reset stamps
+        std::fill(stamp.begin(), stamp.end(), 0);
+        visited.epoch = 1;
     }
-    ++current_epoch_;
-    if (current_epoch_ == 0) {  // wrapped: reset stamps
-        std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
-        current_epoch_ = 1;
-    }
+    const std::uint32_t epoch = visited.epoch;
 
     std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>
         to_visit;  // min-heap by distance
@@ -75,7 +131,7 @@ std::vector<HnswIndex::Candidate> HnswIndex::search_layer(
     const float entry_dist = dist(query, nodes_[entry].point);
     to_visit.push({entry_dist, entry});
     best.push({entry_dist, entry});
-    visit_epoch_[entry] = current_epoch_;
+    stamp[entry] = epoch;
 
     while (!to_visit.empty()) {
         const Candidate current = to_visit.top();
@@ -83,8 +139,8 @@ std::vector<HnswIndex::Candidate> HnswIndex::search_layer(
         if (current.distance > best.top().distance && best.size() >= ef) break;
 
         for (std::uint32_t neighbor : nodes_[current.id].links[layer]) {
-            if (visit_epoch_[neighbor] == current_epoch_) continue;
-            visit_epoch_[neighbor] = current_epoch_;
+            if (stamp[neighbor] == epoch) continue;
+            stamp[neighbor] = epoch;
             const float d = dist(query, nodes_[neighbor].point);
             if (best.size() < ef || d < best.top().distance) {
                 to_visit.push({d, neighbor});
@@ -210,6 +266,7 @@ void HnswIndex::link(std::uint32_t id,
 void HnswIndex::wire_node(std::uint32_t id) {
     const std::size_t node_level = nodes_[id].links.size() - 1;
     std::span<const float> query = nodes_[id].point;
+    VisitLease lease{visit_pool_, nodes_.size()};
 
     std::uint32_t entry = entry_point_;
     // Descend through layers above the node's level greedily.
@@ -219,8 +276,8 @@ void HnswIndex::wire_node(std::uint32_t id) {
     // From min(max_level_, node_level) down to 0: beam-search and link.
     const std::size_t top = std::min(max_level_, node_level);
     for (std::size_t layer = top + 1; layer-- > 0;) {
-        std::vector<Candidate> candidates =
-            search_layer(query, entry, config_.ef_construction, layer);
+        std::vector<Candidate> candidates = search_layer(
+            query, entry, config_.ef_construction, layer, lease.table);
         // Exclude self (present when rewiring an updated node).
         candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
                                         [id](const Candidate& c) {
@@ -240,6 +297,7 @@ void HnswIndex::upsert(std::uint32_t label, std::span<const float> vec) {
     if (vec.size() != config_.dim) {
         throw std::invalid_argument{"HnswIndex::upsert: bad dimension"};
     }
+    const std::unique_lock lock{phase_mutex_};  // writer phase: exclusive
 
     if (auto it = label_to_id_.find(label); it != label_to_id_.end()) {
         // In-place update (the hnswlib updatePoint strategy): replace the
@@ -307,15 +365,18 @@ std::vector<Neighbor> HnswIndex::knn(std::span<const float> query,
     if (query.size() != config_.dim) {
         throw std::invalid_argument{"HnswIndex::knn: bad dimension"};
     }
+    const std::shared_lock lock{phase_mutex_};  // reader phase: shared
     if (empty_ || k == 0) return {};
 
     const std::size_t beam = std::max(ef == 0 ? config_.ef_search : ef, k);
+    VisitLease lease{visit_pool_, nodes_.size()};
 
     std::uint32_t entry = entry_point_;
     for (std::size_t layer = max_level_; layer > 0; --layer) {
         entry = greedy_closest(query, entry, layer);
     }
-    std::vector<Candidate> found = search_layer(query, entry, beam, 0);
+    std::vector<Candidate> found =
+        search_layer(query, entry, beam, 0, lease.table);
 
     std::vector<Neighbor> result;
     result.reserve(std::min(k, found.size()));
@@ -328,18 +389,21 @@ std::vector<Neighbor> HnswIndex::knn(std::span<const float> query,
 
 std::optional<std::span<const float>> HnswIndex::vector_of(
     std::uint32_t label) const {
+    const std::shared_lock lock{phase_mutex_};
     const auto it = label_to_id_.find(label);
     if (it == label_to_id_.end()) return std::nullopt;
     return std::span<const float>{nodes_[it->second].point};
 }
 
 std::size_t HnswIndex::degree(std::uint32_t label) const {
+    const std::shared_lock lock{phase_mutex_};
     const auto it = label_to_id_.find(label);
     if (it == label_to_id_.end()) return 0;
     return nodes_[it->second].links[0].size();
 }
 
 std::size_t HnswIndex::memory_bytes() const {
+    const std::shared_lock lock{phase_mutex_};
     std::size_t total = sizeof(*this);
     for (const Node& node : nodes_) {
         total += sizeof(Node);

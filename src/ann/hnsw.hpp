@@ -6,11 +6,23 @@
 // the paper builds its semantic graph on (it uses the hnswlib library; we
 // reproduce the algorithm).
 //
-// Not thread-safe; the pipelined IS executor serializes access externally.
+// Thread-safety: reader/writer *phase* contract. Queries (knn, vector_of,
+// degree, contains) may run concurrently with each other — each holds a
+// shared lock, uses a pooled per-query visited buffer, and bumps only the
+// relaxed-atomic distance counter. upsert() is a writer: it takes the lock
+// exclusively, so interleaving upserts with queries is correct but
+// serializes. The intended shape (and what the batch scorer does) is
+// phased: an update phase of upserts, then a scoring phase that fans knn
+// across a thread pool. Spans returned by vector_of() point into the graph
+// and are invalidated by the next upsert, exactly like iterator
+// invalidation on a std::vector.
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +47,14 @@ class HnswIndex {
 public:
     explicit HnswIndex(HnswConfig config);
 
+    // Movable (indexes are built in factories and returned by value) but
+    // not copyable; moving must not race with concurrent queries.
+    HnswIndex(HnswIndex&& other) noexcept;
+    HnswIndex& operator=(HnswIndex&& other) noexcept;
+    HnswIndex(const HnswIndex&) = delete;
+    HnswIndex& operator=(const HnswIndex&) = delete;
+    ~HnswIndex() = default;
+
     [[nodiscard]] const HnswConfig& config() const { return config_; }
     [[nodiscard]] std::size_t size() const { return nodes_.size(); }
     [[nodiscard]] bool contains(std::uint32_t label) const;
@@ -42,11 +62,12 @@ public:
     /// Inserts a new vector, or — when `label` already exists — replaces
     /// its vector in place and rewires its links at every level (the
     /// "dynamic sample update" the paper relies on: embeddings drift every
-    /// epoch as the model trains).
+    /// epoch as the model trains). Writer: takes the phase lock exclusively.
     void upsert(std::uint32_t label, std::span<const float> vec);
 
     /// K nearest neighbors by Euclidean distance, ascending. `ef` overrides
     /// ef_search when nonzero. The query label itself is *not* excluded.
+    /// Reader: safe to call from many threads concurrently.
     [[nodiscard]] std::vector<Neighbor> knn(std::span<const float> query,
                                             std::size_t k,
                                             std::size_t ef = 0) const;
@@ -63,9 +84,10 @@ public:
     [[nodiscard]] std::size_t memory_bytes() const;
 
     /// Number of distance computations since construction (perf counters
-    /// for the microbench).
+    /// for the microbench). Exact even under concurrent queries — the
+    /// counter is a relaxed atomic.
     [[nodiscard]] std::uint64_t distance_computations() const {
-        return dist_comps_;
+        return dist_comps_.load(std::memory_order_relaxed);
     }
 
     // Binary persistence (ann/serialize.hpp).
@@ -96,6 +118,38 @@ private:
         }
     };
 
+    /// Per-query visited set: an epoch-stamped array (stamp[id] == epoch
+    /// means visited this query). Leased from a pool so concurrent queries
+    /// never share one and steady state allocates nothing.
+    struct VisitTable {
+        std::vector<std::uint32_t> stamp;
+        std::uint32_t epoch = 0;
+    };
+
+    class VisitTablePool {
+    public:
+        /// Pops a free table (or makes one), sized for >= n nodes, with a
+        /// fresh epoch.
+        [[nodiscard]] VisitTable acquire(std::size_t n);
+        void release(VisitTable&& table);
+
+    private:
+        std::mutex mutex_;
+        std::vector<VisitTable> free_;
+    };
+
+    /// RAII lease so a table returns to the pool even on exceptions.
+    struct VisitLease {
+        VisitLease(VisitTablePool& p, std::size_t n)
+            : pool{&p}, table{p.acquire(n)} {}
+        ~VisitLease() { pool->release(std::move(table)); }
+        VisitLease(const VisitLease&) = delete;
+        VisitLease& operator=(const VisitLease&) = delete;
+
+        VisitTablePool* pool;
+        VisitTable table;
+    };
+
     [[nodiscard]] float dist(std::span<const float> a,
                              std::span<const float> b) const;
     [[nodiscard]] std::size_t random_level();
@@ -109,10 +163,10 @@ private:
                                                std::size_t layer) const;
 
     /// Beam search on one layer; returns up to `ef` candidates sorted
-    /// ascending by distance.
+    /// ascending by distance. `visited` is the caller's leased table.
     [[nodiscard]] std::vector<Candidate> search_layer(
         std::span<const float> query, std::uint32_t entry, std::size_t ef,
-        std::size_t layer) const;
+        std::size_t layer, VisitTable& visited) const;
 
     /// Heuristic neighbor selection (Algorithm 4 of the HNSW paper): keeps
     /// a candidate only if it is closer to the query than to every
@@ -138,9 +192,10 @@ private:
     std::uint32_t entry_point_ = 0;
     std::size_t max_level_ = 0;
     bool empty_ = true;
-    mutable std::uint64_t dist_comps_ = 0;
-    mutable std::vector<std::uint32_t> visit_epoch_;  // visited-set reuse
-    mutable std::uint32_t current_epoch_ = 0;
+    mutable std::atomic<std::uint64_t> dist_comps_{0};
+    mutable VisitTablePool visit_pool_;
+    /// Reader/writer phase lock: queries shared, upserts exclusive.
+    mutable std::shared_mutex phase_mutex_;
 };
 
 }  // namespace spider::ann

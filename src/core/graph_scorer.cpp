@@ -98,4 +98,24 @@ ScoreResult GraphImportanceScorer::score(std::uint32_t id) const {
     return result;
 }
 
+std::vector<ScoreResult> GraphImportanceScorer::score_batch(
+    std::span<const std::uint32_t> ids, util::ThreadPool* pool) const {
+    std::vector<ScoreResult> results(ids.size());
+    if (pool == nullptr || pool->size() < 2 || ids.size() < 2) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            results[i] = score(ids[i]);
+        }
+        return results;
+    }
+    // Chunked fan-out; each slot is written by exactly one worker, so the
+    // only shared state is the index's concurrent-read path.
+    pool->parallel_for(ids.size(), /*grain=*/8,
+                       [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                               results[i] = score(ids[i]);
+                           }
+                       });
+    return results;
+}
+
 }  // namespace spider::core

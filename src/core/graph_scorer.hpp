@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ann/hnsw.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spider::core {
 
@@ -84,6 +85,16 @@ public:
     /// Eq. 4 for one sample, querying the current graph (Algorithm 1
     /// line 17). The sample must have been indexed first.
     [[nodiscard]] ScoreResult score(std::uint32_t id) const;
+
+    /// Scores a whole batch. With a pool of >= 2 threads the per-sample
+    /// normalize+knn+count work fans out via ThreadPool::parallel_for —
+    /// safe because knn queries are concurrent readers of the index (see
+    /// hnsw.hpp's phase contract; no upserts may run during the call) —
+    /// and `label_of` must be callable from multiple threads. Results are
+    /// positionally identical to calling score(ids[i]) serially.
+    [[nodiscard]] std::vector<ScoreResult> score_batch(
+        std::span<const std::uint32_t> ids,
+        util::ThreadPool* pool = nullptr) const;
 
     /// Number of upserts actually applied (perf counter).
     [[nodiscard]] std::uint64_t applied_updates() const { return updates_; }

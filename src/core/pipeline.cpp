@@ -5,7 +5,11 @@
 
 namespace spider::core {
 
-PipelinedIsExecutor::PipelinedIsExecutor() = default;
+PipelinedIsExecutor::PipelinedIsExecutor(std::size_t scoring_threads) {
+    if (scoring_threads > 1) {
+        scoring_pool_ = std::make_unique<util::ThreadPool>(scoring_threads);
+    }
+}
 
 void PipelinedIsExecutor::submit(std::function<void()> is_task) {
     if (pending_.has_value()) {

@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <future>
+#include <memory>
 #include <optional>
 
 #include "nn/model_profile.hpp"
@@ -25,7 +26,12 @@ namespace spider::core {
 
 class PipelinedIsExecutor {
 public:
-    PipelinedIsExecutor();
+    /// `scoring_threads` > 1 provisions an inner pool that IS tasks can
+    /// fan their per-sample scoring across (scoring_pool()); 0/1 keeps the
+    /// background stage single-threaded. The pipeline stays one-deep
+    /// either way — parallelism is *within* a batch's IS task, so the
+    /// one-batch-slack contract is unchanged.
+    explicit PipelinedIsExecutor(std::size_t scoring_threads = 0);
 
     /// Waits for the previously submitted task (one-batch slack), then
     /// enqueues `is_task` on the background worker.
@@ -38,8 +44,15 @@ public:
     /// nonzero means the IS stage is the pipeline bottleneck.
     [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
 
+    /// Pool for intra-task scoring fan-out (nullptr when serial). Pass to
+    /// GraphImportanceScorer::score_batch from inside a submitted task.
+    [[nodiscard]] util::ThreadPool* scoring_pool() {
+        return scoring_pool_ ? scoring_pool_.get() : nullptr;
+    }
+
 private:
     util::ThreadPool worker_{1};
+    std::unique_ptr<util::ThreadPool> scoring_pool_;
     std::optional<std::future<void>> pending_;
     std::uint64_t stalls_ = 0;
 };

@@ -33,6 +33,10 @@ SpiderCache::SpiderCache(SpiderCacheConfig config)
     if (!config_.label_of) {
         throw std::invalid_argument{"SpiderCache: label_of is required"};
     }
+    if (config_.scoring_threads > 1) {
+        scoring_pool_ =
+            std::make_unique<util::ThreadPool>(config_.scoring_threads);
+    }
 }
 
 cache::Lookup SpiderCache::lookup(std::uint32_t id) const {
@@ -51,16 +55,23 @@ void SpiderCache::observe_batch(std::span<const std::uint32_t> ids,
         throw std::invalid_argument{
             "SpiderCache::observe_batch: ids/embeddings mismatch"};
     }
-    // Algorithm 1 line 15: refresh the ANN graph with this batch.
+    // Algorithm 1 line 15: refresh the ANN graph with this batch (writer
+    // phase — upserts hold the index's exclusive lock).
     for (std::size_t i = 0; i < ids.size(); ++i) {
         scorer_.update_embedding(ids[i], embeddings.row(i));
     }
-    // Lines 16-21: rescore the batch and track its highest-degree node.
+    // Lines 16-21: rescore the batch (reader phase — fans across the
+    // scoring pool when configured) and track its highest-degree node.
+    // Aggregation stays sequential, so results are independent of thread
+    // count.
+    std::vector<ScoreResult> results =
+        scorer_.score_batch(ids, scoring_pool_.get());
     std::size_t max_degree = 0;
     std::uint32_t max_id = 0;
     std::vector<std::uint32_t> max_neighbors;
-    for (std::uint32_t id : ids) {
-        ScoreResult result = scorer_.score(id);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const std::uint32_t id = ids[i];
+        ScoreResult& result = results[i];
         if (id < scores_.size()) {
             scores_[id] = result.score;
             // Resident samples keep their heap position current.

@@ -27,6 +27,7 @@
 //   }
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -66,6 +67,12 @@ struct SpiderCacheConfig {
     /// Disable the homophily section entirely (the "SpiderCache-imp"
     /// ablation of Figures 14/15).
     bool homophily_enabled = true;
+
+    /// Worker threads for the scoring half of observe_batch (0 or 1 =
+    /// serial). Scores are bitwise-identical either way — the parallel
+    /// path only fans out read-only knn queries; `label_of` must then be
+    /// safe to call from multiple threads.
+    std::size_t scoring_threads = 0;
 
     std::uint64_t seed = 2025;
 };
@@ -117,6 +124,8 @@ private:
     std::vector<double> scores_;
     GraphIsSampler sampler_;
     std::size_t epoch_ = 0;
+    /// Present iff config_.scoring_threads > 1.
+    std::unique_ptr<util::ThreadPool> scoring_pool_;
 };
 
 }  // namespace spider::core

@@ -184,6 +184,7 @@ std::vector<float> SyntheticDataset::draw_features(std::uint32_t cls,
     std::vector<float> features(spec_.feature_dim);
     switch (state) {
         case SampleState::kCore:
+        case SampleState::kDuplicate:  // donorless duplicates demote to core
         case SampleState::kMislabeled: {
             // Mislabeled samples *look* like their true class.
             for (std::size_t d = 0; d < spec_.feature_dim; ++d) {

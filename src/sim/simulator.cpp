@@ -174,7 +174,8 @@ metrics::RunResult TrainingSimulator::run() {
                 } else {
                     ++em.misses;
                     ++misses;
-                    remote_.fetch(requested[i]);
+                    // Fetch for the clock/metrics side effects only.
+                    (void)remote_.fetch(requested[i]);
                     ssd.insert(requested[i]);
                 }
             }

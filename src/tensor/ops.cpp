@@ -4,9 +4,50 @@
 #include <cassert>
 #include <cmath>
 
+#include "tensor/simd.hpp"
+
 namespace spider::tensor {
 
 void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+    assert(a.cols() == b.rows());
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    if (out.rows() != m || out.cols() != n) out = Matrix{m, n};
+    out.zero();
+    simd::active_kernels().gemm_acc(m, n, k, a.data(), k, 1, b.data(), n,
+                                    out.data(), n);
+}
+
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
+    assert(a.rows() == b.rows());
+    const std::size_t k = a.rows();
+    const std::size_t m = a.cols();
+    const std::size_t n = b.cols();
+    if (out.rows() != m || out.cols() != n) out = Matrix{m, n};
+    out.zero();
+    // A^T is a with swapped strides; the strided-A microkernel absorbs it.
+    simd::active_kernels().gemm_acc(m, n, k, a.data(), 1, m, b.data(), n,
+                                    out.data(), n);
+}
+
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+    assert(a.cols() == b.cols());
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.rows();
+    if (out.rows() != m || out.cols() != n) out = Matrix{m, n};
+    const auto dot = simd::active_kernels().dot;
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* a_row = a.row(i).data();
+        float* out_row = out.row(i).data();
+        for (std::size_t j = 0; j < n; ++j) {
+            out_row[j] = dot(a_row, b.row(j).data(), k);
+        }
+    }
+}
+
+void matmul_scalar(const Matrix& a, const Matrix& b, Matrix& out) {
     assert(a.cols() == b.rows());
     const std::size_t m = a.rows();
     const std::size_t k = a.cols();
@@ -28,7 +69,7 @@ void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
     }
 }
 
-void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
+void matmul_at_b_scalar(const Matrix& a, const Matrix& b, Matrix& out) {
     assert(a.rows() == b.rows());
     const std::size_t k = a.rows();
     const std::size_t m = a.cols();
@@ -49,7 +90,7 @@ void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
     }
 }
 
-void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+void matmul_a_bt_scalar(const Matrix& a, const Matrix& b, Matrix& out) {
     assert(a.cols() == b.cols());
     const std::size_t m = a.rows();
     const std::size_t k = a.cols();
@@ -174,14 +215,19 @@ std::vector<std::uint32_t> argmax_rows(const Matrix& m) {
 
 void axpy(float alpha, const Matrix& x, Matrix& y) {
     assert(x.rows() == y.rows() && x.cols() == y.cols());
-    const std::span<const float> xin = x.flat();
-    const std::span<float> yout = y.flat();
-    for (std::size_t i = 0; i < xin.size(); ++i) {
-        yout[i] += alpha * xin[i];
-    }
+    simd::active_kernels().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 float squared_l2(std::span<const float> a, std::span<const float> b) {
+    assert(a.size() == b.size());
+    return simd::active_kernels().squared_l2(a.data(), b.data(), a.size());
+}
+
+float l2_distance(std::span<const float> a, std::span<const float> b) {
+    return std::sqrt(squared_l2(a, b));
+}
+
+float squared_l2_scalar(std::span<const float> a, std::span<const float> b) {
     assert(a.size() == b.size());
     float sum = 0.0F;
     for (std::size_t i = 0; i < a.size(); ++i) {
@@ -191,8 +237,17 @@ float squared_l2(std::span<const float> a, std::span<const float> b) {
     return sum;
 }
 
-float l2_distance(std::span<const float> a, std::span<const float> b) {
-    return std::sqrt(squared_l2(a, b));
+float l2_distance_scalar(std::span<const float> a, std::span<const float> b) {
+    return std::sqrt(squared_l2_scalar(a, b));
+}
+
+void axpy_scalar(float alpha, const Matrix& x, Matrix& y) {
+    assert(x.rows() == y.rows() && x.cols() == y.cols());
+    const std::span<const float> xin = x.flat();
+    const std::span<float> yout = y.flat();
+    for (std::size_t i = 0; i < xin.size(); ++i) {
+        yout[i] += alpha * xin[i];
+    }
 }
 
 }  // namespace spider::tensor

@@ -58,4 +58,19 @@ void axpy(float alpha, const Matrix& x, Matrix& y);
 /// Euclidean distance (Eq. 1 in the paper).
 [[nodiscard]] float l2_distance(std::span<const float> a, std::span<const float> b);
 
+// ---- Scalar reference implementations. The functions above dispatch to
+// vectorized kernels (tensor/simd.hpp); these keep the original plain-loop
+// bodies as the ground truth for parity tests and the "before" axis of
+// bench_micro_kernels. Results may differ from the vector path by float
+// reassociation only (parity bound: 1e-5 relative).
+
+void matmul_scalar(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_at_b_scalar(const Matrix& a, const Matrix& b, Matrix& out);
+void matmul_a_bt_scalar(const Matrix& a, const Matrix& b, Matrix& out);
+void axpy_scalar(float alpha, const Matrix& x, Matrix& y);
+[[nodiscard]] float squared_l2_scalar(std::span<const float> a,
+                                      std::span<const float> b);
+[[nodiscard]] float l2_distance_scalar(std::span<const float> a,
+                                       std::span<const float> b);
+
 }  // namespace spider::tensor

@@ -1,0 +1,63 @@
+#pragma once
+
+// Runtime SIMD dispatch for the hot tensor kernels. Every distance the ANN
+// substrate computes and every GEMM the nn/ training loop issues funnels
+// through the function-pointer table below, resolved once per process:
+//
+//   - portable_kernels(): multi-accumulator unrolled loops that plain
+//     -O2 code generation handles well (and that auto-vectorize where the
+//     compiler is allowed to) — the fallback on any CPU.
+//   - an AVX2+FMA table (simd_avx2.cpp, compiled with -mavx2 -mfma when the
+//     toolchain supports it) selected at runtime iff the executing CPU
+//     reports both features, so the same binary runs on older x86-64.
+//
+// `SPIDER_SIMD=scalar` in the environment pins the portable table — the
+// before/after axis of bench_micro_kernels. The plain-loop *_scalar
+// reference implementations live in ops.hpp; parity tests compare the
+// dispatched kernels against them to 1e-5.
+
+#include <cstddef>
+
+namespace spider::tensor::simd {
+
+/// One ISA's implementation of the hot kernels. All pointers are non-null.
+struct Kernels {
+    /// Human-readable ISA tag ("portable", "avx2+fma") for logs/benches.
+    const char* name;
+
+    /// sum_i (a[i] - b[i])^2
+    float (*squared_l2)(const float* a, const float* b, std::size_t n);
+
+    /// sum_i a[i] * b[i]
+    float (*dot)(const float* a, const float* b, std::size_t n);
+
+    /// y[i] += alpha * x[i]
+    void (*axpy)(float alpha, const float* x, float* y, std::size_t n);
+
+    /// Register-blocked GEMM accumulate: c[i][j] += sum_p A(i,p) * B(p,j)
+    /// with A(i,p) = a[i*a_rs + p*a_cs] and B(p,j) = b[p*ldb + j]. The
+    /// strided A access lets one kernel serve both `a @ b` (a_rs=k, a_cs=1)
+    /// and `a^T @ b` (a_rs=1, a_cs=m); B and C are dense row-major. C is
+    /// accumulated into, so callers zero it first. C must not alias A or B.
+    void (*gemm_acc)(std::size_t m, std::size_t n, std::size_t k,
+                     const float* a, std::size_t a_rs, std::size_t a_cs,
+                     const float* b, std::size_t ldb, float* c,
+                     std::size_t ldc);
+};
+
+/// The portable fallback table (always available).
+[[nodiscard]] const Kernels& portable_kernels();
+
+/// The table in use for this process: AVX2+FMA when compiled in and the
+/// CPU supports it, else portable. Resolved once; thread-safe.
+[[nodiscard]] const Kernels& active_kernels();
+
+/// True when active_kernels() is the AVX2+FMA table.
+[[nodiscard]] bool avx2_active();
+
+/// Defined in simd_avx2.cpp: the AVX2+FMA table, or nullptr when that
+/// translation unit was built without AVX2 support. Callers must still
+/// check CPU features before using it — active_kernels() does.
+[[nodiscard]] const Kernels* avx2_kernels_or_null();
+
+}  // namespace spider::tensor::simd

@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+#include <exception>
 #include <stdexcept>
 
 namespace spider::util {
@@ -41,14 +43,41 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+    const std::size_t grain =
+        std::max<std::size_t>(1, count / (workers_.size() * 4));
+    parallel_for(count, grain, [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            fn(i);
+        }
+    });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (count == 0) return;
+    if (grain == 0) grain = 1;
+    if (grain >= count) {  // one chunk: no dispatch, run on the caller
+        fn(0, count);
+        return;
+    }
     std::vector<std::future<void>> futures;
-    futures.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-        futures.push_back(submit([&fn, i] { fn(i); }));
+    futures.reserve((count + grain - 1) / grain);
+    for (std::size_t begin = 0; begin < count; begin += grain) {
+        const std::size_t end = std::min(begin + grain, count);
+        futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
     }
+    // Drain every chunk before rethrowing: chunks capture &fn, so exiting
+    // while any are still queued/running would dangle.
+    std::exception_ptr first;
     for (auto& f : futures) {
-        f.get();
+        try {
+            f.get();
+        } catch (...) {
+            if (!first) first = std::current_exception();
+        }
     }
+    if (first) std::rethrow_exception(first);
 }
 
 }  // namespace spider::util

@@ -45,7 +45,17 @@ public:
     }
 
     /// Runs fn(i) for i in [0, count) across the pool and waits for all.
+    /// Convenience wrapper over the chunked overload with a grain that
+    /// yields ~4 chunks per worker.
     void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+    /// Chunked variant: runs fn(begin, end) over disjoint ranges of at most
+    /// `grain` elements, amortizing dispatch over whole chunks instead of
+    /// paying one future per element. Always waits for every chunk to
+    /// finish (even when one throws) before rethrowing the first exception
+    /// in chunk order. A single-chunk range runs inline on the caller.
+    void parallel_for(std::size_t count, std::size_t grain,
+                      const std::function<void(std::size_t, std::size_t)>& fn);
 
 private:
     void worker_loop();

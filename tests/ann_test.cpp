@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "ann/bruteforce.hpp"
@@ -308,6 +309,70 @@ TEST(Hnsw, DuplicatePointsAllRetrievable) {
     for (const Neighbor& nb : found) {
         EXPECT_NEAR(nb.distance, 0.0F, 1e-6);
     }
+}
+
+// The scoring phase fans knn across a thread pool (hnsw.hpp phase
+// contract); 8 threads x 1000 queries against a fixed graph must return
+// exactly the serial answers, and the shared distance counter must not
+// lose increments. Run under -DSPIDER_TSAN=ON to check for data races.
+TEST(Hnsw, ConcurrentKnnMatchesSerial) {
+    constexpr std::size_t kDim = 16;
+    constexpr std::size_t kPopulation = 2000;
+    constexpr std::size_t kQueries = 1000;
+    constexpr std::size_t kThreads = 8;
+
+    HnswConfig config;
+    config.dim = kDim;
+    HnswIndex index{config};
+    util::Rng rng{71};
+    for (std::uint32_t i = 0; i < kPopulation; ++i) {
+        index.upsert(i, random_point(rng, kDim, static_cast<double>(i % 8)));
+    }
+
+    std::vector<std::vector<float>> queries;
+    queries.reserve(kQueries);
+    for (std::size_t q = 0; q < kQueries; ++q) {
+        queries.push_back(random_point(rng, kDim, static_cast<double>(q % 8)));
+    }
+
+    // One serial pass measures both the expected answers and the exact
+    // distance-computation count of a pass (the counter also includes
+    // construction, so deltas are what's comparable).
+    std::vector<std::vector<Neighbor>> serial(kQueries);
+    const std::uint64_t comps_start = index.distance_computations();
+    for (std::size_t q = 0; q < kQueries; ++q) {
+        serial[q] = index.knn(queries[q], 10);
+    }
+    const std::uint64_t delta_serial =
+        index.distance_computations() - comps_start;
+
+    std::vector<std::vector<Neighbor>> parallel(kQueries);
+    const std::uint64_t comps_before = index.distance_computations();
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::size_t q = t; q < kQueries; q += kThreads) {
+                parallel[q] = index.knn(queries[q], 10);
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    const std::uint64_t delta_parallel =
+        index.distance_computations() - comps_before;
+
+    for (std::size_t q = 0; q < kQueries; ++q) {
+        ASSERT_EQ(parallel[q].size(), serial[q].size()) << "query " << q;
+        for (std::size_t r = 0; r < serial[q].size(); ++r) {
+            EXPECT_EQ(parallel[q][r].label, serial[q][r].label)
+                << "query " << q << " rank " << r;
+            EXPECT_EQ(parallel[q][r].distance, serial[q][r].distance)
+                << "query " << q << " rank " << r;
+        }
+    }
+    // Search is deterministic per query, so the relaxed-atomic counter must
+    // see exactly one pass worth of increments.
+    EXPECT_EQ(delta_parallel, delta_serial);
 }
 
 }  // namespace

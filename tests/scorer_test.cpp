@@ -240,5 +240,46 @@ TEST(Scorer, DistanceThresholdMatchesClosedForm) {
     EXPECT_NEAR(scorer.distance_threshold(), -std::log(0.2) / 2.0, 1e-12);
 }
 
+// score_batch must be a pure fan-out of score(): same scores, same
+// neighbor lists, in batch order, regardless of thread count.
+TEST(ScoreBatch, ParallelEqualsSerialExactly) {
+    ann::HnswConfig ann;
+    ann.dim = 8;
+    ann::HnswIndex index{ann};
+    ScorerConfig config;
+    config.neighbor_k = 12;
+    GraphImportanceScorer scorer{index, config,
+                                 [](std::uint32_t id) { return id % 5; }};
+
+    util::Rng rng{37};
+    const std::size_t population = 300;
+    std::vector<float> embedding(8);
+    for (std::uint32_t id = 0; id < population; ++id) {
+        const double center = static_cast<double>(id % 5);
+        for (float& x : embedding) {
+            x = static_cast<float>(rng.normal(center, 1.0));
+        }
+        scorer.update_embedding(id, embedding);
+    }
+
+    std::vector<std::uint32_t> ids(population);
+    for (std::uint32_t id = 0; id < population; ++id) ids[id] = id;
+
+    const std::vector<ScoreResult> serial = scorer.score_batch(ids, nullptr);
+    util::ThreadPool pool{4};
+    const std::vector<ScoreResult> parallel = scorer.score_batch(ids, &pool);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].score, serial[i].score) << "sample " << i;
+        EXPECT_EQ(parallel[i].x_same, serial[i].x_same) << "sample " << i;
+        EXPECT_EQ(parallel[i].x_other, serial[i].x_other) << "sample " << i;
+        EXPECT_EQ(parallel[i].neighbor_ids, serial[i].neighbor_ids)
+            << "sample " << i;
+        EXPECT_EQ(parallel[i].close_neighbor_ids, serial[i].close_neighbor_ids)
+            << "sample " << i;
+    }
+}
+
 }  // namespace
 }  // namespace spider::core

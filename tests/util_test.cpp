@@ -9,6 +9,8 @@
 #include <cmath>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -334,6 +336,77 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
 
 TEST(ThreadPool, RejectsZeroThreads) {
     EXPECT_THROW(ThreadPool{0}, std::invalid_argument);
+}
+
+TEST(ThreadPool, ChunkedParallelForCoversEveryIndexExactlyOnce) {
+    ThreadPool pool{3};
+    std::vector<std::atomic<int>> touched(1000);
+    std::atomic<int> chunks{0};
+    pool.parallel_for(1000, 64, [&](std::size_t begin, std::size_t end) {
+        ASSERT_LT(begin, end);
+        ASSERT_LE(end - begin, 64U);
+        ++chunks;
+        for (std::size_t i = begin; i < end; ++i) ++touched[i];
+    });
+    for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+    EXPECT_EQ(chunks.load(), 16);  // ceil(1000/64)
+}
+
+TEST(ThreadPool, ChunkedParallelForEmptyRangeCallsNothing) {
+    ThreadPool pool{2};
+    std::atomic<int> calls{0};
+    pool.parallel_for(0, 8, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ChunkedParallelForZeroGrainActsAsOne) {
+    ThreadPool pool{2};
+    std::atomic<int> chunks{0};
+    pool.parallel_for(5, 0, [&](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(end, begin + 1);
+        ++chunks;
+    });
+    EXPECT_EQ(chunks.load(), 5);
+}
+
+TEST(ThreadPool, ChunkedParallelForSingleChunkRunsInline) {
+    ThreadPool pool{2};
+    const auto caller = std::this_thread::get_id();
+    std::thread::id ran_on;
+    pool.parallel_for(10, 100, [&](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(begin, 0U);
+        EXPECT_EQ(end, 10U);
+        ran_on = std::this_thread::get_id();
+    });
+    EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, ChunkedParallelForPropagatesFirstExceptionAfterDraining) {
+    ThreadPool pool{4};
+    std::atomic<int> completed{0};
+    try {
+        pool.parallel_for(100, 10, [&](std::size_t begin, std::size_t) {
+            if (begin == 30) throw std::runtime_error{"chunk failed"};
+            ++completed;
+        });
+        FAIL() << "expected the chunk exception to propagate";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "chunk failed");
+    }
+    // All other chunks ran to completion before the rethrow — none were
+    // abandoned mid-flight.
+    EXPECT_EQ(completed.load(), 9);
+}
+
+TEST(ThreadPool, IndexParallelForPropagatesExceptions) {
+    ThreadPool pool{2};
+    EXPECT_THROW(pool.parallel_for(32,
+                                   [](std::size_t i) {
+                                       if (i == 7) {
+                                           throw std::logic_error{"bad index"};
+                                       }
+                                   }),
+                 std::logic_error);
 }
 
 TEST(Table, RendersAlignedColumns) {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 gate: Release build with warnings-as-errors, full ctest run.
+#
+#   tools/run_tier1.sh            # Release + -Werror + ctest
+#   tools/run_tier1.sh --tsan     # additionally: ThreadSanitizer build of
+#                                 # the concurrency-sensitive tests
+#                                 # (concurrent knn, score_batch,
+#                                 # parallel_for) in build-tsan/
+#
+# Build directories: build-tier1/ and build-tsan/ (both gitignored).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=1 ;;
+    *) echo "usage: $0 [--tsan]" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: Release + warnings-as-errors =="
+cmake -B build-tier1 -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DSPIDER_WARNINGS_AS_ERRORS=ON
+cmake --build build-tier1 -j "$jobs"
+ctest --test-dir build-tier1 --output-on-failure -j "$jobs"
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== opt-in: ThreadSanitizer pass over the concurrent paths =="
+  # Benches/examples are irrelevant under TSan and double the build time.
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPIDER_TSAN=ON \
+    -DSPIDER_BUILD_BENCH=OFF \
+    -DSPIDER_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$jobs" \
+    --target ann_test scorer_test util_test pipeline_test
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'Concurrent|ScoreBatch|ThreadPool|Pipelined'
+fi
+
+echo "tier-1 OK"
