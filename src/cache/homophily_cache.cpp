@@ -52,6 +52,20 @@ std::optional<std::uint32_t> HomophilyCache::update(
     return evicted;
 }
 
+std::optional<std::uint32_t> HomophilyCache::oldest() const {
+    if (fifo_.empty()) return std::nullopt;
+    return fifo_.front();
+}
+
+std::optional<std::pair<std::uint32_t, std::vector<std::uint32_t>>>
+HomophilyCache::evict_oldest() {
+    if (fifo_.empty()) return std::nullopt;
+    const std::uint32_t victim = fifo_.front();
+    std::vector<std::uint32_t> neighbors{entries_.at(victim).neighbors};
+    evict_front();
+    return std::make_pair(victim, std::move(neighbors));
+}
+
 std::span<const std::uint32_t> HomophilyCache::neighbors_of(
     std::uint32_t key) const {
     const auto it = entries_.find(key);

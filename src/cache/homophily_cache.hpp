@@ -48,6 +48,17 @@ public:
     [[nodiscard]] std::span<const std::uint32_t> neighbors_of(
         std::uint32_t key) const;
 
+    /// FIFO head: the next eviction victim (nullopt when empty). Lets the
+    /// sharded two-layer cache capture a victim's neighbor list before the
+    /// eviction invalidates it.
+    [[nodiscard]] std::optional<std::uint32_t> oldest() const;
+
+    /// Pops the FIFO head and returns it with its neighbor list — the
+    /// explicit-eviction path used when an external neighbor index must be
+    /// kept in sync (sharded mode).
+    std::optional<std::pair<std::uint32_t, std::vector<std::uint32_t>>>
+    evict_oldest();
+
     void set_capacity(std::size_t capacity);
 
 private:

@@ -3,58 +3,279 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 
 namespace spider::cache {
 
+namespace {
+
+/// Fibonacci-hash mix: ids arrive as dense small integers, so a plain
+/// modulus would put every run of batch_size consecutive ids on rotating
+/// shards; the multiplicative mix decorrelates shard choice from id order.
+[[nodiscard]] std::uint32_t mix(std::uint32_t id) {
+    return id * 0x9E3779B9U;
+}
+
+}  // namespace
+
+std::size_t TwoLayerSemanticCache::auto_shards() {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return std::min<std::size_t>(16, std::max<std::size_t>(hw, 1));
+}
+
 TwoLayerSemanticCache::TwoLayerSemanticCache(std::size_t total_capacity,
-                                             double imp_ratio)
-    : total_capacity_{total_capacity},
-      imp_ratio_{imp_ratio},
-      importance_{imp_items(imp_ratio)},
-      homophily_{total_capacity - imp_items(imp_ratio)} {
+                                             double imp_ratio,
+                                             std::size_t shards)
+    : total_capacity_{total_capacity}, imp_ratio_{imp_ratio} {
     if (imp_ratio <= 0.0 || imp_ratio > 1.0) {
         throw std::invalid_argument{
             "TwoLayerSemanticCache: imp_ratio must be in (0, 1]"};
     }
+    if (shards == kAutoShards) shards = auto_shards();
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t capacity = slice_capacity(total_capacity_, shards, s);
+        const std::size_t imp = imp_items_for(capacity, imp_ratio);
+        shards_.push_back(std::make_unique<Shard>(imp, capacity - imp));
+    }
 }
 
-std::size_t TwoLayerSemanticCache::imp_items(double ratio) const {
+std::size_t TwoLayerSemanticCache::slice_capacity(std::size_t total,
+                                                  std::size_t shards,
+                                                  std::size_t s) {
+    return total / shards + (s < total % shards ? 1 : 0);
+}
+
+std::size_t TwoLayerSemanticCache::shard_total(std::size_t s) const {
+    return slice_capacity(total_capacity_, shards_.size(), s);
+}
+
+std::size_t TwoLayerSemanticCache::imp_items_for(std::size_t capacity,
+                                                 double ratio) {
     const auto items = static_cast<std::size_t>(
-        std::llround(static_cast<double>(total_capacity_) * ratio));
-    return std::min(items, total_capacity_);
+        std::llround(static_cast<double>(capacity) * ratio));
+    return std::min(items, capacity);
+}
+
+std::size_t TwoLayerSemanticCache::shard_of(std::uint32_t id) const {
+    return shards_.size() == 1 ? 0 : mix(id) % shards_.size();
+}
+
+ImportanceCache& TwoLayerSemanticCache::importance() {
+    if (shards_.size() != 1) {
+        throw std::logic_error{
+            "TwoLayerSemanticCache::importance: sharded cache has no single "
+            "section; use the aggregate/per-shard accessors"};
+    }
+    return shards_[0]->importance;
+}
+
+const ImportanceCache& TwoLayerSemanticCache::importance() const {
+    return const_cast<TwoLayerSemanticCache*>(this)->importance();
+}
+
+HomophilyCache& TwoLayerSemanticCache::homophily() {
+    if (shards_.size() != 1) {
+        throw std::logic_error{
+            "TwoLayerSemanticCache::homophily: sharded cache has no single "
+            "section; use the aggregate/per-shard accessors"};
+    }
+    return shards_[0]->homophily;
+}
+
+const HomophilyCache& TwoLayerSemanticCache::homophily() const {
+    return const_cast<TwoLayerSemanticCache*>(this)->homophily();
 }
 
 Lookup TwoLayerSemanticCache::lookup(std::uint32_t id) const {
-    if (importance_.contains(id)) {
+    const Shard& shard = *shards_[shard_of(id)];
+    const std::lock_guard lock{shard.mu};
+    if (shard.importance.contains(id)) {
         return {HitKind::kImportance, id};
     }
     // A resident high-degree node can also be served directly: it is its
     // own best surrogate.
-    if (homophily_.contains_key(id)) {
+    if (shard.homophily.contains_key(id)) {
         return {HitKind::kHomophily, id};
     }
-    if (const auto surrogate = homophily_.surrogate_for(id)) {
-        return {HitKind::kHomophily, *surrogate};
+    if (shards_.size() == 1) {
+        if (const auto surrogate = shard.homophily.surrogate_for(id)) {
+            return {HitKind::kHomophily, *surrogate};
+        }
+        return {HitKind::kMiss, id};
+    }
+    // Sharded: the neighbor index slice for `id` lives in id's shard, even
+    // though the surrogate key it names may reside elsewhere. Newest
+    // resident node listing this neighbor wins (freshest embedding).
+    const auto it = shard.neighbor_index.find(id);
+    if (it != shard.neighbor_index.end() && !it->second.empty()) {
+        return {HitKind::kHomophily, it->second.back()};
     }
     return {HitKind::kMiss, id};
 }
 
 ImportanceCache::AdmitResult TwoLayerSemanticCache::on_miss_fetched(
     std::uint32_t id, double score) {
-    return importance_.admit_scored(id, score);
+    Shard& shard = *shards_[shard_of(id)];
+    const std::lock_guard lock{shard.mu};
+    return shard.importance.admit_scored(id, score);
+}
+
+void TwoLayerSemanticCache::update_importance_score(std::uint32_t id,
+                                                    double score) {
+    Shard& shard = *shards_[shard_of(id)];
+    const std::lock_guard lock{shard.mu};
+    shard.importance.update_score(id, score);
+}
+
+void TwoLayerSemanticCache::unindex_evicted(
+    std::uint32_t victim, std::span<const std::uint32_t> neighbors) {
+    for (std::uint32_t neighbor : neighbors) {
+        Shard& shard = *shards_[shard_of(neighbor)];
+        const std::lock_guard lock{shard.mu};
+        const auto it = shard.neighbor_index.find(neighbor);
+        if (it == shard.neighbor_index.end()) continue;
+        auto& keys = it->second;
+        keys.erase(std::remove(keys.begin(), keys.end(), victim), keys.end());
+        if (keys.empty()) shard.neighbor_index.erase(it);
+    }
 }
 
 std::optional<std::uint32_t> TwoLayerSemanticCache::update_homophily(
     std::uint32_t key, std::span<const std::uint32_t> neighbors) {
-    return homophily_.update(key, neighbors);
+    Shard& key_shard = *shards_[shard_of(key)];
+    if (shards_.size() == 1) {
+        const std::lock_guard lock{key_shard.mu};
+        return key_shard.homophily.update(key, neighbors);
+    }
+    // Sharded: insert the entry under the key's shard, then maintain the
+    // neighbor-index slices one shard at a time (never holding two locks,
+    // so update/lookup traffic on other shards cannot deadlock with us).
+    std::optional<std::uint32_t> evicted;
+    std::vector<std::uint32_t> victim_neighbors;
+    {
+        const std::lock_guard lock{key_shard.mu};
+        if (key_shard.homophily.capacity() == 0 ||
+            key_shard.homophily.contains_key(key)) {
+            return std::nullopt;
+        }
+        if (key_shard.homophily.size() >= key_shard.homophily.capacity()) {
+            const auto victim = *key_shard.homophily.oldest();
+            const auto nb = key_shard.homophily.neighbors_of(victim);
+            victim_neighbors.assign(nb.begin(), nb.end());
+        }
+        evicted = key_shard.homophily.update(key, neighbors);
+    }
+    if (evicted.has_value()) {
+        unindex_evicted(*evicted, victim_neighbors);
+    }
+    for (std::uint32_t neighbor : neighbors) {
+        Shard& shard = *shards_[shard_of(neighbor)];
+        const std::lock_guard lock{shard.mu};
+        shard.neighbor_index[neighbor].push_back(key);
+    }
+    return evicted;
 }
 
 void TwoLayerSemanticCache::set_imp_ratio(double imp_ratio) {
     imp_ratio = std::clamp(imp_ratio, 0.01, 1.0);
-    imp_ratio_ = imp_ratio;
-    const std::size_t imp = imp_items(imp_ratio);
-    importance_.set_capacity(imp);
-    homophily_.set_capacity(total_capacity_ - imp);
+    imp_ratio_.store(imp_ratio, std::memory_order_relaxed);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        Shard& shard = *shards_[s];
+        const std::size_t capacity = shard_total(s);
+        const std::size_t imp = imp_items_for(capacity, imp_ratio);
+        const std::size_t hom = capacity - imp;
+        if (shards_.size() == 1) {
+            const std::lock_guard lock{shard.mu};
+            shard.importance.set_capacity(imp);
+            shard.homophily.set_capacity(hom);
+            continue;
+        }
+        // Sharded: evictions forced by a shrinking homophily slice must
+        // also leave the neighbor-index slices, which live under other
+        // shards' locks — collect victims first, unindex after releasing.
+        std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>>
+            victims;
+        {
+            const std::lock_guard lock{shard.mu};
+            shard.importance.set_capacity(imp);
+            while (shard.homophily.size() > hom) {
+                victims.push_back(*shard.homophily.evict_oldest());
+            }
+            shard.homophily.set_capacity(hom);
+        }
+        for (const auto& [victim, victim_neighbors] : victims) {
+            unindex_evicted(victim, victim_neighbors);
+        }
+    }
+}
+
+std::size_t TwoLayerSemanticCache::importance_size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+        const std::lock_guard lock{shard->mu};
+        total += shard->importance.size();
+    }
+    return total;
+}
+
+std::size_t TwoLayerSemanticCache::homophily_size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+        const std::lock_guard lock{shard->mu};
+        total += shard->homophily.size();
+    }
+    return total;
+}
+
+std::size_t TwoLayerSemanticCache::importance_capacity() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+        const std::lock_guard lock{shard->mu};
+        total += shard->importance.capacity();
+    }
+    return total;
+}
+
+std::size_t TwoLayerSemanticCache::homophily_capacity() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+        const std::lock_guard lock{shard->mu};
+        total += shard->homophily.capacity();
+    }
+    return total;
+}
+
+std::size_t TwoLayerSemanticCache::shard_capacity(std::size_t s) const {
+    return shard_total(s);
+}
+
+std::size_t TwoLayerSemanticCache::shard_importance_capacity(
+    std::size_t s) const {
+    const std::lock_guard lock{shards_[s]->mu};
+    return shards_[s]->importance.capacity();
+}
+
+std::size_t TwoLayerSemanticCache::shard_importance_size(std::size_t s) const {
+    const std::lock_guard lock{shards_[s]->mu};
+    return shards_[s]->importance.size();
+}
+
+std::size_t TwoLayerSemanticCache::shard_homophily_capacity(
+    std::size_t s) const {
+    const std::lock_guard lock{shards_[s]->mu};
+    return shards_[s]->homophily.capacity();
+}
+
+std::size_t TwoLayerSemanticCache::shard_homophily_size(std::size_t s) const {
+    const std::lock_guard lock{shards_[s]->mu};
+    return shards_[s]->homophily.size();
+}
+
+std::optional<double> TwoLayerSemanticCache::shard_min_score(
+    std::size_t s) const {
+    const std::lock_guard lock{shards_[s]->mu};
+    return shards_[s]->importance.min_score();
 }
 
 }  // namespace spider::cache

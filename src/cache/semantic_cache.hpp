@@ -14,10 +14,26 @@
 //
 // The split between sections is `imp_ratio` of total capacity, adjusted at
 // runtime by the Elastic Cache Manager (Section 4.3).
+//
+// Concurrency (DESIGN.md §8): the cache is sharded by id hash into S
+// independent shards, each owning a mutex, an Importance section slice, a
+// Homophily section slice, and the neighbor-index slice for ids hashing to
+// it. Every public operation locks exactly one shard at a time (homophily
+// updates touch the key's shard, then each neighbor's shard in turn), so
+// trainer workers on different shards never serialize and no operation can
+// deadlock. `shards == 1` degenerates to the original single structure
+// behind one mutex and reproduces the legacy hit/miss/eviction sequence
+// bit for bit; the Case 2/4 admission rule then compares against the
+// *per-shard* resident minimum when S > 1.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "cache/homophily_cache.hpp"
 #include "cache/importance_cache.hpp"
@@ -39,40 +55,105 @@ struct Lookup {
 
 class TwoLayerSemanticCache {
 public:
-    /// @param total_capacity  Items across both sections.
+    /// Sentinel for the `shards` parameter: resolve to auto_shards().
+    static constexpr std::size_t kAutoShards = 0;
+    /// Default shard count for concurrent use: min(16, hw_concurrency).
+    [[nodiscard]] static std::size_t auto_shards();
+
+    /// @param total_capacity  Items across both sections and all shards.
     /// @param imp_ratio       Initial Importance-section fraction (0..1].
-    TwoLayerSemanticCache(std::size_t total_capacity, double imp_ratio);
+    /// @param shards          Shard count (1 = legacy single structure;
+    ///                        kAutoShards = min(16, hw_concurrency)).
+    TwoLayerSemanticCache(std::size_t total_capacity, double imp_ratio,
+                          std::size_t shards = 1);
 
     [[nodiscard]] std::size_t total_capacity() const { return total_capacity_; }
-    [[nodiscard]] double imp_ratio() const { return imp_ratio_; }
-    [[nodiscard]] ImportanceCache& importance() { return importance_; }
-    [[nodiscard]] const ImportanceCache& importance() const { return importance_; }
-    [[nodiscard]] HomophilyCache& homophily() { return homophily_; }
-    [[nodiscard]] const HomophilyCache& homophily() const { return homophily_; }
+    [[nodiscard]] double imp_ratio() const {
+        return imp_ratio_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+    /// Which shard `id` hashes to (stable across the cache's lifetime).
+    [[nodiscard]] std::size_t shard_of(std::uint32_t id) const;
+
+    /// Direct section access — single-shard configurations only (the
+    /// legacy API used by tests and single-threaded callers). Throws
+    /// std::logic_error when num_shards() > 1.
+    [[nodiscard]] ImportanceCache& importance();
+    [[nodiscard]] const ImportanceCache& importance() const;
+    [[nodiscard]] HomophilyCache& homophily();
+    [[nodiscard]] const HomophilyCache& homophily() const;
 
     /// Read path (Algorithm 1 lines 5-11): Importance first, then the
-    /// Homophily neighbor lists. Does not mutate either section.
+    /// Homophily neighbor lists. Does not mutate either section. Locks the
+    /// requested id's shard only; safe from any thread.
     [[nodiscard]] Lookup lookup(std::uint32_t id) const;
 
     /// Miss path (line 10): called after the sample was fetched remotely.
-    /// Applies the Case 2/4 admission rule with the sample's current score.
+    /// Applies the Case 2/4 admission rule with the sample's current score
+    /// against the id's shard minimum. Safe from any thread.
     ImportanceCache::AdmitResult on_miss_fetched(std::uint32_t id, double score);
 
     /// Batch-end path (line 22): offer the batch's highest-degree node.
+    /// Safe from any thread; locks one shard at a time.
     std::optional<std::uint32_t> update_homophily(
         std::uint32_t key, std::span<const std::uint32_t> neighbors);
 
-    /// Elastic repartition: resizes both sections to match `imp_ratio` of
-    /// the unchanged total capacity (Eq. 8 output).
+    /// Re-keys a resident importance entry after its global score changed
+    /// (scores drift every epoch). No-op when absent. Safe from any thread.
+    void update_importance_score(std::uint32_t id, double score);
+
+    /// Elastic repartition: resizes both sections of every shard to match
+    /// `imp_ratio` of the unchanged total capacity (Eq. 8 output). Locks
+    /// shards one at a time; concurrent lookups/admissions stay valid.
     void set_imp_ratio(double imp_ratio);
 
+    // ---- Aggregate inspection (sums over shards, locking each in turn).
+    [[nodiscard]] std::size_t importance_size() const;
+    [[nodiscard]] std::size_t homophily_size() const;
+    [[nodiscard]] std::size_t importance_capacity() const;
+    [[nodiscard]] std::size_t homophily_capacity() const;
+
+    // ---- Per-shard inspection (invariant tests and the concurrency bench).
+    [[nodiscard]] std::size_t shard_capacity(std::size_t s) const;
+    [[nodiscard]] std::size_t shard_importance_capacity(std::size_t s) const;
+    [[nodiscard]] std::size_t shard_importance_size(std::size_t s) const;
+    [[nodiscard]] std::size_t shard_homophily_capacity(std::size_t s) const;
+    [[nodiscard]] std::size_t shard_homophily_size(std::size_t s) const;
+    /// Lowest resident importance score of shard `s` (the per-shard
+    /// admission threshold).
+    [[nodiscard]] std::optional<double> shard_min_score(std::size_t s) const;
+
 private:
-    [[nodiscard]] std::size_t imp_items(double ratio) const;
+    struct Shard {
+        Shard(std::size_t imp_capacity, std::size_t hom_capacity)
+            : importance{imp_capacity}, homophily{hom_capacity} {}
+
+        mutable std::mutex mu;
+        ImportanceCache importance;
+        HomophilyCache homophily;
+        /// Sharded slice of the neighbor index, keyed by *neighbor* id (so
+        /// a surrogate probe for id only touches id's shard). Values are
+        /// resident homophily keys — possibly in other shards — newest
+        /// last. Unused when num_shards() == 1 (the shard's HomophilyCache
+        /// keeps its own index and the legacy path consults it directly).
+        std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
+            neighbor_index;
+    };
+
+    /// Capacity slice owned by shard `s` of `shards` (total split evenly,
+    /// remainder to the low shards).
+    [[nodiscard]] static std::size_t slice_capacity(std::size_t total,
+                                                    std::size_t shards,
+                                                    std::size_t s);
+    [[nodiscard]] std::size_t shard_total(std::size_t s) const;
+    [[nodiscard]] static std::size_t imp_items_for(std::size_t capacity,
+                                                   double ratio);
+    void unindex_evicted(std::uint32_t victim,
+                         std::span<const std::uint32_t> neighbors);
 
     std::size_t total_capacity_;
-    double imp_ratio_;
-    ImportanceCache importance_;
-    HomophilyCache homophily_;
+    std::atomic<double> imp_ratio_;
+    std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace spider::cache

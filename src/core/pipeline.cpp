@@ -39,6 +39,15 @@ storage::SimDuration pipelined_batch_time(const nn::ModelProfile& profile,
 
 storage::SimDuration pipelined_batch_time(double stage1_ms, double stage2_ms,
                                           double is_ms, bool long_is_pipeline,
+                                          bool is_enabled, bool pipelined,
+                                          double prefetch_hidden_ms) {
+    const double hidden = std::clamp(prefetch_hidden_ms, 0.0, stage1_ms);
+    return pipelined_batch_time(stage1_ms - hidden, stage2_ms, is_ms,
+                                long_is_pipeline, is_enabled, pipelined);
+}
+
+storage::SimDuration pipelined_batch_time(double stage1_ms, double stage2_ms,
+                                          double is_ms, bool long_is_pipeline,
                                           bool is_enabled, bool pipelined) {
     if (!is_enabled) {
         return storage::from_ms(stage1_ms + stage2_ms);

@@ -74,4 +74,13 @@ private:
     double stage1_ms, double stage2_ms, double is_ms, bool long_is_pipeline,
     bool is_enabled, bool pipelined);
 
+/// Prefetch-overlap variant: `prefetch_hidden_ms` is the slice of this
+/// batch's Stage 1 already performed by the lookahead prefetcher during
+/// the previous batch's compute window (storage was idle then, so the
+/// overlap is free). It is clamped to [0, stage1_ms] — lookahead can hide
+/// loading, never make a stage negative.
+[[nodiscard]] storage::SimDuration pipelined_batch_time(
+    double stage1_ms, double stage2_ms, double is_ms, bool long_is_pipeline,
+    bool is_enabled, bool pipelined, double prefetch_hidden_ms);
+
 }  // namespace spider::core

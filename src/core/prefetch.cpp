@@ -1,0 +1,105 @@
+#include "core/prefetch.hpp"
+
+#include <stdexcept>
+
+namespace spider::core {
+
+PrefetchPipeline::PrefetchPipeline(ProbeFn probe, FetchFn fetch, Config config)
+    : probe_{std::move(probe)},
+      fetch_{std::move(fetch)},
+      config_{config},
+      pool_{std::max<std::size_t>(config.threads, 1)} {
+    if (!probe_ || !fetch_) {
+        throw std::invalid_argument{
+            "PrefetchPipeline: probe and fetch callbacks are required"};
+    }
+    if (config_.max_in_flight == 0) config_.max_in_flight = 1;
+}
+
+PrefetchPipeline::~PrefetchPipeline() = default;
+
+std::size_t PrefetchPipeline::prefetch(std::span<const std::uint32_t> ids) {
+    std::size_t issued = 0;
+    for (std::uint32_t id : ids) {
+        {
+            const std::lock_guard lock{mu_};
+            ++stats_.requested;
+            if (in_flight_.contains(id) || ready_.contains(id)) {
+                ++stats_.skipped_in_flight;
+                continue;
+            }
+            if (in_flight_.size() + ready_.size() >= config_.max_in_flight) {
+                ++stats_.skipped_window;
+                continue;
+            }
+        }
+        // Probe outside our own lock: the cache has its own (sharded)
+        // locking, and probe callbacks may be arbitrarily slow.
+        if (probe_(id)) {
+            const std::lock_guard lock{mu_};
+            ++stats_.skipped_cached;
+            continue;
+        }
+        {
+            const std::lock_guard lock{mu_};
+            // Re-check: a concurrent prefetch() may have raced us here.
+            if (in_flight_.contains(id) || ready_.contains(id)) {
+                ++stats_.skipped_in_flight;
+                continue;
+            }
+            in_flight_.insert(id);
+            ++stats_.issued;
+        }
+        ++issued;
+        pool_.submit([this, id] { on_fetched(id); });
+    }
+    return issued;
+}
+
+void PrefetchPipeline::on_fetched(std::uint32_t id) {
+    fetch_(id);
+    {
+        const std::lock_guard lock{mu_};
+        in_flight_.erase(id);
+        ready_.insert(id);
+        ++stats_.completed;
+    }
+    cv_.notify_all();
+}
+
+bool PrefetchPipeline::consume(std::uint32_t id) {
+    std::unique_lock lock{mu_};
+    if (ready_.erase(id) > 0) {
+        ++stats_.hidden;
+        return true;
+    }
+    if (!in_flight_.contains(id)) return false;
+    ++stats_.waited;
+    cv_.wait(lock, [this, id] { return !in_flight_.contains(id); });
+    ready_.erase(id);
+    return true;
+}
+
+std::size_t PrefetchPipeline::discard_ready() {
+    const std::lock_guard lock{mu_};
+    const std::size_t dropped = ready_.size();
+    ready_.clear();
+    return dropped;
+}
+
+bool PrefetchPipeline::pending(std::uint32_t id) const {
+    const std::lock_guard lock{mu_};
+    return in_flight_.contains(id) || ready_.contains(id);
+}
+
+void PrefetchPipeline::drain() {
+    std::unique_lock lock{mu_};
+    cv_.wait(lock, [this] { return in_flight_.empty(); });
+}
+
+PrefetchPipeline::Stats PrefetchPipeline::stats() const {
+    const std::lock_guard lock{mu_};
+    return stats_;
+}
+
+}  // namespace spider::core

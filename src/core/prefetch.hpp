@@ -1,0 +1,106 @@
+#pragma once
+
+// Lookahead miss prefetcher (DESIGN.md §8.3). The graph-IS sampler fixes
+// the whole epoch's request order up front, so the ids of batch k+1 are
+// known while batch k computes. The PrefetchPipeline exploits that: it
+// probes the cache for the next batch's ids, predicts the misses, and
+// issues them to remote storage on a background pool — overlapping Stage 1
+// I/O with the current batch's Stage 2/3 compute, exactly the window the
+// storage server would otherwise sit idle in (Quiver's substitutable-
+// sample lookahead, adapted to SpiderCache's exact-order sampler).
+//
+// Guarantees:
+//   - bounded in-flight window: at most `max_in_flight` fetches are ever
+//     outstanding, so lookahead cannot swamp the storage server;
+//   - dedup: an id already in flight (or fetched and not yet consumed) is
+//     never issued twice, even when consecutive batches overlap;
+//   - demand-side consume(): returns true when the id's fetch was issued
+//     by the prefetcher — completed entries are free, in-progress ones are
+//     waited for (still cheaper than a cold fetch, the round trip is
+//     already partially paid).
+//
+// The pipeline only ever *reads* the cache (via the probe callback) and
+// never admits — admission stays on the demand path (Algorithm 1 line 10),
+// so enabling prefetch cannot change hit/miss/eviction decisions.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <unordered_set>
+
+#include "util/thread_pool.hpp"
+
+namespace spider::core {
+
+class PrefetchPipeline {
+public:
+    /// Returns true when `id` is already resident (skip the prefetch).
+    using ProbeFn = std::function<bool(std::uint32_t)>;
+    /// Performs the actual fetch (RemoteStore::fetch + any side effects).
+    /// Called from background pool threads; must be thread-safe.
+    using FetchFn = std::function<void(std::uint32_t)>;
+
+    struct Config {
+        /// Background fetch threads (the data-loader worker analogue).
+        std::size_t threads = 2;
+        /// Bounded in-flight window: prefetch() drops ids beyond this many
+        /// outstanding (issued but unconsumed) fetches.
+        std::size_t max_in_flight = 256;
+    };
+
+    struct Stats {
+        std::uint64_t requested = 0;      ///< ids offered to prefetch()
+        std::uint64_t issued = 0;         ///< fetches actually dispatched
+        std::uint64_t skipped_cached = 0; ///< probe reported resident
+        std::uint64_t skipped_in_flight = 0;  ///< deduped, already issued
+        std::uint64_t skipped_window = 0; ///< dropped, window full
+        std::uint64_t completed = 0;      ///< background fetches finished
+        std::uint64_t hidden = 0;         ///< consumed after completion
+        std::uint64_t waited = 0;         ///< consumed while still in flight
+    };
+
+    PrefetchPipeline(ProbeFn probe, FetchFn fetch, Config config);
+    ~PrefetchPipeline();
+
+    PrefetchPipeline(const PrefetchPipeline&) = delete;
+    PrefetchPipeline& operator=(const PrefetchPipeline&) = delete;
+
+    /// Probes and issues the predicted misses among `ids`, newest batch
+    /// first-come-first-served under the in-flight window. Returns the
+    /// number of fetches dispatched.
+    std::size_t prefetch(std::span<const std::uint32_t> ids);
+
+    /// Demand side: true when `id` was prefetched, so the caller must not
+    /// fetch it again. Blocks until the background fetch completes when it
+    /// is still in flight. Consumes the entry either way.
+    bool consume(std::uint32_t id);
+
+    /// True when `id` is currently issued-and-unconsumed (either state).
+    [[nodiscard]] bool pending(std::uint32_t id) const;
+
+    /// Drops completed-but-unconsumed entries (mispredicted lookahead),
+    /// freeing their window slots. Returns how many were discarded.
+    std::size_t discard_ready();
+
+    /// Blocks until every issued fetch has completed.
+    void drain();
+
+    [[nodiscard]] Stats stats() const;
+
+private:
+    void on_fetched(std::uint32_t id);
+
+    ProbeFn probe_;
+    FetchFn fetch_;
+    Config config_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::unordered_set<std::uint32_t> in_flight_;  ///< issued, not finished
+    std::unordered_set<std::uint32_t> ready_;      ///< finished, unconsumed
+    Stats stats_;
+    util::ThreadPool pool_;  ///< last member: drains before sets destruct
+};
+
+}  // namespace spider::core

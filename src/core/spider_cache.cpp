@@ -22,7 +22,8 @@ SpiderCache::SpiderCache(SpiderCacheConfig config)
       index_{make_ann_config(config_)},
       scorer_{index_, config_.scorer, config_.label_of},
       cache_{config_.cache_items,
-             config_.homophily_enabled ? config_.elastic.r_start : 1.0},
+             config_.homophily_enabled ? config_.elastic.r_start : 1.0,
+             config_.cache_shards},
       elastic_{config_.elastic},
       scores_(config_.dataset_size, 0.0),
       sampler_{scores_, util::Rng{config_.seed},
@@ -75,7 +76,7 @@ void SpiderCache::observe_batch(std::span<const std::uint32_t> ids,
         if (id < scores_.size()) {
             scores_[id] = result.score;
             // Resident samples keep their heap position current.
-            cache_.importance().update_score(id, result.score);
+            cache_.update_importance_score(id, result.score);
         }
         // Highest degree measured over *surrogate-safe* edges: only those
         // neighbors may be served this node as a stand-in.

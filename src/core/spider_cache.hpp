@@ -74,6 +74,13 @@ struct SpiderCacheConfig {
     /// safe to call from multiple threads.
     std::size_t scoring_threads = 0;
 
+    /// Shard count of the two-layer cache. 1 (default) keeps the legacy
+    /// single structure and its exact hit/miss/eviction sequence; 0 means
+    /// min(16, hw_concurrency). Use > 1 when several trainer workers call
+    /// lookup/on_miss_fetched concurrently (the data path is thread-safe
+    /// at any shard count; sharding is what makes it scale).
+    std::size_t cache_shards = 1;
+
     std::uint64_t seed = 2025;
 };
 

@@ -21,6 +21,18 @@ double RunResult::tail_hit_ratio(std::size_t n) const {
     return sum / static_cast<double>(take);
 }
 
+double RunResult::prefetch_coverage() const {
+    std::uint64_t remote = 0;
+    std::uint64_t hidden = 0;
+    for (const EpochMetrics& e : epochs) {
+        remote += e.misses - e.ssd_hits;
+        hidden += e.prefetch_hidden;
+    }
+    return remote == 0 ? 0.0
+                       : static_cast<double>(hidden) /
+                             static_cast<double>(remote);
+}
+
 storage::SimDuration RunResult::mean_epoch_time() const {
     if (epochs.empty()) return storage::SimDuration::zero();
     storage::SimDuration total{};

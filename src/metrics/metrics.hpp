@@ -24,6 +24,10 @@ struct EpochMetrics {
     std::uint64_t ssd_hits = 0;       // misses absorbed by the local SSD tier
     std::uint64_t misses = 0;
 
+    // Lookahead prefetcher (zero when prefetch is disabled).
+    std::uint64_t prefetch_issued = 0;  // fetches started ahead of demand
+    std::uint64_t prefetch_hidden = 0;  // misses whose I/O was overlapped
+
     // Learning signal.
     double train_loss = 0.0;
     double test_accuracy = 0.0;
@@ -41,6 +45,14 @@ struct EpochMetrics {
                    ? 0.0
                    : static_cast<double>(hits) / static_cast<double>(accesses);
     }
+    /// Fraction of remote misses whose fetch the prefetcher hid behind the
+    /// previous batch's compute (Fig. 17 with --prefetch).
+    [[nodiscard]] double prefetch_coverage() const {
+        const std::uint64_t remote = misses - ssd_hits;
+        return remote == 0 ? 0.0
+                           : static_cast<double>(prefetch_hidden) /
+                                 static_cast<double>(remote);
+    }
 };
 
 struct RunResult {
@@ -57,6 +69,8 @@ struct RunResult {
     [[nodiscard]] double average_hit_ratio() const;
     /// Mean hit ratio over the last `n` epochs (steady-state view).
     [[nodiscard]] double tail_hit_ratio(std::size_t n) const;
+    /// Run-wide fraction of remote misses hidden by the prefetcher.
+    [[nodiscard]] double prefetch_coverage() const;
     [[nodiscard]] double total_minutes() const {
         return storage::to_minutes(total_time);
     }

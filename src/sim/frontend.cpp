@@ -11,6 +11,7 @@ PolicyFrontend::PolicyFrontend(std::unique_ptr<cache::EvictionCache> policy)
     : policy_{std::move(policy)} {}
 
 Access PolicyFrontend::access(std::uint32_t id) {
+    const std::lock_guard lock{mu_};
     Access result;
     result.served_id = id;
     if (policy_->touch(id)) {
@@ -21,6 +22,11 @@ Access PolicyFrontend::access(std::uint32_t id) {
     return result;
 }
 
+bool PolicyFrontend::probe(std::uint32_t id) const {
+    const std::lock_guard lock{mu_};
+    return policy_->contains(id);
+}
+
 // ------------------------------------------------------------ ShadeFrontend
 
 ShadeFrontend::ShadeFrontend(std::size_t capacity,
@@ -28,6 +34,7 @@ ShadeFrontend::ShadeFrontend(std::size_t capacity,
     : cache_{capacity}, sampler_{sampler} {}
 
 Access ShadeFrontend::access(std::uint32_t id) {
+    const std::lock_guard lock{mu_};
     Access result;
     result.served_id = id;
     if (cache_.contains(id)) {
@@ -39,7 +46,13 @@ Access ShadeFrontend::access(std::uint32_t id) {
     return result;
 }
 
+bool ShadeFrontend::probe(std::uint32_t id) const {
+    const std::lock_guard lock{mu_};
+    return cache_.contains(id);
+}
+
 void ShadeFrontend::post_batch(std::span<const std::uint32_t> ids) {
+    const std::lock_guard lock{mu_};
     // Rank weights just changed for these samples; keep resident entries'
     // heap positions in sync.
     for (std::uint32_t id : ids) {
@@ -64,6 +77,7 @@ ICacheFrontend::ICacheFrontend(std::size_t capacity,
       rng_{rng} {}
 
 Access ICacheFrontend::access(std::uint32_t id) {
+    const std::lock_guard lock{mu_};
     Access result;
     result.served_id = id;
     if (h_cache_.contains(id)) {
@@ -102,7 +116,14 @@ Access ICacheFrontend::access(std::uint32_t id) {
     return result;
 }
 
+bool ICacheFrontend::probe(std::uint32_t id) const {
+    const std::lock_guard lock{mu_};
+    return h_cache_.contains(id) ||
+           (options_.l_section_enabled && l_cache_.contains(id));
+}
+
 void ICacheFrontend::post_batch(std::span<const std::uint32_t> ids) {
+    const std::lock_guard lock{mu_};
     for (std::uint32_t id : ids) {
         if (h_cache_.contains(id)) {
             h_cache_.update_score(id, sampler_.importance_of(id));
@@ -134,9 +155,13 @@ Access SpiderFrontend::access(std::uint32_t id) {
     return result;
 }
 
+bool SpiderFrontend::probe(std::uint32_t id) const {
+    return spider_.lookup(id).kind != cache::HitKind::kMiss;
+}
+
 std::size_t SpiderFrontend::resident_items() const {
-    return spider_.cache().importance().size() +
-           spider_.cache().homophily().size();
+    return spider_.cache().importance_size() +
+           spider_.cache().homophily_size();
 }
 
 }  // namespace spider::sim

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 
@@ -38,8 +39,14 @@ public:
     [[nodiscard]] virtual std::string name() const = 0;
 
     /// Request `id`. On a miss the frontend performs its admission rule
-    /// (the remote fetch itself is accounted by the simulator).
+    /// (the remote fetch itself is accounted by the simulator). Safe to
+    /// call from concurrent loader workers (each frontend serializes
+    /// internally; SpiderFrontend scales via the sharded cache).
     virtual Access access(std::uint32_t id) = 0;
+
+    /// Non-mutating residency probe for the lookahead prefetcher: would
+    /// `id` be served from cache right now? Never applies admission.
+    [[nodiscard]] virtual bool probe(std::uint32_t id) const = 0;
 
     /// Called after the batch's losses are known (ids are the *served*
     /// samples, matching the data that actually went through the model).
@@ -56,11 +63,17 @@ public:
 
     [[nodiscard]] std::string name() const override { return policy_->name(); }
     Access access(std::uint32_t id) override;
+    [[nodiscard]] bool probe(std::uint32_t id) const override;
     [[nodiscard]] std::size_t resident_items() const override {
+        const std::lock_guard lock{mu_};
         return policy_->size();
     }
 
 private:
+    /// Plain policies have no internal synchronization; one coarse lock
+    /// models exactly what an unsharded production cache would do under
+    /// concurrent loader workers (the Fig. 17 baseline).
+    mutable std::mutex mu_;
     std::unique_ptr<cache::EvictionCache> policy_;
 };
 
@@ -71,12 +84,15 @@ public:
 
     [[nodiscard]] std::string name() const override { return "SHADE"; }
     Access access(std::uint32_t id) override;
+    [[nodiscard]] bool probe(std::uint32_t id) const override;
     void post_batch(std::span<const std::uint32_t> ids) override;
     [[nodiscard]] std::size_t resident_items() const override {
+        const std::lock_guard lock{mu_};
         return cache_.size();
     }
 
 private:
+    mutable std::mutex mu_;
     cache::ImportanceCache cache_;
     const core::Sampler& sampler_;
 };
@@ -103,12 +119,15 @@ public:
         return options_.l_section_enabled ? "iCache" : "iCache-imp";
     }
     Access access(std::uint32_t id) override;
+    [[nodiscard]] bool probe(std::uint32_t id) const override;
     void post_batch(std::span<const std::uint32_t> ids) override;
     [[nodiscard]] std::size_t resident_items() const override {
+        const std::lock_guard lock{mu_};
         return h_cache_.size() + l_cache_.size();
     }
 
 private:
+    mutable std::mutex mu_;
     cache::ImportanceCache h_cache_;
     cache::RandomCache l_cache_;
     const core::ComputeBoundSampler& sampler_;
@@ -124,6 +143,7 @@ public:
 
     [[nodiscard]] std::string name() const override { return "SpiderCache"; }
     Access access(std::uint32_t id) override;
+    [[nodiscard]] bool probe(std::uint32_t id) const override;
     [[nodiscard]] std::size_t resident_items() const override;
 
 private:

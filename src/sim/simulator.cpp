@@ -2,16 +2,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <unordered_set>
+#include <vector>
 
 #include "core/pipeline.hpp"
+#include "core/prefetch.hpp"
 #include "nn/optimizer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spider::sim {
+
+namespace {
+
+[[nodiscard]] std::size_t ceil_div(std::size_t a, std::size_t b) {
+    return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+/// Per-slice tallies of the data-loading stage. Workers fill private
+/// instances; the main thread merges after the join, so epoch counters
+/// need no atomics and the serial path (one slice) is bit-identical to
+/// the pre-threading code.
+struct SliceCounts {
+    std::uint64_t hits = 0;
+    std::uint64_t importance_hits = 0;
+    std::uint64_t homophily_hits = 0;
+    std::uint64_t substitutions = 0;
+    std::uint64_t ssd_hits = 0;
+    std::uint64_t remote_misses = 0;  // excludes SSD absorptions
+    std::uint64_t prefetch_hidden = 0;
+
+    struct TraceEvent {
+        std::uint32_t requested;
+        std::uint32_t served;
+        trace::Outcome outcome;
+    };
+    std::vector<TraceEvent> trace;
+};
+
+}  // namespace
 
 TrainingSimulator::TrainingSimulator(SimConfig config)
     : config_{std::move(config)},
       dataset_{config_.dataset},
       remote_{dataset_, config_.remote} {}
+
+std::size_t TrainingSimulator::resolved_workers() const {
+    if (config_.worker_threads != 0) return config_.worker_threads;
+    return std::max<std::size_t>(config_.num_gpus, 1);
+}
 
 TrainingSimulator::StrategyParts TrainingSimulator::build_strategy(
     std::size_t cache_items) {
@@ -71,6 +110,12 @@ TrainingSimulator::StrategyParts TrainingSimulator::build_strategy(
             sc.elastic_enabled = config_.elastic_enabled;
             sc.homophily_enabled = config_.strategy == StrategyKind::kSpider;
             sc.seed = config_.seed;
+            // Shards: explicit value wins; auto keeps the legacy single
+            // structure for serial runs and shards for real threading.
+            sc.cache_shards = config_.cache_shards;
+            if (sc.cache_shards == 0 && resolved_workers() <= 1) {
+                sc.cache_shards = 1;
+            }
             parts.spider = std::make_unique<core::SpiderCache>(std::move(sc));
             parts.frontend = std::make_unique<SpiderFrontend>(*parts.spider);
             // Sampling order comes from the facade, not a standalone
@@ -106,6 +151,7 @@ metrics::RunResult TrainingSimulator::run() {
         std::min(config_.remote.parallelism * gpus,
                  std::max<std::size_t>(config_.storage_parallel_cap, 1));
     const storage::SimDuration per_fetch = remote_.fetch_cost(0);
+    const double per_fetch_ms = storage::to_ms(per_fetch);
 
     metrics::RunResult result;
     result.strategy = to_string(config_.strategy);
@@ -114,7 +160,35 @@ metrics::RunResult TrainingSimulator::run() {
 
     storage::VirtualClock clock;
     storage::SsdTier ssd{config_.ssd};
+    std::mutex ssd_mu;
     util::Rng aug_rng{config_.seed ^ 0xA067ULL};
+
+    // Real loader workers (Fig. 17 on actual threads). The pool exists
+    // only when requested; the serial path takes no locks beyond the
+    // frontends' own and is bit-identical to the pre-threading simulator.
+    const std::size_t workers = resolved_workers();
+    const bool threaded = workers > 1;
+    std::unique_ptr<util::ThreadPool> loader_pool;
+    if (threaded) {
+        loader_pool = std::make_unique<util::ThreadPool>(workers);
+        remote_.set_fetch_slot_cap(fetch_slots);
+    }
+
+    // Lookahead prefetcher state: `prefetched` is the id set chosen (and
+    // already issued) for the *next* global batch. In threaded mode the
+    // fetches run on a real background pool with dedup and a bounded
+    // window; in serial mode the issue is immediate and only the virtual
+    // overlap accounting matters.
+    std::unordered_set<std::uint32_t> prefetched;
+    std::unique_ptr<core::PrefetchPipeline> prefetcher;
+    if (config_.prefetch_enabled && threaded) {
+        core::PrefetchPipeline::Config pc;
+        pc.threads = std::max<std::size_t>(workers / 2, 1);
+        pc.max_in_flight = config_.prefetch_window;
+        prefetcher = std::make_unique<core::PrefetchPipeline>(
+            [&parts](std::uint32_t id) { return parts.frontend->probe(id); },
+            [this](std::uint32_t id) { (void)remote_.fetch(id); }, pc);
+    }
 
     for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
         model.set_learning_rate(nn::cosine_lr(config_.sgd.learning_rate,
@@ -123,6 +197,8 @@ metrics::RunResult TrainingSimulator::run() {
         const std::vector<std::uint32_t> order =
             parts.spider ? parts.spider->epoch_order()
                          : parts.sampler->epoch_order(epoch);
+        // A new epoch draws a new order: stale lookahead is worthless.
+        prefetched.clear();
 
         metrics::EpochMetrics em;
         em.epoch = epoch;
@@ -136,53 +212,124 @@ metrics::RunResult TrainingSimulator::run() {
             const std::span<const std::uint32_t> requested{
                 order.data() + start, count};
 
-            // ---- Data loading (Algorithm 1 lines 4-12).
+            // ---- Data loading (Algorithm 1 lines 4-12), one slice per
+            // loader worker. Slices write disjoint ranges of `served`.
             std::vector<std::uint32_t> served(count);
+            const auto load_slice = [&](std::size_t lo, std::size_t hi,
+                                        SliceCounts& out) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                    const Access access = parts.frontend->access(requested[i]);
+                    served[i] = access.served_id;
+                    if (config_.record_trace) {
+                        trace::Outcome outcome = trace::Outcome::kMiss;
+                        if (access.substitution) {
+                            outcome = trace::Outcome::kSubstitution;
+                        } else if (access.homophily_hit) {
+                            outcome = trace::Outcome::kHomophilyHit;
+                        } else if (access.importance_hit) {
+                            outcome = trace::Outcome::kImportanceHit;
+                        } else if (access.hit) {
+                            outcome = trace::Outcome::kPolicyHit;
+                        }
+                        out.trace.push_back(
+                            {requested[i], access.served_id, outcome});
+                    }
+                    if (access.hit) {
+                        ++out.hits;
+                        if (access.importance_hit) ++out.importance_hits;
+                        if (access.homophily_hit) ++out.homophily_hits;
+                        if (access.substitution) ++out.substitutions;
+                        continue;
+                    }
+                    bool from_ssd;
+                    if (threaded) {
+                        const std::lock_guard lock{ssd_mu};
+                        from_ssd = ssd.fetch(requested[i]);
+                    } else {
+                        from_ssd = ssd.fetch(requested[i]);
+                    }
+                    if (from_ssd) {
+                        // Miss in memory, absorbed by the local SSD tier.
+                        ++out.ssd_hits;
+                        continue;
+                    }
+                    ++out.remote_misses;
+                    bool hidden = false;
+                    if (prefetched.contains(requested[i])) {
+                        // The prefetcher already issued (and accounted)
+                        // this fetch during the previous compute window.
+                        hidden = prefetcher == nullptr ||
+                                 prefetcher->consume(requested[i]);
+                    }
+                    if (hidden) {
+                        ++out.prefetch_hidden;
+                    } else {
+                        // Fetch for the clock/metrics side effects only.
+                        (void)remote_.fetch(requested[i]);
+                    }
+                    if (threaded) {
+                        const std::lock_guard lock{ssd_mu};
+                        ssd.insert(requested[i]);
+                    } else {
+                        ssd.insert(requested[i]);
+                    }
+                }
+            };
+
+            std::vector<SliceCounts> slices;
+            if (!threaded) {
+                slices.resize(1);
+                load_slice(0, count, slices[0]);
+            } else {
+                const std::size_t chunk = ceil_div(count, workers);
+                const std::size_t n_slices = ceil_div(count, chunk);
+                slices.resize(n_slices);
+                std::vector<std::future<void>> futures;
+                futures.reserve(n_slices);
+                for (std::size_t s = 0; s < n_slices; ++s) {
+                    const std::size_t lo = s * chunk;
+                    const std::size_t hi = std::min(lo + chunk, count);
+                    futures.push_back(loader_pool->submit(
+                        [&, lo, hi, s] { load_slice(lo, hi, slices[s]); }));
+                }
+                for (auto& f : futures) f.get();
+            }
+
             std::size_t misses = 0;
             std::size_t ssd_hits = 0;
             std::size_t hits = 0;
-            for (std::size_t i = 0; i < count; ++i) {
-                const Access access = parts.frontend->access(requested[i]);
-                served[i] = access.served_id;
-                if (config_.record_trace) {
-                    trace::Outcome outcome = trace::Outcome::kMiss;
-                    if (access.substitution) {
-                        outcome = trace::Outcome::kSubstitution;
-                    } else if (access.homophily_hit) {
-                        outcome = trace::Outcome::kHomophilyHit;
-                    } else if (access.importance_hit) {
-                        outcome = trace::Outcome::kImportanceHit;
-                    } else if (access.hit) {
-                        outcome = trace::Outcome::kPolicyHit;
-                    }
-                    result.access_trace.record(
-                        static_cast<std::uint32_t>(epoch), requested[i],
-                        access.served_id, outcome);
-                }
-                ++em.accesses;
-                if (access.hit) {
-                    ++em.hits;
-                    ++hits;
-                    if (access.importance_hit) ++em.importance_hits;
-                    if (access.homophily_hit) ++em.homophily_hits;
-                    if (access.substitution) ++em.substitutions;
-                } else if (ssd.fetch(requested[i])) {
-                    // Miss in memory, absorbed by the local SSD tier.
-                    ++em.misses;
-                    ++em.ssd_hits;
-                    ++ssd_hits;
-                } else {
-                    ++em.misses;
-                    ++misses;
-                    // Fetch for the clock/metrics side effects only.
-                    (void)remote_.fetch(requested[i]);
-                    ssd.insert(requested[i]);
+            std::size_t hidden = 0;
+            for (const SliceCounts& s : slices) {
+                hits += s.hits;
+                ssd_hits += s.ssd_hits;
+                misses += s.remote_misses;
+                hidden += s.prefetch_hidden;
+                em.hits += s.hits;
+                em.importance_hits += s.importance_hits;
+                em.homophily_hits += s.homophily_hits;
+                em.substitutions += s.substitutions;
+                em.ssd_hits += s.ssd_hits;
+                em.misses += s.ssd_hits + s.remote_misses;
+                em.prefetch_hidden += s.prefetch_hidden;
+                for (const SliceCounts::TraceEvent& t : s.trace) {
+                    result.access_trace.record(static_cast<std::uint32_t>(epoch),
+                                               t.requested, t.served,
+                                               t.outcome);
                 }
             }
-            const std::size_t miss_rounds =
-                misses == 0 ? 0 : (misses + fetch_slots - 1) / fetch_slots;
+            em.accesses += count;
+
+            // Load-stage time: every remote miss pays a fetch round, minus
+            // the rounds the prefetcher already absorbed into the previous
+            // batch's compute window.
+            const std::size_t miss_rounds = ceil_div(misses, fetch_slots);
+            const std::size_t demand_rounds = ceil_div(misses - hidden,
+                                                       fetch_slots);
+            const double hidden_ms =
+                per_fetch_ms *
+                static_cast<double>(miss_rounds - demand_rounds);
             const double load_ms =
-                storage::to_ms(per_fetch) * static_cast<double>(miss_rounds) +
+                per_fetch_ms * static_cast<double>(miss_rounds) +
                 storage::to_ms(ssd.batch_read_cost(ssd_hits, fetch_slots)) +
                 config_.hit_cost_ms * static_cast<double>(hits) /
                     static_cast<double>(fetch_slots);
@@ -227,18 +374,64 @@ metrics::RunResult TrainingSimulator::run() {
             const double is_ms = config_.model.is_ms * batch_fraction;
             storage::SimDuration step = core::pipelined_batch_time(
                 stage1_ms, stage2_ms, is_ms, config_.model.long_is_pipeline,
-                graph_is, config_.pipeline_is);
+                graph_is, config_.pipeline_is, hidden_ms);
             if (gpus > 1) {
                 step += storage::from_ms(config_.allreduce_ms * 2.0 *
                                          static_cast<double>(gpus - 1) /
                                          static_cast<double>(gpus));
             }
             clock.advance(step);
-            em.load_time += storage::from_ms(load_ms);
+            em.load_time += storage::from_ms(load_ms - hidden_ms);
             em.compute_time += storage::from_ms(
                 config_.model.forward_ms * batch_fraction + stage2_ms);
             if (graph_is) em.is_time += storage::from_ms(is_ms);
             em.epoch_time += step;
+
+            // ---- Lookahead (DESIGN.md §8.3): the sampler's order for the
+            // rest of the epoch is known, so predict the next batch's
+            // misses and issue them into this step's storage-idle window.
+            prefetched.clear();
+            if (config_.prefetch_enabled) {
+                const std::size_t next_start = start + global_batch;
+                if (next_start < order.size()) {
+                    const std::size_t next_count =
+                        std::min(global_batch, order.size() - next_start);
+                    // Storage sits idle for everything past the (reduced)
+                    // load phase: forward, backward, IS, all-reduce.
+                    const double idle_ms = std::max(
+                        0.0, storage::to_ms(step) - (load_ms - hidden_ms));
+                    const std::size_t idle_fetches =
+                        per_fetch_ms <= 0.0
+                            ? next_count
+                            : fetch_slots *
+                                  static_cast<std::size_t>(
+                                      idle_ms / per_fetch_ms);
+                    const std::size_t budget = std::min(
+                        {idle_fetches, config_.prefetch_window, next_count});
+                    std::vector<std::uint32_t> issue;
+                    for (std::size_t i = next_start;
+                         i < next_start + next_count &&
+                         prefetched.size() < budget;
+                         ++i) {
+                        const std::uint32_t id = order[i];
+                        if (prefetched.contains(id)) continue;
+                        if (parts.frontend->probe(id)) continue;
+                        prefetched.insert(id);
+                        issue.push_back(id);
+                    }
+                    if (prefetcher) {
+                        // Unconsumed completions are wasted lookahead;
+                        // drop them so they stop occupying the window.
+                        prefetcher->discard_ready();
+                        prefetcher->prefetch(issue);
+                    } else {
+                        for (const std::uint32_t id : issue) {
+                            (void)remote_.fetch(id);
+                        }
+                    }
+                    em.prefetch_issued += issue.size();
+                }
+            }
         }
 
         // ---- Epoch bookkeeping (real accuracy on the clean test split).
@@ -263,6 +456,9 @@ metrics::RunResult TrainingSimulator::run() {
         result.epochs.push_back(em);
         result.best_accuracy = std::max(result.best_accuracy, em.test_accuracy);
     }
+
+    if (prefetcher) prefetcher->drain();
+    if (threaded) remote_.set_fetch_slot_cap(0);
 
     result.total_time = clock.now();
     result.final_accuracy =

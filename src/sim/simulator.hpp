@@ -62,6 +62,30 @@ struct SimConfig {
     /// reproduces the "serial" column of the overhead analysis).
     bool pipeline_is = true;
 
+    /// Real loader-worker threads for the data-loading stage. 1 (default)
+    /// runs the legacy serial path, bit-identical to previous releases;
+    /// N > 1 splits each global batch across N OS threads that share the
+    /// (sharded) cache and the capped remote fetch slots — the Fig. 17
+    /// configuration on real concurrency. 0 = one worker per simulated
+    /// GPU. Aggregate counters are exact under threading; the hit/miss
+    /// *interleaving* (and thus per-run hit totals) may vary slightly
+    /// between runs, like any concurrent cache.
+    std::size_t worker_threads = 1;
+
+    /// Lookahead prefetcher: at the end of each step, probe the sampler's
+    /// next-batch ids and fetch the predicted misses during the compute
+    /// window, when the storage path is idle (DESIGN.md §8.3). Never
+    /// changes hit/miss/eviction decisions — admission stays on the
+    /// demand path — so it is a pure latency-hiding term.
+    bool prefetch_enabled = false;
+    /// Bounded in-flight window of the prefetcher (max outstanding ids).
+    std::size_t prefetch_window = 256;
+
+    /// Two-layer cache shards (kSpider strategies). 0 = auto: 1 shard when
+    /// worker_threads <= 1 (exact legacy semantics), min(16, hw) shards
+    /// otherwise. Any explicit value is used as-is.
+    std::size_t cache_shards = 0;
+
     // SpiderCache knobs (used by kSpiderImp / kSpider).
     core::ScorerConfig scorer{};
     core::ElasticConfig elastic{};
@@ -111,6 +135,8 @@ private:
     };
 
     [[nodiscard]] StrategyParts build_strategy(std::size_t cache_items);
+    /// Loader-worker count after resolving the 0 = per-GPU default.
+    [[nodiscard]] std::size_t resolved_workers() const;
 
     SimConfig config_;
     data::SyntheticDataset dataset_;

@@ -6,7 +6,56 @@ RemoteStore::RemoteStore(const data::SyntheticDataset& dataset,
                          RemoteStoreConfig config)
     : dataset_{dataset}, config_{config} {}
 
+/// RAII slot admission: acquires one of the capped fetch slots on
+/// construction (blocking while the server is saturated), releases and
+/// wakes one waiter on destruction. No-op when the cap is unlimited.
+class RemoteStore::SlotGuard {
+public:
+    explicit SlotGuard(RemoteStore& store) : store_{store} {
+        std::unique_lock lock{store_.slot_mu_};
+        active_ = store_.slot_cap_ > 0;
+        if (!active_) return;
+        if (store_.in_flight_ >= store_.slot_cap_) {
+            store_.slot_waits_.fetch_add(1, std::memory_order_relaxed);
+            store_.slot_cv_.wait(
+                lock, [&] { return store_.in_flight_ < store_.slot_cap_; });
+        }
+        ++store_.in_flight_;
+        std::size_t peak =
+            store_.peak_in_flight_.load(std::memory_order_relaxed);
+        while (store_.in_flight_ > peak &&
+               !store_.peak_in_flight_.compare_exchange_weak(
+                   peak, store_.in_flight_, std::memory_order_relaxed)) {
+        }
+    }
+
+    ~SlotGuard() {
+        if (!active_) return;
+        {
+            const std::lock_guard lock{store_.slot_mu_};
+            --store_.in_flight_;
+        }
+        store_.slot_cv_.notify_one();
+    }
+
+    SlotGuard(const SlotGuard&) = delete;
+    SlotGuard& operator=(const SlotGuard&) = delete;
+
+private:
+    RemoteStore& store_;
+    bool active_;
+};
+
+void RemoteStore::set_fetch_slot_cap(std::size_t cap) {
+    {
+        const std::lock_guard lock{slot_mu_};
+        slot_cap_ = cap;
+    }
+    slot_cv_.notify_all();
+}
+
 const data::Sample& RemoteStore::fetch(std::uint32_t id) {
+    const SlotGuard slot{*this};
     total_fetches_.fetch_add(1, std::memory_order_relaxed);
     total_bytes_.fetch_add(dataset_.spec().bytes_per_sample,
                            std::memory_order_relaxed);
@@ -30,6 +79,8 @@ SimDuration RemoteStore::batch_fetch_cost(std::size_t miss_count) const {
 void RemoteStore::reset_counters() {
     total_fetches_.store(0, std::memory_order_relaxed);
     total_bytes_.store(0, std::memory_order_relaxed);
+    slot_waits_.store(0, std::memory_order_relaxed);
+    peak_in_flight_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace spider::storage

@@ -8,7 +8,9 @@
 // multi-GPU simulator, where several workers contend for the same store.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <span>
 
 #include "data/dataset.hpp"
@@ -42,19 +44,43 @@ public:
     /// parallel fetch workers (the per-batch load-stage model).
     [[nodiscard]] SimDuration batch_fetch_cost(std::size_t miss_count) const;
 
+    /// Caps concurrent fetch() calls across *all* threads at `cap` (the
+    /// NFS-server bandwidth limit behind Fig. 17). 0 = unlimited, the
+    /// default — single-threaded callers pay nothing. Excess callers block
+    /// until a slot frees; contention is reported by slot_waits().
+    void set_fetch_slot_cap(std::size_t cap);
+
     [[nodiscard]] std::uint64_t total_fetches() const {
         return total_fetches_.load(std::memory_order_relaxed);
     }
     [[nodiscard]] std::uint64_t total_bytes() const {
         return total_bytes_.load(std::memory_order_relaxed);
     }
+    /// Times a fetch had to wait for a slot (capped mode only).
+    [[nodiscard]] std::uint64_t slot_waits() const {
+        return slot_waits_.load(std::memory_order_relaxed);
+    }
+    /// Highest concurrent in-flight fetch count observed (capped mode).
+    [[nodiscard]] std::size_t peak_in_flight() const {
+        return peak_in_flight_.load(std::memory_order_relaxed);
+    }
     void reset_counters();
 
 private:
+    class SlotGuard;
+
     const data::SyntheticDataset& dataset_;
     RemoteStoreConfig config_;
     std::atomic<std::uint64_t> total_fetches_{0};
     std::atomic<std::uint64_t> total_bytes_{0};
+
+    // Fetch-slot admission (inactive while slot_cap_ == 0).
+    std::mutex slot_mu_;
+    std::condition_variable slot_cv_;
+    std::size_t slot_cap_ = 0;
+    std::size_t in_flight_ = 0;
+    std::atomic<std::uint64_t> slot_waits_{0};
+    std::atomic<std::size_t> peak_in_flight_{0};
 };
 
 }  // namespace spider::storage

@@ -1,0 +1,237 @@
+// Concurrency stress suite for the sharded TwoLayerSemanticCache, the
+// PrefetchPipeline, and the RemoteStore fetch-slot cap (DESIGN.md §8).
+// Every test name contains "Concurrent" so the whole file runs under the
+// ThreadSanitizer tier of tools/run_tier1.sh.
+//
+// The assertions are quiescent-state invariants (sizes within capacity,
+// exclusivity, conserved counters) — under real interleavings the exact
+// hit/miss sequence is unspecified, but the structures must never corrupt
+// and never exceed their slices, even while an elastic thread repartitions
+// the sections mid-flight.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cache/semantic_cache.hpp"
+#include "core/prefetch.hpp"
+#include "data/dataset.hpp"
+#include "storage/remote_store.hpp"
+#include "util/rng.hpp"
+
+namespace spider {
+namespace {
+
+// ------------------------------------------------------- TwoLayer, sharded
+
+TEST(CacheConcurrency, ConcurrentMixedOpsPreserveInvariants) {
+    constexpr std::size_t kCapacity = 256;
+    constexpr std::size_t kThreads = 4;
+    constexpr int kOpsPerThread = 20000;
+    constexpr std::uint32_t kIdSpace = 4096;
+
+    cache::TwoLayerSemanticCache cache{kCapacity, 0.7, /*shards=*/8};
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&cache, t] {
+            util::Rng rng{0x5EED0000ULL + t};
+            for (int op = 0; op < kOpsPerThread; ++op) {
+                const auto id = static_cast<std::uint32_t>(
+                    rng.uniform_index(kIdSpace));
+                const double roll = rng.uniform();
+                if (roll < 0.80) {
+                    (void)cache.lookup(id);
+                } else if (roll < 0.95) {
+                    cache.on_miss_fetched(id, rng.uniform());
+                } else if (roll < 0.99) {
+                    const std::uint32_t nb[] = {id + 1, id + 2, id + 3};
+                    cache.update_homophily(id, nb);
+                } else {
+                    cache.update_importance_score(id, rng.uniform());
+                }
+            }
+        });
+    }
+    // Elastic thread: repartition while the workers hammer the sections.
+    std::atomic<bool> stop{false};
+    std::thread elastic{[&cache, &stop] {
+        bool high = false;
+        while (!stop.load(std::memory_order_relaxed)) {
+            cache.set_imp_ratio(high ? 0.9 : 0.3);
+            high = !high;
+            std::this_thread::yield();
+        }
+    }};
+    for (auto& w : workers) w.join();
+    stop.store(true, std::memory_order_relaxed);
+    elastic.join();
+
+    // Quiescent invariants: capacity partition intact, no slice overflow,
+    // sections exclusive per shard.
+    EXPECT_EQ(cache.importance_capacity() + cache.homophily_capacity(),
+              kCapacity);
+    for (std::size_t s = 0; s < cache.num_shards(); ++s) {
+        EXPECT_LE(cache.shard_importance_size(s),
+                  cache.shard_importance_capacity(s))
+            << "shard " << s;
+        EXPECT_LE(cache.shard_homophily_size(s),
+                  cache.shard_homophily_capacity(s))
+            << "shard " << s;
+    }
+    EXPECT_LE(cache.importance_size() + cache.homophily_size(), kCapacity);
+}
+
+TEST(CacheConcurrency, ConcurrentLookupsDuringElasticRepartition) {
+    cache::TwoLayerSemanticCache cache{128, 0.5, /*shards=*/4};
+    for (std::uint32_t id = 0; id < 512; ++id) {
+        cache.on_miss_fetched(id, 0.5 + 0.001 * static_cast<double>(id));
+    }
+
+    std::atomic<std::uint64_t> hits{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&cache, &hits, t] {
+            util::Rng rng{0xABC0ULL + static_cast<std::uint64_t>(t)};
+            for (int op = 0; op < 30000; ++op) {
+                const auto id =
+                    static_cast<std::uint32_t>(rng.uniform_index(512));
+                if (cache.lookup(id).kind != cache::HitKind::kMiss) {
+                    hits.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (const double ratio : {0.1, 0.9, 0.2, 0.8, 0.5}) {
+        cache.set_imp_ratio(ratio);
+        std::this_thread::yield();
+    }
+    for (auto& r : readers) r.join();
+    // Some residents must have survived every repartition.
+    EXPECT_GT(hits.load(), 0U);
+}
+
+// ---------------------------------------------------------- PrefetchPipeline
+
+TEST(PrefetchConcurrency, ConcurrentPrefetchDedupsAndBoundsWindow) {
+    std::atomic<std::uint64_t> fetches{0};
+    core::PrefetchPipeline::Config pc;
+    pc.threads = 2;
+    pc.max_in_flight = 64;
+    core::PrefetchPipeline pipeline{
+        [](std::uint32_t id) { return id % 5 == 0; },  // every 5th resident
+        [&fetches](std::uint32_t) {
+            fetches.fetch_add(1, std::memory_order_relaxed);
+        },
+        pc};
+
+    std::vector<std::uint32_t> ids(512);
+    for (std::uint32_t i = 0; i < 512; ++i) ids[i] = i % 128;  // heavy dups
+
+    std::vector<std::thread> issuers;
+    for (int t = 0; t < 4; ++t) {
+        issuers.emplace_back([&pipeline, &ids] { pipeline.prefetch(ids); });
+    }
+    for (auto& th : issuers) th.join();
+    pipeline.drain();
+
+    const auto stats = pipeline.stats();
+    // Dedup: at most one issue per distinct non-resident id at any moment;
+    // the window bounds what is outstanding, never the totals conservation.
+    EXPECT_EQ(stats.issued, fetches.load());
+    EXPECT_EQ(stats.requested, stats.issued + stats.skipped_cached +
+                                   stats.skipped_in_flight +
+                                   stats.skipped_window);
+    EXPECT_LE(stats.issued, 128U);  // <= distinct ids ever offered
+    EXPECT_GT(stats.skipped_in_flight + stats.skipped_window, 0U);
+}
+
+TEST(PrefetchConcurrency, ConcurrentConsumeHidesCompletedFetches) {
+    core::PrefetchPipeline::Config pc;
+    pc.threads = 2;
+    pc.max_in_flight = 256;
+    core::PrefetchPipeline pipeline{
+        [](std::uint32_t) { return false; },
+        [](std::uint32_t) { std::this_thread::yield(); }, pc};
+
+    std::vector<std::uint32_t> ids(200);
+    for (std::uint32_t i = 0; i < 200; ++i) ids[i] = i;
+    const std::size_t issued = pipeline.prefetch(ids);
+    EXPECT_EQ(issued, 200U);
+
+    // Demand side from several threads: every issued id must be consumed
+    // exactly once (true), unknown ids never (false).
+    std::atomic<std::uint64_t> consumed{0};
+    std::vector<std::thread> demanders;
+    for (int t = 0; t < 4; ++t) {
+        demanders.emplace_back([&pipeline, &consumed, t] {
+            for (std::uint32_t id = static_cast<std::uint32_t>(t); id < 200;
+                 id += 4) {
+                if (pipeline.consume(id)) {
+                    consumed.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& th : demanders) th.join();
+    EXPECT_EQ(consumed.load(), 200U);
+    EXPECT_FALSE(pipeline.consume(9999));
+    const auto stats = pipeline.stats();
+    EXPECT_EQ(stats.hidden + stats.waited, 200U);
+}
+
+TEST(PrefetchConcurrency, ConcurrentDiscardReadyFreesWindowSlots) {
+    core::PrefetchPipeline::Config pc;
+    pc.threads = 1;
+    pc.max_in_flight = 8;
+    core::PrefetchPipeline pipeline{[](std::uint32_t) { return false; },
+                                    [](std::uint32_t) {}, pc};
+
+    std::vector<std::uint32_t> first{1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(pipeline.prefetch(first), 8U);
+    pipeline.drain();
+    // Window full of completed-but-unconsumed entries: new ids are dropped.
+    std::vector<std::uint32_t> second{11, 12};
+    EXPECT_EQ(pipeline.prefetch(second), 0U);
+    EXPECT_EQ(pipeline.discard_ready(), 8U);
+    EXPECT_EQ(pipeline.prefetch(second), 2U);
+    pipeline.drain();
+}
+
+// --------------------------------------------------- RemoteStore fetch slots
+
+TEST(RemoteStoreConcurrency, ConcurrentFetchesRespectSlotCap) {
+    data::DatasetSpec spec;
+    spec.name = "slots";
+    spec.num_samples = 256;
+    spec.num_classes = 4;
+    spec.feature_dim = 8;
+    data::SyntheticDataset dataset{spec};
+    storage::RemoteStore store{dataset, {}};
+    constexpr std::size_t kCap = 3;
+    store.set_fetch_slot_cap(kCap);
+
+    std::vector<std::thread> fetchers;
+    for (int t = 0; t < 8; ++t) {
+        fetchers.emplace_back([&store, t] {
+            for (std::uint32_t i = 0; i < 200; ++i) {
+                (void)store.fetch((static_cast<std::uint32_t>(t) * 200 + i) %
+                                  256);
+            }
+        });
+    }
+    for (auto& f : fetchers) f.join();
+
+    EXPECT_EQ(store.total_fetches(), 8U * 200U);
+    EXPECT_LE(store.peak_in_flight(), kCap);
+    store.set_fetch_slot_cap(0);  // uncapped mode still works afterwards
+    (void)store.fetch(0);
+    EXPECT_EQ(store.total_fetches(), 8U * 200U + 1U);
+}
+
+}  // namespace
+}  // namespace spider

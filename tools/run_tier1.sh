@@ -5,18 +5,24 @@
 #   tools/run_tier1.sh --tsan     # additionally: ThreadSanitizer build of
 #                                 # the concurrency-sensitive tests
 #                                 # (concurrent knn, score_batch,
-#                                 # parallel_for) in build-tsan/
+#                                 # parallel_for, sharded cache, prefetch)
+#                                 # in build-tsan/
+#   tools/run_tier1.sh --asan     # additionally: AddressSanitizer + UBSan
+#                                 # build of the full test suite in
+#                                 # build-asan/
 #
-# Build directories: build-tier1/ and build-tsan/ (both gitignored).
+# Build directories: build-tier1/, build-tsan/, build-asan/ (gitignored).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=0
+run_asan=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
-    *) echo "usage: $0 [--tsan]" >&2; exit 2 ;;
+    --asan) run_asan=1 ;;
+    *) echo "usage: $0 [--tsan] [--asan]" >&2; exit 2 ;;
   esac
 done
 
@@ -38,9 +44,21 @@ if [[ "$run_tsan" == 1 ]]; then
     -DSPIDER_BUILD_BENCH=OFF \
     -DSPIDER_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j "$jobs" \
-    --target ann_test scorer_test util_test pipeline_test
+    --target ann_test scorer_test util_test pipeline_test \
+             cache_concurrency_test shard_parity_test
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     -R 'Concurrent|ScoreBatch|ThreadPool|Pipelined'
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== opt-in: AddressSanitizer + UBSan pass over the full suite =="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPIDER_ASAN=ON \
+    -DSPIDER_BUILD_BENCH=OFF \
+    -DSPIDER_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -j "$jobs"
 fi
 
 echo "tier-1 OK"
