@@ -48,6 +48,16 @@ public:
     [[nodiscard]] std::span<const std::uint32_t> neighbors_of(
         std::uint32_t key) const;
 
+    /// Newest resident key accepted by `pred` (degraded-mode surrogate
+    /// search; newest first, as recency correlates with score freshness).
+    template <typename Pred>
+    [[nodiscard]] std::optional<std::uint32_t> find_key_if(Pred pred) const {
+        for (auto it = fifo_.rbegin(); it != fifo_.rend(); ++it) {
+            if (pred(*it)) return *it;
+        }
+        return std::nullopt;
+    }
+
     /// FIFO head: the next eviction victim (nullopt when empty). Lets the
     /// sharded two-layer cache capture a victim's neighbor list before the
     /// eviction invalidates it.

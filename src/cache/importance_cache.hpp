@@ -41,6 +41,17 @@ public:
     /// drift every epoch as the model trains). No-op when absent.
     void update_score(std::uint32_t id, double score);
 
+    /// Highest-scored resident accepted by `pred`, scanning from the top
+    /// of the score order (degraded-mode surrogate search: serve the most
+    /// important compatible sample we still hold). Nullopt when none.
+    template <typename Pred>
+    [[nodiscard]] std::optional<std::uint32_t> find_best_if(Pred pred) const {
+        for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+            if (pred(it->second)) return it->second;
+        }
+        return std::nullopt;
+    }
+
     bool erase(std::uint32_t id);
     void set_capacity(std::size_t capacity);
 

@@ -210,6 +210,23 @@ void TwoLayerSemanticCache::set_imp_ratio(double imp_ratio) {
     }
 }
 
+std::optional<std::uint32_t> TwoLayerSemanticCache::find_resident_if(
+    std::uint32_t near,
+    const std::function<bool(std::uint32_t)>& accept) const {
+    // Degraded-mode ladder: start at the requested id's own shard (its
+    // semantic neighborhood hashes there) and walk the ring. Importance
+    // first — the most important compatible resident is the best stand-in.
+    const std::size_t start = shard_of(near);
+    const std::size_t n = shards_.size();
+    for (std::size_t offset = 0; offset < n; ++offset) {
+        const Shard& shard = *shards_[(start + offset) % n];
+        const std::lock_guard lock{shard.mu};
+        if (auto hit = shard.importance.find_best_if(accept)) return hit;
+        if (auto hit = shard.homophily.find_key_if(accept)) return hit;
+    }
+    return std::nullopt;
+}
+
 std::size_t TwoLayerSemanticCache::importance_size() const {
     std::size_t total = 0;
     for (const auto& shard : shards_) {

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -106,6 +107,15 @@ public:
     /// `imp_ratio` of the unchanged total capacity (Eq. 8 output). Locks
     /// shards one at a time; concurrent lookups/admissions stay valid.
     void set_imp_ratio(double imp_ratio);
+
+    /// Degraded-mode surrogate scan (fault-tolerance ladder, DESIGN.md
+    /// §9): any resident id accepted by `accept`, preferring the requested
+    /// id's own shard and its Importance section (highest score first).
+    /// Read-only; locks one shard at a time. Nullopt when nothing resident
+    /// qualifies.
+    [[nodiscard]] std::optional<std::uint32_t> find_resident_if(
+        std::uint32_t near,
+        const std::function<bool(std::uint32_t)>& accept) const;
 
     // ---- Aggregate inspection (sums over shards, locking each in turn).
     [[nodiscard]] std::size_t importance_size() const;

@@ -47,6 +47,9 @@ std::size_t PrefetchPipeline::prefetch(std::span<const std::uint32_t> ids) {
                 ++stats_.skipped_in_flight;
                 continue;
             }
+            // Re-issuing an id whose earlier fetch threw supersedes the
+            // stale failure; the new attempt's outcome is what counts.
+            failed_.erase(id);
             in_flight_.insert(id);
             ++stats_.issued;
         }
@@ -57,12 +60,26 @@ std::size_t PrefetchPipeline::prefetch(std::span<const std::uint32_t> ids) {
 }
 
 void PrefetchPipeline::on_fetched(std::uint32_t id) {
-    fetch_(id);
+    // A throwing fetch must not kill the pool thread (its exception would
+    // sit unread in a dropped future), must release the window slot, and
+    // must wake any consumer blocked on this id. Capture and hand the
+    // exception to the demand side instead.
+    std::exception_ptr error;
+    try {
+        fetch_(id);
+    } catch (...) {
+        error = std::current_exception();
+    }
     {
         const std::lock_guard lock{mu_};
         in_flight_.erase(id);
-        ready_.insert(id);
-        ++stats_.completed;
+        if (error) {
+            failed_.emplace(id, error);
+            ++stats_.failed;
+        } else {
+            ready_.insert(id);
+            ++stats_.completed;
+        }
     }
     cv_.notify_all();
 }
@@ -73,17 +90,28 @@ bool PrefetchPipeline::consume(std::uint32_t id) {
         ++stats_.hidden;
         return true;
     }
+    if (const auto it = failed_.find(id); it != failed_.end()) {
+        const std::exception_ptr error = it->second;
+        failed_.erase(it);
+        std::rethrow_exception(error);
+    }
     if (!in_flight_.contains(id)) return false;
     ++stats_.waited;
     cv_.wait(lock, [this, id] { return !in_flight_.contains(id); });
+    if (const auto it = failed_.find(id); it != failed_.end()) {
+        const std::exception_ptr error = it->second;
+        failed_.erase(it);
+        std::rethrow_exception(error);
+    }
     ready_.erase(id);
     return true;
 }
 
 std::size_t PrefetchPipeline::discard_ready() {
     const std::lock_guard lock{mu_};
-    const std::size_t dropped = ready_.size();
+    const std::size_t dropped = ready_.size() + failed_.size();
     ready_.clear();
+    failed_.clear();
     return dropped;
 }
 
@@ -95,6 +123,11 @@ bool PrefetchPipeline::pending(std::uint32_t id) const {
 void PrefetchPipeline::drain() {
     std::unique_lock lock{mu_};
     cv_.wait(lock, [this] { return in_flight_.empty(); });
+    if (!failed_.empty()) {
+        const std::exception_ptr error = failed_.begin()->second;
+        failed_.clear();
+        std::rethrow_exception(error);
+    }
 }
 
 PrefetchPipeline::Stats PrefetchPipeline::stats() const {

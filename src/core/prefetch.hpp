@@ -17,7 +17,11 @@
 //   - demand-side consume(): returns true when the id's fetch was issued
 //     by the prefetcher — completed entries are free, in-progress ones are
 //     waited for (still cheaper than a cold fetch, the round trip is
-//     already partially paid).
+//     already partially paid);
+//   - exception safety: a fetch callback that throws does not kill the
+//     pool thread, leak its window slot, or strand a waiting consumer —
+//     the exception is captured per id and rethrown to whoever touches
+//     that id next (consume) or to drain() if nobody does.
 //
 // The pipeline only ever *reads* the cache (via the probe callback) and
 // never admits — admission stays on the demand path (Algorithm 1 line 10),
@@ -25,9 +29,11 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "util/thread_pool.hpp"
@@ -59,6 +65,7 @@ public:
         std::uint64_t completed = 0;      ///< background fetches finished
         std::uint64_t hidden = 0;         ///< consumed after completion
         std::uint64_t waited = 0;         ///< consumed while still in flight
+        std::uint64_t failed = 0;         ///< fetch callback threw
     };
 
     PrefetchPipeline(ProbeFn probe, FetchFn fetch, Config config);
@@ -74,17 +81,22 @@ public:
 
     /// Demand side: true when `id` was prefetched, so the caller must not
     /// fetch it again. Blocks until the background fetch completes when it
-    /// is still in flight. Consumes the entry either way.
+    /// is still in flight. Consumes the entry either way. If the fetch
+    /// callback threw for `id`, that exception is rethrown here (the entry
+    /// is consumed first, so the caller can fall back to a demand fetch).
     bool consume(std::uint32_t id);
 
     /// True when `id` is currently issued-and-unconsumed (either state).
     [[nodiscard]] bool pending(std::uint32_t id) const;
 
-    /// Drops completed-but-unconsumed entries (mispredicted lookahead),
-    /// freeing their window slots. Returns how many were discarded.
+    /// Drops completed-but-unconsumed entries (mispredicted lookahead) and
+    /// unclaimed failures, freeing their window slots. Returns how many
+    /// were discarded. Never throws.
     std::size_t discard_ready();
 
-    /// Blocks until every issued fetch has completed.
+    /// Blocks until every issued fetch has completed. Rethrows the first
+    /// unclaimed fetch-callback exception (clearing all of them), so
+    /// background failures can never pass silently.
     void drain();
 
     [[nodiscard]] Stats stats() const;
@@ -99,6 +111,9 @@ private:
     std::condition_variable cv_;
     std::unordered_set<std::uint32_t> in_flight_;  ///< issued, not finished
     std::unordered_set<std::uint32_t> ready_;      ///< finished, unconsumed
+    /// Fetch-callback exceptions by id, unclaimed. Not counted against the
+    /// in-flight window (the slot is released on failure).
+    std::unordered_map<std::uint32_t, std::exception_ptr> failed_;
     Stats stats_;
     util::ThreadPool pool_;  ///< last member: drains before sets destruct
 };

@@ -103,6 +103,21 @@ double SpiderCache::end_epoch(double test_accuracy) {
     return cache_.imp_ratio();
 }
 
+std::optional<std::uint32_t> SpiderCache::degraded_surrogate(
+    std::uint32_t id) const {
+    // Case-3 machinery first: a resident high-degree node listing `id` as
+    // a close neighbor is the semantically nearest stand-in we can serve.
+    const cache::Lookup lookup = cache_.lookup(id);
+    if (lookup.kind != cache::HitKind::kMiss) return lookup.served_id;
+    // Class-homophily fallback: any resident sample with the same label,
+    // most important first (samples of one class affect the model far more
+    // alike than samples across classes).
+    const std::uint32_t label = config_.label_of(id);
+    return cache_.find_resident_if(id, [this, label](std::uint32_t candidate) {
+        return config_.label_of(candidate) == label;
+    });
+}
+
 std::vector<std::uint32_t> SpiderCache::epoch_order() {
     return sampler_.epoch_order(epoch_);
 }

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -108,6 +109,15 @@ public:
     // ------------------------------------------------------------- sampling
     /// Graph-IS multinomial order for the next epoch.
     [[nodiscard]] std::vector<std::uint32_t> epoch_order();
+
+    // ------------------------------------------------- degraded mode (§9)
+    /// Best resident stand-in for `id` when its remote fetch failed: the
+    /// Case-3 homophily surrogate if one exists, otherwise the highest-
+    /// scored resident sample of the same class. Read-only (no admission,
+    /// no counters); nullopt when nothing compatible is resident. Safe
+    /// from any thread.
+    [[nodiscard]] std::optional<std::uint32_t> degraded_surrogate(
+        std::uint32_t id) const;
 
     // ----------------------------------------------------------- inspection
     [[nodiscard]] std::span<const double> scores() const { return scores_; }

@@ -11,7 +11,8 @@ void write_epoch_csv(const RunResult& run, std::ostream& os) {
     os << "strategy,model,dataset,epoch,accesses,hits,importance_hits,"
           "homophily_hits,substitutions,ssd_hits,misses,hit_ratio,"
           "train_loss,test_accuracy,score_std,imp_ratio,load_ms,compute_ms,"
-          "is_ms,epoch_ms\n";
+          "is_ms,epoch_ms,fetch_retries,fetch_hedges,fetch_timeouts,"
+          "breaker_trips,fault_substitutions,fault_skips,fault_ms\n";
     for (const EpochMetrics& e : run.epochs) {
         os << run.strategy << ',' << run.model << ',' << run.dataset << ','
            << e.epoch << ',' << e.accesses << ',' << e.hits << ','
@@ -22,18 +23,25 @@ void write_epoch_csv(const RunResult& run, std::ostream& os) {
            << storage::to_ms(e.load_time) << ','
            << storage::to_ms(e.compute_time) << ','
            << storage::to_ms(e.is_time) << ','
-           << storage::to_ms(e.epoch_time) << '\n';
+           << storage::to_ms(e.epoch_time) << ','
+           << e.fetch_retries << ',' << e.fetch_hedges << ','
+           << e.fetch_timeouts << ',' << e.breaker_trips << ','
+           << e.fault_substitutions << ',' << e.fault_skips << ','
+           << storage::to_ms(e.fault_time) << '\n';
     }
 }
 
 void write_summary_csv(std::span<const RunResult> runs, std::ostream& os) {
     os << "strategy,model,dataset,epochs,total_minutes,avg_hit_ratio,"
-          "tail_hit_ratio,final_accuracy,best_accuracy\n";
+          "tail_hit_ratio,final_accuracy,best_accuracy,fault_minutes,"
+          "substituted_fraction\n";
     for (const RunResult& run : runs) {
         os << run.strategy << ',' << run.model << ',' << run.dataset << ','
            << run.epochs.size() << ',' << run.total_minutes() << ','
            << run.average_hit_ratio() << ',' << run.tail_hit_ratio(5) << ','
-           << run.final_accuracy << ',' << run.best_accuracy << '\n';
+           << run.final_accuracy << ',' << run.best_accuracy << ','
+           << storage::to_minutes(run.total_fault_time()) << ','
+           << run.substituted_fraction() << '\n';
     }
 }
 

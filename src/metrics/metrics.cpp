@@ -33,6 +33,24 @@ double RunResult::prefetch_coverage() const {
                              static_cast<double>(remote);
 }
 
+storage::SimDuration RunResult::total_fault_time() const {
+    storage::SimDuration total{};
+    for (const EpochMetrics& e : epochs) total += e.fault_time;
+    return total;
+}
+
+double RunResult::substituted_fraction() const {
+    std::uint64_t accesses = 0;
+    std::uint64_t substituted = 0;
+    for (const EpochMetrics& e : epochs) {
+        accesses += e.accesses;
+        substituted += e.fault_substitutions;
+    }
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(substituted) /
+                               static_cast<double>(accesses);
+}
+
 storage::SimDuration RunResult::mean_epoch_time() const {
     if (epochs.empty()) return storage::SimDuration::zero();
     storage::SimDuration total{};

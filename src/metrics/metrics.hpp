@@ -28,17 +28,32 @@ struct EpochMetrics {
     std::uint64_t prefetch_issued = 0;  // fetches started ahead of demand
     std::uint64_t prefetch_hidden = 0;  // misses whose I/O was overlapped
 
+    // Fault tolerance (DESIGN.md §9; all zero when fault injection is
+    // off). Retries/hedges/timeouts/trips come from the resilient client;
+    // substitutions/skips are the degradation-ladder outcomes of fetch
+    // envelopes that failed outright.
+    std::uint64_t fetch_retries = 0;    // attempts beyond each first try
+    std::uint64_t fetch_hedges = 0;     // duplicate requests issued
+    std::uint64_t fetch_timeouts = 0;   // attempts abandoned at timeout_ms
+    std::uint64_t breaker_trips = 0;    // circuit breaker closed -> open
+    std::uint64_t fault_substitutions = 0;  // served a cache surrogate
+    std::uint64_t fault_skips = 0;      // dropped from the batch (refilled
+                                        // once, then skipped for the epoch)
+
     // Learning signal.
     double train_loss = 0.0;
     double test_accuracy = 0.0;
     double score_std = 0.0;
     double imp_ratio = 1.0;
 
-    // Virtual time.
+    // Virtual time. `fault_time` is the slice of `load_time` attributable
+    // to injected faults (spikes, timeouts, retries, backoff, failed
+    // envelopes) — subtracting it recovers the healthy-backend load time.
     storage::SimDuration load_time{};
     storage::SimDuration compute_time{};
     storage::SimDuration is_time{};
     storage::SimDuration epoch_time{};
+    storage::SimDuration fault_time{};
 
     [[nodiscard]] double hit_ratio() const {
         return accesses == 0
@@ -52,6 +67,18 @@ struct EpochMetrics {
         return remote == 0 ? 0.0
                            : static_cast<double>(prefetch_hidden) /
                                  static_cast<double>(remote);
+    }
+    /// Epoch time attributable to storage faults: the degraded slice of
+    /// the load stage (fault_time) — zero on a healthy backend.
+    [[nodiscard]] storage::SimDuration degraded_time() const {
+        return fault_time;
+    }
+    /// Fraction of this epoch's accesses served by a degraded-mode cache
+    /// surrogate (the bound enforced by max_substitute_fraction).
+    [[nodiscard]] double substituted_fraction() const {
+        return accesses == 0 ? 0.0
+                             : static_cast<double>(fault_substitutions) /
+                                   static_cast<double>(accesses);
     }
 };
 
@@ -71,6 +98,10 @@ struct RunResult {
     [[nodiscard]] double tail_hit_ratio(std::size_t n) const;
     /// Run-wide fraction of remote misses hidden by the prefetcher.
     [[nodiscard]] double prefetch_coverage() const;
+    /// Total virtual time lost to storage faults across the run.
+    [[nodiscard]] storage::SimDuration total_fault_time() const;
+    /// Run-wide fraction of accesses served by degraded-mode surrogates.
+    [[nodiscard]] double substituted_fraction() const;
     [[nodiscard]] double total_minutes() const {
         return storage::to_minutes(total_time);
     }

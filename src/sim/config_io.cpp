@@ -30,6 +30,17 @@ const std::set<std::string>& known_keys() {
         "sampler.floor",       "elastic.enabled",      "elastic.r_start",
         "elastic.r_end",       "elastic.gamma",        "optimizer.lr",
         "optimizer.momentum",  "optimizer.weight_decay",
+        "faults.enabled",      "faults.seed",          "faults.transient_prob",
+        "faults.spike_prob",   "faults.spike_mult",    "faults.timeout_ms",
+        "faults.outage_start_ms",   "faults.outage_duration_ms",
+        "faults.outage_period_ms",  "faults.brownout_factor",
+        "faults.brownout_ms",       "resilience.max_attempts",
+        "resilience.backoff_base_ms",  "resilience.backoff_mult",
+        "resilience.backoff_max_ms",   "resilience.backoff_jitter",
+        "resilience.hedge_enabled",    "resilience.hedge_delay_ms",
+        "resilience.hedge_quantile",   "resilience.breaker_threshold",
+        "resilience.breaker_cooldown_ms",
+        "resilience.max_substitute_fraction",
     };
     return keys;
 }
@@ -133,6 +144,55 @@ SimConfig sim_config_from(const util::Config& config) {
     sim.elastic.r_start = config.get_double("elastic.r_start", 0.90);
     sim.elastic.r_end = config.get_double("elastic.r_end", 0.80);
     sim.elastic.gamma = config.get_double("elastic.gamma", sim.elastic.gamma);
+
+    sim.faults.enabled = config.get_bool("faults.enabled", false);
+    sim.faults.seed = static_cast<std::uint64_t>(
+        config.get_int("faults.seed",
+                       static_cast<std::int64_t>(sim.faults.seed)));
+    sim.faults.transient_failure_prob =
+        config.get_double("faults.transient_prob", 0.0);
+    sim.faults.latency_spike_prob = config.get_double("faults.spike_prob", 0.0);
+    sim.faults.latency_spike_mult =
+        config.get_double("faults.spike_mult", sim.faults.latency_spike_mult);
+    sim.faults.timeout_ms = config.get_double("faults.timeout_ms", 0.0);
+    sim.faults.outage_start_ms =
+        config.get_double("faults.outage_start_ms", 0.0);
+    sim.faults.outage_duration_ms =
+        config.get_double("faults.outage_duration_ms", 0.0);
+    sim.faults.outage_period_ms =
+        config.get_double("faults.outage_period_ms", 0.0);
+    sim.faults.brownout_factor =
+        config.get_double("faults.brownout_factor", 1.0);
+    sim.faults.brownout_duration_ms =
+        config.get_double("faults.brownout_ms", 0.0);
+
+    sim.resilience.max_attempts = static_cast<std::size_t>(config.get_int(
+        "resilience.max_attempts",
+        static_cast<std::int64_t>(sim.resilience.max_attempts)));
+    sim.resilience.backoff_base_ms = config.get_double(
+        "resilience.backoff_base_ms", sim.resilience.backoff_base_ms);
+    sim.resilience.backoff_mult = config.get_double(
+        "resilience.backoff_mult", sim.resilience.backoff_mult);
+    sim.resilience.backoff_max_ms = config.get_double(
+        "resilience.backoff_max_ms", sim.resilience.backoff_max_ms);
+    sim.resilience.backoff_jitter = config.get_double(
+        "resilience.backoff_jitter", sim.resilience.backoff_jitter);
+    sim.resilience.hedge_enabled =
+        config.get_bool("resilience.hedge_enabled", true);
+    sim.resilience.hedge_delay_ms = config.get_double(
+        "resilience.hedge_delay_ms", sim.resilience.hedge_delay_ms);
+    sim.resilience.hedge_quantile = config.get_double(
+        "resilience.hedge_quantile", sim.resilience.hedge_quantile);
+    sim.resilience.breaker_failure_threshold =
+        static_cast<std::size_t>(config.get_int(
+            "resilience.breaker_threshold",
+            static_cast<std::int64_t>(
+                sim.resilience.breaker_failure_threshold)));
+    sim.resilience.breaker_cooldown_ms = config.get_double(
+        "resilience.breaker_cooldown_ms", sim.resilience.breaker_cooldown_ms);
+    sim.resilience.max_substitute_fraction =
+        config.get_double("resilience.max_substitute_fraction",
+                          sim.resilience.max_substitute_fraction);
 
     sim.sgd.learning_rate =
         static_cast<float>(config.get_double("optimizer.lr", 0.05));

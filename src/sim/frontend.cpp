@@ -116,6 +116,13 @@ Access ICacheFrontend::access(std::uint32_t id) {
     return result;
 }
 
+std::optional<std::uint32_t> ICacheFrontend::substitute(std::uint32_t id) {
+    (void)id;
+    const std::lock_guard lock{mu_};
+    if (!options_.l_section_enabled) return std::nullopt;
+    return l_cache_.random_resident(rng_);
+}
+
 bool ICacheFrontend::probe(std::uint32_t id) const {
     const std::lock_guard lock{mu_};
     return h_cache_.contains(id) ||
@@ -157,6 +164,10 @@ Access SpiderFrontend::access(std::uint32_t id) {
 
 bool SpiderFrontend::probe(std::uint32_t id) const {
     return spider_.lookup(id).kind != cache::HitKind::kMiss;
+}
+
+std::optional<std::uint32_t> SpiderFrontend::substitute(std::uint32_t id) {
+    return spider_.degraded_surrogate(id);
 }
 
 std::size_t SpiderFrontend::resident_items() const {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -47,6 +48,17 @@ public:
     /// Non-mutating residency probe for the lookahead prefetcher: would
     /// `id` be served from cache right now? Never applies admission.
     [[nodiscard]] virtual bool probe(std::uint32_t id) const = 0;
+
+    /// Degraded-mode fallback (DESIGN.md §9): a resident sample the
+    /// strategy is willing to serve in place of `id` after its remote
+    /// fetch failed. Never fetches, never admits. The default — no
+    /// substitute — sends the simulator down the skip-and-refill rung;
+    /// semantic strategies override with a class/neighbor-aware pick.
+    [[nodiscard]] virtual std::optional<std::uint32_t> substitute(
+        std::uint32_t id) {
+        (void)id;
+        return std::nullopt;
+    }
 
     /// Called after the batch's losses are known (ids are the *served*
     /// samples, matching the data that actually went through the model).
@@ -120,6 +132,10 @@ public:
     }
     Access access(std::uint32_t id) override;
     [[nodiscard]] bool probe(std::uint32_t id) const override;
+    /// iCache already substitutes on healthy misses; degraded mode reuses
+    /// the same random-resident pick (L section only).
+    [[nodiscard]] std::optional<std::uint32_t> substitute(
+        std::uint32_t id) override;
     void post_batch(std::span<const std::uint32_t> ids) override;
     [[nodiscard]] std::size_t resident_items() const override {
         const std::lock_guard lock{mu_};
@@ -144,6 +160,9 @@ public:
     [[nodiscard]] std::string name() const override { return "SpiderCache"; }
     Access access(std::uint32_t id) override;
     [[nodiscard]] bool probe(std::uint32_t id) const override;
+    /// Degraded mode: Case-3 surrogate, else best same-class resident.
+    [[nodiscard]] std::optional<std::uint32_t> substitute(
+        std::uint32_t id) override;
     [[nodiscard]] std::size_t resident_items() const override;
 
 private:

@@ -1,8 +1,11 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <unordered_set>
 #include <vector>
 
@@ -19,6 +22,14 @@ namespace {
     return b == 0 ? 0 : (a + b - 1) / b;
 }
 
+/// Fault-draw contexts (DESIGN.md §9): demand and speculative fetches draw
+/// independent weather, so a demand retry after a failed prefetch is not
+/// condemned to replay the same failure.
+constexpr std::uint32_t kDemandContext = 1;
+constexpr std::uint32_t kPrefetchContext = 2;
+/// `served` slot of a sample the degradation ladder dropped (skip rung).
+constexpr std::uint32_t kSkippedSentinel = 0xFFFFFFFFU;
+
 /// Per-slice tallies of the data-loading stage. Workers fill private
 /// instances; the main thread merges after the join, so epoch counters
 /// need no atomics and the serial path (one slice) is bit-identical to
@@ -31,6 +42,14 @@ struct SliceCounts {
     std::uint64_t ssd_hits = 0;
     std::uint64_t remote_misses = 0;  // excludes SSD absorptions
     std::uint64_t prefetch_hidden = 0;
+
+    // Fault-injected runs only (all zero otherwise).
+    std::uint64_t fetch_ok = 0;      // resilient envelopes that succeeded
+    std::uint64_t fetch_failed = 0;  // exhausted or breaker-rejected
+    std::uint64_t fault_substitutions = 0;
+    std::uint64_t fault_skips = 0;
+    double fault_extra_ms = 0.0;     // envelope cost beyond nominal fetches
+    std::vector<std::uint32_t> skipped;  // ids to offer the refill queue
 
     struct TraceEvent {
         std::uint32_t requested;
@@ -163,6 +182,22 @@ metrics::RunResult TrainingSimulator::run() {
     std::mutex ssd_mu;
     util::Rng aug_rng{config_.seed ^ 0xA067ULL};
 
+    // Fault-injected runs route every remote fetch through the resilient
+    // client; fault-free runs keep the direct RemoteStore path, untouched
+    // and unmeasured (zero-cost-off, asserted by the parity test).
+    const bool faulty = config_.faults.enabled;
+    std::unique_ptr<storage::ResilientStore> resilient;
+    if (faulty) {
+        resilient = std::make_unique<storage::ResilientStore>(
+            remote_, config_.faults, config_.resilience);
+    }
+    storage::ResilientStore::Counters fault_prev{};
+    std::uint64_t timeouts_prev = 0;
+    // Virtual-"now" mirror for background prefetch threads: they cannot
+    // read the clock mid-step, and batch granularity is all the fault
+    // model's outage windows need.
+    std::atomic<std::int64_t> vnow{0};
+
     // Real loader workers (Fig. 17 on actual threads). The pool exists
     // only when requested; the serial path takes no locks beyond the
     // frontends' own and is bit-identical to the pre-threading simulator.
@@ -187,18 +222,45 @@ metrics::RunResult TrainingSimulator::run() {
         pc.max_in_flight = config_.prefetch_window;
         prefetcher = std::make_unique<core::PrefetchPipeline>(
             [&parts](std::uint32_t id) { return parts.frontend->probe(id); },
-            [this](std::uint32_t id) { (void)remote_.fetch(id); }, pc);
+            [this, &resilient, &vnow](std::uint32_t id) {
+                if (!resilient) {
+                    (void)remote_.fetch(id);
+                    return;
+                }
+                const storage::FetchResult r = resilient->fetch(
+                    id,
+                    storage::SimDuration{
+                        vnow.load(std::memory_order_relaxed)},
+                    kPrefetchContext);
+                // Propagates through consume()/drain() (the pipeline's
+                // exception contract); the demand path falls back to its
+                // own resilient fetch.
+                if (!r.ok) {
+                    throw std::runtime_error{"speculative fetch failed"};
+                }
+            },
+            pc);
     }
 
     for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
         model.set_learning_rate(nn::cosine_lr(config_.sgd.learning_rate,
                                               config_.lr_min, epoch,
                                               config_.epochs));
-        const std::vector<std::uint32_t> order =
+        std::vector<std::uint32_t> order =
             parts.spider ? parts.spider->epoch_order()
                          : parts.sampler->epoch_order(epoch);
         // A new epoch draws a new order: stale lookahead is worthless.
         prefetched.clear();
+
+        // Degradation-ladder state (DESIGN.md §9): the epoch's surrogate
+        // budget, and the refill queue — a failed id is appended to the
+        // epoch order at most once, so every sample gets a second chance
+        // but the epoch is guaranteed to terminate.
+        const auto substitute_budget = static_cast<std::uint64_t>(
+            config_.resilience.max_substitute_fraction *
+            static_cast<double>(order.size()));
+        std::atomic<std::uint64_t> substitutes_used{0};
+        std::unordered_set<std::uint32_t> refilled;
 
         metrics::EpochMetrics em;
         em.epoch = epoch;
@@ -211,6 +273,10 @@ metrics::RunResult TrainingSimulator::run() {
                 std::min(global_batch, order.size() - start);
             const std::span<const std::uint32_t> requested{
                 order.data() + start, count};
+            // All fault draws of this batch see the same virtual time:
+            // outage membership is then a pure function of the batch
+            // index, not of worker scheduling.
+            const storage::SimDuration batch_now = clock.now();
 
             // ---- Data loading (Algorithm 1 lines 4-12), one slice per
             // loader worker. Slices write disjoint ranges of `served`.
@@ -253,20 +319,63 @@ metrics::RunResult TrainingSimulator::run() {
                         ++out.ssd_hits;
                         continue;
                     }
-                    ++out.remote_misses;
                     bool hidden = false;
                     if (prefetched.contains(requested[i])) {
                         // The prefetcher already issued (and accounted)
                         // this fetch during the previous compute window.
-                        hidden = prefetcher == nullptr ||
-                                 prefetcher->consume(requested[i]);
+                        // A speculative fetch that failed rethrows from
+                        // consume(); fall through to a demand fetch.
+                        try {
+                            hidden = prefetcher == nullptr ||
+                                     prefetcher->consume(requested[i]);
+                        } catch (...) {
+                            hidden = false;
+                        }
                     }
+                    bool fetched = true;
                     if (hidden) {
                         ++out.prefetch_hidden;
-                    } else {
+                    } else if (!faulty) {
                         // Fetch for the clock/metrics side effects only.
                         (void)remote_.fetch(requested[i]);
+                    } else {
+                        const storage::FetchResult r = resilient->fetch(
+                            requested[i], batch_now, kDemandContext);
+                        if (r.ok) {
+                            ++out.fetch_ok;
+                            out.fault_extra_ms +=
+                                storage::to_ms(r.cost) - per_fetch_ms;
+                        } else {
+                            ++out.fetch_failed;
+                            out.fault_extra_ms += storage::to_ms(r.cost);
+                            fetched = false;
+                        }
                     }
+                    if (!fetched) {
+                        // Degradation ladder: a resident surrogate within
+                        // the epoch budget, else drop the slot and let the
+                        // refill queue retry the id later in the epoch.
+                        std::optional<std::uint32_t> surrogate;
+                        if (substitutes_used.load(
+                                std::memory_order_relaxed) <
+                            substitute_budget) {
+                            surrogate =
+                                parts.frontend->substitute(requested[i]);
+                        }
+                        if (surrogate &&
+                            substitutes_used.fetch_add(
+                                1, std::memory_order_relaxed) <
+                                substitute_budget) {
+                            served[i] = *surrogate;
+                            ++out.fault_substitutions;
+                        } else {
+                            served[i] = kSkippedSentinel;
+                            ++out.fault_skips;
+                            out.skipped.push_back(requested[i]);
+                        }
+                        continue;
+                    }
+                    ++out.remote_misses;
                     if (threaded) {
                         const std::lock_guard lock{ssd_mu};
                         ssd.insert(requested[i]);
@@ -299,18 +408,26 @@ metrics::RunResult TrainingSimulator::run() {
             std::size_t ssd_hits = 0;
             std::size_t hits = 0;
             std::size_t hidden = 0;
+            std::uint64_t batch_ok = 0;
+            std::uint64_t batch_failed = 0;
+            double fault_extra_ms = 0.0;
             for (const SliceCounts& s : slices) {
                 hits += s.hits;
                 ssd_hits += s.ssd_hits;
                 misses += s.remote_misses;
                 hidden += s.prefetch_hidden;
+                batch_ok += s.fetch_ok;
+                batch_failed += s.fetch_failed;
+                fault_extra_ms += s.fault_extra_ms;
                 em.hits += s.hits;
                 em.importance_hits += s.importance_hits;
                 em.homophily_hits += s.homophily_hits;
                 em.substitutions += s.substitutions;
                 em.ssd_hits += s.ssd_hits;
-                em.misses += s.ssd_hits + s.remote_misses;
+                em.misses += s.ssd_hits + s.remote_misses + s.fetch_failed;
                 em.prefetch_hidden += s.prefetch_hidden;
+                em.fault_substitutions += s.fault_substitutions;
+                em.fault_skips += s.fault_skips;
                 for (const SliceCounts::TraceEvent& t : s.trace) {
                     result.access_trace.record(static_cast<std::uint32_t>(epoch),
                                                t.requested, t.served,
@@ -318,6 +435,21 @@ metrics::RunResult TrainingSimulator::run() {
                 }
             }
             em.accesses += count;
+            if (faulty) {
+                // Refill queue: each failed id is re-queued once, at the
+                // epoch's tail (appending is safe — `requested` is not
+                // touched past this point, and the epoch loop re-reads
+                // order.size()). Then advance the breaker/hedge state
+                // machines with the batch totals (main thread, so the
+                // outcome is independent of worker interleaving).
+                for (const SliceCounts& s : slices) {
+                    for (const std::uint32_t id : s.skipped) {
+                        if (refilled.insert(id).second) order.push_back(id);
+                    }
+                }
+                resilient->on_batch_end(batch_failed, batch_ok, batch_now);
+                std::erase(served, kSkippedSentinel);
+            }
 
             // Load-stage time: every remote miss pays a fetch round, minus
             // the rounds the prefetcher already absorbed into the previous
@@ -328,45 +460,62 @@ metrics::RunResult TrainingSimulator::run() {
             const double hidden_ms =
                 per_fetch_ms *
                 static_cast<double>(miss_rounds - demand_rounds);
+            // Fault surplus (spikes, timeouts, backoff, failed envelopes)
+            // shares the same fetch slots as the nominal rounds. An
+            // aggressively cheap hedge win can undercut the nominal cost;
+            // the floor keeps the surplus a penalty, never a credit.
+            const double fault_ms =
+                faulty ? std::max(0.0, fault_extra_ms) /
+                             static_cast<double>(fetch_slots)
+                       : 0.0;
             const double load_ms =
                 per_fetch_ms * static_cast<double>(miss_rounds) +
                 storage::to_ms(ssd.batch_read_cost(ssd_hits, fetch_slots)) +
                 config_.hit_cost_ms * static_cast<double>(hits) /
-                    static_cast<double>(fetch_slots);
+                    static_cast<double>(fetch_slots) +
+                fault_ms;
+            em.fault_time += storage::from_ms(fault_ms);
 
-            // ---- Forward (real) over the served samples, with
-            // training-time augmentation (crop/flip stand-in).
-            const tensor::Matrix features =
-                dataset_.gather_features_augmented(served, aug_rng);
-            const std::vector<std::uint32_t> labels =
-                dataset_.gather_labels(served);
-            nn::ForwardResult fwd = model.forward(features, labels);
-            loss_sum += fwd.mean_loss;
-            ++loss_batches;
-
-            // ---- Backward (real), with selective-backprop mask for
-            // compute-bound IS.
-            std::vector<std::uint8_t> mask =
-                parts.sampler->train_mask(served, fwd.per_sample_loss);
+            // A batch can end up empty when every slot was skipped by the
+            // degradation ladder (total outage, no surrogates); the load
+            // cost is still paid but there is nothing to train on.
             double stage2_scale = 1.0;
-            if (!mask.empty()) {
-                const auto trained = static_cast<double>(
-                    std::count(mask.begin(), mask.end(), std::uint8_t{1}));
-                stage2_scale = trained / static_cast<double>(mask.size());
-            }
-            model.backward_and_step(labels, mask);
+            if (!served.empty()) {
+                // ---- Forward (real) over the served samples, with
+                // training-time augmentation (crop/flip stand-in).
+                const tensor::Matrix features =
+                    dataset_.gather_features_augmented(served, aug_rng);
+                const std::vector<std::uint32_t> labels =
+                    dataset_.gather_labels(served);
+                nn::ForwardResult fwd = model.forward(features, labels);
+                loss_sum += fwd.mean_loss;
+                ++loss_batches;
 
-            // ---- Strategy feedback.
-            parts.sampler->observe_losses(served, fwd.per_sample_loss);
-            parts.frontend->post_batch(served);
-            if (parts.spider) {
-                parts.spider->observe_batch(served, fwd.embeddings);
+                // ---- Backward (real), with selective-backprop mask for
+                // compute-bound IS.
+                std::vector<std::uint8_t> mask =
+                    parts.sampler->train_mask(served, fwd.per_sample_loss);
+                if (!mask.empty()) {
+                    const auto trained = static_cast<double>(
+                        std::count(mask.begin(), mask.end(), std::uint8_t{1}));
+                    stage2_scale = trained / static_cast<double>(mask.size());
+                }
+                model.backward_and_step(labels, mask);
+
+                // ---- Strategy feedback.
+                parts.sampler->observe_losses(served, fwd.per_sample_loss);
+                parts.frontend->post_batch(served);
+                if (parts.spider) {
+                    parts.spider->observe_batch(served, fwd.embeddings);
+                }
             }
 
             // ---- Virtual time. Stage fractions: per-GPU micro-batch
             // compute runs in parallel; loads already share fetch slots.
+            // Skipped slots train nothing, so they scale no compute.
             const double batch_fraction =
-                static_cast<double>(count) / static_cast<double>(global_batch);
+                static_cast<double>(served.size()) /
+                static_cast<double>(global_batch);
             const double stage1_ms =
                 load_ms + config_.model.forward_ms * batch_fraction;
             const double stage2_ms =
@@ -381,6 +530,7 @@ metrics::RunResult TrainingSimulator::run() {
                                          static_cast<double>(gpus));
             }
             clock.advance(step);
+            vnow.store(clock.now().count(), std::memory_order_relaxed);
             em.load_time += storage::from_ms(load_ms - hidden_ms);
             em.compute_time += storage::from_ms(
                 config_.model.forward_ms * batch_fraction + stage2_ms);
@@ -424,9 +574,19 @@ metrics::RunResult TrainingSimulator::run() {
                         // drop them so they stop occupying the window.
                         prefetcher->discard_ready();
                         prefetcher->prefetch(issue);
-                    } else {
+                    } else if (!faulty) {
                         for (const std::uint32_t id : issue) {
                             (void)remote_.fetch(id);
+                        }
+                    } else {
+                        // Speculative fetches ride the idle window; a
+                        // failed one simply drops out of the lookahead
+                        // set and the demand path retries the id with
+                        // fresh fault draws.
+                        for (const std::uint32_t id : issue) {
+                            const storage::FetchResult r = resilient->fetch(
+                                id, clock.now(), kPrefetchContext);
+                            if (!r.ok) prefetched.erase(id);
                         }
                     }
                     em.prefetch_issued += issue.size();
@@ -453,11 +613,38 @@ metrics::RunResult TrainingSimulator::run() {
             em.score_std = stats.stddev();
         }
 
+        // Fault-tolerance counters: per-epoch deltas of the resilient
+        // client's monotone totals (timeouts live in the fault model).
+        if (resilient) {
+            const storage::ResilientStore::Counters now =
+                resilient->counters();
+            em.fetch_retries = now.retries - fault_prev.retries;
+            em.fetch_hedges = now.hedges - fault_prev.hedges;
+            em.breaker_trips = now.breaker_trips - fault_prev.breaker_trips;
+            fault_prev = now;
+            const std::uint64_t timeouts =
+                resilient->fault_model().injected_timeouts();
+            em.fetch_timeouts = timeouts - timeouts_prev;
+            timeouts_prev = timeouts;
+        }
+
         result.epochs.push_back(em);
         result.best_accuracy = std::max(result.best_accuracy, em.test_accuracy);
     }
 
-    if (prefetcher) prefetcher->drain();
+    if (prefetcher) {
+        if (!faulty) {
+            prefetcher->drain();
+        } else {
+            // Unclaimed speculative failures are benign at run end — the
+            // epochs they belonged to already demand-fetched, substituted,
+            // or refilled their samples.
+            try {
+                prefetcher->drain();
+            } catch (...) {
+            }
+        }
+    }
     if (threaded) remote_.set_fetch_slot_cap(0);
 
     result.total_time = clock.now();

@@ -29,6 +29,7 @@
 #include "sim/frontend.hpp"
 #include "sim/strategy.hpp"
 #include "storage/remote_store.hpp"
+#include "storage/resilient_store.hpp"
 #include "storage/ssd_tier.hpp"
 
 namespace spider::sim {
@@ -105,6 +106,14 @@ struct SimConfig {
     /// storage (CoorDL-style write-back caching; off by default to match
     /// the paper's Spot-VM setting where local SSDs are unreliable).
     storage::SsdTierConfig ssd{};
+
+    /// Remote-storage fault injection (DESIGN.md §9). Disabled by default;
+    /// the resilient client layer is then bypassed entirely and the run is
+    /// bit-identical to a fault-free build (zero-cost-off).
+    storage::FaultModelConfig faults{};
+    /// Retry/hedge/breaker policy and the degraded-mode substitution bound
+    /// of the resilient client. Consulted only when faults.enabled.
+    storage::ResiliencePolicy resilience{};
 
     /// Record the full access trace into RunResult (offline analysis via
     /// spider::trace).

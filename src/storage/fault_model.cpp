@@ -1,0 +1,124 @@
+#include "storage/fault_model.hpp"
+
+#include <cmath>
+
+namespace spider::storage {
+
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche mix so that nearby
+/// (id, attempt) keys give uncorrelated draws.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+// Purpose tags keep the independent draws of one attempt apart.
+constexpr std::uint32_t kPurposeTransient = 0;
+constexpr std::uint32_t kPurposeSpike = 1;
+constexpr std::uint32_t kPurposeSpikeMag = 2;
+
+}  // namespace
+
+FaultModel::FaultModel(FaultModelConfig config, SimDuration base_latency)
+    : config_{config}, base_latency_{base_latency} {}
+
+double FaultModel::unit_draw(std::uint32_t id, std::uint32_t attempt,
+                             std::uint32_t context,
+                             std::uint32_t purpose) const {
+    // Pack the coordinates into disjoint bit ranges, then avalanche. The
+    // seed is folded in twice (pre- and post-mix) so that flipping one
+    // seed bit reshuffles every draw.
+    const std::uint64_t key = (static_cast<std::uint64_t>(id) << 24) |
+                              (static_cast<std::uint64_t>(context) << 16) |
+                              (static_cast<std::uint64_t>(attempt) << 8) |
+                              static_cast<std::uint64_t>(purpose);
+    const std::uint64_t h = mix64(config_.seed ^ mix64(key + config_.seed));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultModel::in_outage(SimDuration now) const {
+    if (config_.outage_duration_ms <= 0.0) return false;
+    const double t = to_ms(now);
+    if (t < config_.outage_start_ms) return false;
+    double rel = t - config_.outage_start_ms;
+    if (config_.outage_period_ms > 0.0) {
+        rel = std::fmod(rel, config_.outage_period_ms);
+    }
+    return rel < config_.outage_duration_ms;
+}
+
+double FaultModel::slowdown(SimDuration now) const {
+    if (config_.brownout_factor <= 1.0 || config_.brownout_duration_ms <= 0.0 ||
+        config_.outage_duration_ms <= 0.0) {
+        return 1.0;
+    }
+    const double t = to_ms(now);
+    if (t < config_.outage_start_ms) return 1.0;
+    double rel = t - config_.outage_start_ms;
+    if (config_.outage_period_ms > 0.0) {
+        rel = std::fmod(rel, config_.outage_period_ms);
+    }
+    const double brownout_end =
+        config_.outage_duration_ms + config_.brownout_duration_ms;
+    return (rel >= config_.outage_duration_ms && rel < brownout_end)
+               ? config_.brownout_factor
+               : 1.0;
+}
+
+FaultOutcome FaultModel::evaluate(std::uint32_t id, std::uint32_t attempt,
+                                  SimDuration now,
+                                  std::uint32_t context) const {
+    FaultOutcome out;
+    if (!config_.enabled) {
+        out.latency = base_latency_;
+        return out;
+    }
+    const double base_ms = to_ms(base_latency_);
+    if (in_outage(now)) {
+        // Unreachable backend: the client burns its full timeout before
+        // giving up (or one nominal round trip when no timeout is set).
+        out.kind = FaultKind::kOutage;
+        out.latency = config_.timeout_ms > 0.0 ? from_ms(config_.timeout_ms)
+                                               : base_latency_;
+        outage_rejections_.fetch_add(1, std::memory_order_relaxed);
+        return out;
+    }
+
+    double latency_ms = base_ms * slowdown(now);
+    if (config_.latency_spike_prob > 0.0 &&
+        unit_draw(id, attempt, context, kPurposeSpike) <
+            config_.latency_spike_prob) {
+        latency_ms = base_ms * config_.latency_spike_mult *
+                     (0.5 + unit_draw(id, attempt, context, kPurposeSpikeMag));
+        spikes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (config_.timeout_ms > 0.0 && latency_ms >= config_.timeout_ms) {
+        out.kind = FaultKind::kTimeout;
+        out.latency = from_ms(config_.timeout_ms);
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return out;
+    }
+    if (config_.transient_failure_prob > 0.0 &&
+        unit_draw(id, attempt, context, kPurposeTransient) <
+            config_.transient_failure_prob) {
+        // The error reply arrives with the attempt's latency.
+        out.kind = FaultKind::kTransient;
+        out.latency = from_ms(latency_ms);
+        transients_.fetch_add(1, std::memory_order_relaxed);
+        return out;
+    }
+    out.latency = from_ms(latency_ms);
+    return out;
+}
+
+void FaultModel::reset_counters() {
+    transients_.store(0, std::memory_order_relaxed);
+    spikes_.store(0, std::memory_order_relaxed);
+    timeouts_.store(0, std::memory_order_relaxed);
+    outage_rejections_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace spider::storage

@@ -1,0 +1,132 @@
+#pragma once
+
+// Deterministic fault injection for the remote-storage path (the paper's
+// Spot-VM / unstable-NFS setting, ROADMAP "fault model" item). The model
+// wraps the nominal per-fetch cost with four failure modes:
+//
+//   transient  — per-attempt failure probability (RPC error, quick reply)
+//   spike      — per-attempt latency multiplier draw (congested server)
+//   timeout    — any attempt slower than `timeout_ms` is abandoned at the
+//                threshold and reported as a timeout failure
+//   outage     — scheduled windows in *virtual* time during which every
+//                attempt fails (the Spot-VM preemption analogue), each
+//                optionally followed by a slow "brownout" recovery tail
+//
+// Every draw is a pure hash of (seed, id, attempt, context) — no shared
+// RNG stream — so the injected fault schedule is a function of the
+// configuration alone: thread count, scheduling order, and retry timing
+// cannot perturb it. That property is what makes the fault-injected
+// simulator reproducible and is asserted by tests/fault_tolerance_test.
+
+#include <atomic>
+#include <cstdint>
+
+#include "storage/clock.hpp"
+
+namespace spider::storage {
+
+struct FaultModelConfig {
+    /// Master switch. Off (default) means evaluate() always succeeds at
+    /// the nominal latency and the whole layer is zero-cost.
+    bool enabled = false;
+    /// Seed of the hash-based draw stream (independent of SimConfig seed
+    /// so the same training run can be replayed under different weather).
+    std::uint64_t seed = 0xFA017;
+
+    /// Per-attempt transient failure probability (error reply at nominal
+    /// latency).
+    double transient_failure_prob = 0.0;
+    /// Per-attempt latency-spike probability.
+    double latency_spike_prob = 0.0;
+    /// Spiked attempts cost base * mult * U[0.5, 1.5).
+    double latency_spike_mult = 8.0;
+    /// Client-side timeout: attempts slower than this are abandoned at the
+    /// threshold and count as failures. 0 = wait forever (no timeouts).
+    double timeout_ms = 0.0;
+
+    /// Outage windows in virtual time: starting at `outage_start_ms`,
+    /// every `outage_period_ms` (0 = a single window), the backend is
+    /// unreachable for `outage_duration_ms` (0 = no outages).
+    double outage_start_ms = 0.0;
+    double outage_duration_ms = 0.0;
+    double outage_period_ms = 0.0;
+    /// After each outage window the backend serves at base latency times
+    /// this factor for `brownout_duration_ms` (cold caches, reconnect
+    /// storms). 1.0 disables the brownout tail.
+    double brownout_factor = 1.0;
+    double brownout_duration_ms = 0.0;
+};
+
+enum class FaultKind : std::uint8_t {
+    kNone,       ///< attempt succeeded
+    kTransient,  ///< injected RPC failure
+    kTimeout,    ///< attempt exceeded timeout_ms
+    kOutage,     ///< inside a scheduled outage window
+};
+
+struct FaultOutcome {
+    FaultKind kind = FaultKind::kNone;
+    /// Virtual time the attempt costs (success latency, error-reply
+    /// latency, the timeout threshold, or the outage probe cost).
+    SimDuration latency{};
+
+    [[nodiscard]] bool ok() const { return kind == FaultKind::kNone; }
+};
+
+class FaultModel {
+public:
+    /// `base_latency` is the nominal healthy per-fetch cost (the
+    /// RemoteStore's fetch_cost), which all penalties scale from.
+    FaultModel(FaultModelConfig config, SimDuration base_latency);
+
+    [[nodiscard]] const FaultModelConfig& config() const { return config_; }
+    [[nodiscard]] bool enabled() const { return config_.enabled; }
+    [[nodiscard]] SimDuration base_latency() const { return base_latency_; }
+
+    /// Outcome of attempt number `attempt` at fetching `id`, issued at
+    /// virtual time `now`. `context` separates otherwise-identical draw
+    /// streams (demand vs. prefetch vs. hedge duplicates) so a retry after
+    /// a failed speculative fetch sees fresh weather. Pure function of the
+    /// arguments + config; counters are the only mutation (atomic adds, so
+    /// totals are thread-order independent too).
+    [[nodiscard]] FaultOutcome evaluate(std::uint32_t id, std::uint32_t attempt,
+                                        SimDuration now,
+                                        std::uint32_t context = 0) const;
+
+    /// Is `now` inside a scheduled outage window?
+    [[nodiscard]] bool in_outage(SimDuration now) const;
+    /// Latency multiplier at `now` (brownout_factor inside a brownout
+    /// tail, 1.0 otherwise).
+    [[nodiscard]] double slowdown(SimDuration now) const;
+
+    /// Uniform [0,1) hash draw — exposed so the retry layer can derive
+    /// deterministic backoff jitter from the same stream discipline.
+    [[nodiscard]] double unit_draw(std::uint32_t id, std::uint32_t attempt,
+                                   std::uint32_t context,
+                                   std::uint32_t purpose) const;
+
+    // ---- Injection counters (what the model actually did).
+    [[nodiscard]] std::uint64_t injected_transients() const {
+        return transients_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t injected_spikes() const {
+        return spikes_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t injected_timeouts() const {
+        return timeouts_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t outage_rejections() const {
+        return outage_rejections_.load(std::memory_order_relaxed);
+    }
+    void reset_counters();
+
+private:
+    FaultModelConfig config_;
+    SimDuration base_latency_;
+    mutable std::atomic<std::uint64_t> transients_{0};
+    mutable std::atomic<std::uint64_t> spikes_{0};
+    mutable std::atomic<std::uint64_t> timeouts_{0};
+    mutable std::atomic<std::uint64_t> outage_rejections_{0};
+};
+
+}  // namespace spider::storage

@@ -17,8 +17,15 @@ public:
         if (!active_) return;
         if (store_.in_flight_ >= store_.slot_cap_) {
             store_.slot_waits_.fetch_add(1, std::memory_order_relaxed);
-            store_.slot_cv_.wait(
-                lock, [&] { return store_.in_flight_ < store_.slot_cap_; });
+            // The cap can change while we sleep: a waiter must also wake
+            // when the cap is lifted entirely (cap == 0 means unlimited,
+            // and `in_flight_ < 0` would otherwise strand it forever).
+            store_.slot_cv_.wait(lock, [&] {
+                return store_.slot_cap_ == 0 ||
+                       store_.in_flight_ < store_.slot_cap_;
+            });
+            active_ = store_.slot_cap_ > 0;
+            if (!active_) return;  // cap removed while we waited
         }
         ++store_.in_flight_;
         std::size_t peak =

@@ -1,0 +1,245 @@
+#include "storage/resilient_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spider::storage {
+
+namespace {
+
+// Histogram geometry: bucket b covers [kHistoMinMs * 2^b, kHistoMinMs *
+// 2^(b+1)) — 48 octaves from 10 µs to ~78 hours of virtual time.
+constexpr double kHistoMinMs = 0.01;
+
+// Context tag mixed into hedge draws so the duplicate request sees
+// weather independent of its primary (contexts 0..15 are caller-chosen).
+constexpr std::uint32_t kHedgeContextBit = 0x10;
+// Purpose tag of the backoff-jitter draw (the fault model uses 0..2).
+constexpr std::uint32_t kPurposeJitter = 8;
+
+[[nodiscard]] std::size_t bucket_of(double ms, std::size_t buckets) {
+    if (ms <= kHistoMinMs) return 0;
+    const auto b = static_cast<std::size_t>(std::log2(ms / kHistoMinMs));
+    return std::min(b, buckets - 1);
+}
+
+}  // namespace
+
+ResilientStore::ResilientStore(RemoteStore& remote,
+                               FaultModelConfig fault_config,
+                               ResiliencePolicy policy)
+    : remote_{remote},
+      faults_{fault_config, remote.fetch_cost(0)},
+      policy_{policy},
+      base_cost_{remote.fetch_cost(0)} {
+    policy_.max_attempts = std::clamp<std::size_t>(policy_.max_attempts, 1, 16);
+    if (policy_.hedge_delay_ms > 0.0) {
+        hedge_delay_ns_.store(from_ms(policy_.hedge_delay_ms).count(),
+                              std::memory_order_relaxed);
+    }
+}
+
+SimDuration ResilientStore::backoff_before(std::uint32_t id,
+                                           std::uint32_t attempt) const {
+    double wait_ms =
+        policy_.backoff_base_ms *
+        std::pow(policy_.backoff_mult, static_cast<double>(attempt - 1));
+    wait_ms = std::min(wait_ms, policy_.backoff_max_ms);
+    if (policy_.backoff_jitter > 0.0) {
+        const double u = faults_.unit_draw(id, attempt, 0, kPurposeJitter);
+        wait_ms *= 1.0 + policy_.backoff_jitter * (2.0 * u - 1.0);
+    }
+    return from_ms(std::max(wait_ms, 0.0));
+}
+
+void ResilientStore::record_latency(SimDuration latency) {
+    latency_histo_[bucket_of(to_ms(latency), kHistogramBuckets)].fetch_add(
+        1, std::memory_order_relaxed);
+    latency_samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double ResilientStore::histogram_quantile_ms(double q) const {
+    const std::uint64_t total =
+        latency_samples_.load(std::memory_order_relaxed);
+    if (total == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        seen += latency_histo_[b].load(std::memory_order_relaxed);
+        if (seen > target) {
+            // Upper edge of the bucket: hedging should fire only once the
+            // primary is slower than (nearly) everything observed.
+            return kHistoMinMs * std::pow(2.0, static_cast<double>(b + 1));
+        }
+    }
+    return kHistoMinMs * std::pow(2.0, static_cast<double>(kHistogramBuckets));
+}
+
+ResilientStore::BreakerState ResilientStore::breaker_state(
+    SimDuration now) const {
+    const auto state =
+        static_cast<BreakerState>(breaker_.load(std::memory_order_acquire));
+    if (state == BreakerState::kOpen &&
+        now.count() >= breaker_reopen_ns_.load(std::memory_order_acquire)) {
+        return BreakerState::kHalfOpen;
+    }
+    return state;
+}
+
+FetchResult ResilientStore::fetch(std::uint32_t id, SimDuration now,
+                                  std::uint32_t context) {
+    FetchResult result;
+    fetches_.fetch_add(1, std::memory_order_relaxed);
+    if (!faults_.enabled()) {
+        // Healthy backend: one attempt, nominal cost, zero extra state.
+        (void)remote_.fetch(id);
+        result.ok = true;
+        result.attempts = 1;
+        result.cost = base_cost_;
+        attempts_.fetch_add(1, std::memory_order_relaxed);
+        successes_.fetch_add(1, std::memory_order_relaxed);
+        return result;
+    }
+
+    if (policy_.breaker_failure_threshold > 0 &&
+        breaker_state(now) == BreakerState::kOpen) {
+        result.breaker_rejected = true;
+        breaker_fast_fails_.fetch_add(1, std::memory_order_relaxed);
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        return result;  // instant client-side rejection: zero cost
+    }
+
+    const SimDuration hedge_after = hedge_delay();
+    SimDuration cost{};
+    for (std::uint32_t attempt = 0; attempt < policy_.max_attempts;
+         ++attempt) {
+        ++result.attempts;
+        attempts_.fetch_add(1, std::memory_order_relaxed);
+        if (attempt > 0) {
+            retries_.fetch_add(1, std::memory_order_relaxed);
+            cost += backoff_before(id, attempt);
+        }
+
+        const FaultOutcome primary =
+            faults_.evaluate(id, attempt, now, context);
+        record_latency(primary.latency);
+        SimDuration attempt_cost = primary.latency;
+        bool ok = primary.ok();
+
+        // Hedge: the duplicate goes out once the primary has been
+        // outstanding for hedge_after; first completion wins. A primary
+        // that would *fail* after hedge_after (timeout, outage) can be
+        // rescued by a fast duplicate — that is the entire point.
+        if (policy_.hedge_enabled && hedge_after > SimDuration::zero() &&
+            primary.latency > hedge_after) {
+            result.hedged = true;
+            hedges_.fetch_add(1, std::memory_order_relaxed);
+            const FaultOutcome dup = faults_.evaluate(
+                id, attempt, now, context | kHedgeContextBit);
+            const SimDuration dup_done = hedge_after + dup.latency;
+            if (dup.ok() && (!ok || dup_done < attempt_cost)) {
+                result.hedge_won = true;
+                hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+                attempt_cost = ok ? std::min(attempt_cost, dup_done)
+                                  : dup_done;
+                ok = true;
+            } else if (!dup.ok() && !ok) {
+                // Both failed: the envelope learns of failure when the
+                // later of the two gives up.
+                attempt_cost = std::max(attempt_cost, dup_done);
+            }
+        }
+
+        cost += attempt_cost;
+        if (ok) {
+            (void)remote_.fetch(id);
+            result.ok = true;
+            break;
+        }
+        result.last_fault = primary.kind;
+    }
+
+    result.cost = cost;
+    if (result.ok) {
+        successes_.fetch_add(1, std::memory_order_relaxed);
+        fault_time_ns_.fetch_add((cost - base_cost_).count(),
+                                 std::memory_order_relaxed);
+    } else {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        fault_time_ns_.fetch_add(cost.count(), std::memory_order_relaxed);
+    }
+    return result;
+}
+
+void ResilientStore::on_batch_end(std::uint64_t failures,
+                                  std::uint64_t successes, SimDuration now) {
+    if (!faults_.enabled()) return;
+
+    // Refresh the auto hedge delay once enough attempts are on record.
+    if (policy_.hedge_enabled && policy_.hedge_delay_ms <= 0.0 &&
+        latency_samples_.load(std::memory_order_relaxed) >= 64) {
+        const double q_ms = histogram_quantile_ms(policy_.hedge_quantile);
+        hedge_delay_ns_.store(from_ms(q_ms).count(),
+                              std::memory_order_relaxed);
+    }
+
+    if (policy_.breaker_failure_threshold == 0) return;
+    const BreakerState state = breaker_state(now);
+    switch (state) {
+        case BreakerState::kOpen:
+            return;  // still cooling down
+        case BreakerState::kHalfOpen:
+            if (successes > 0) {
+                // Probe batch reached the backend: close.
+                failure_streak_ = 0;
+                breaker_.store(static_cast<std::uint8_t>(BreakerState::kClosed),
+                               std::memory_order_release);
+            } else if (failures > 0) {
+                // Still dead: re-open for another cooldown.
+                breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+                breaker_reopen_ns_.store(
+                    (now + from_ms(policy_.breaker_cooldown_ms)).count(),
+                    std::memory_order_release);
+                breaker_.store(static_cast<std::uint8_t>(BreakerState::kOpen),
+                               std::memory_order_release);
+            }
+            return;
+        case BreakerState::kClosed:
+            break;
+    }
+    // Closed: a batch with any success resets the streak (the backend is
+    // alive); an all-failure batch extends it — the signature of an
+    // outage, not of sporadic transients.
+    if (successes > 0) {
+        failure_streak_ = 0;
+    } else {
+        failure_streak_ += failures;
+    }
+    if (failure_streak_ >= policy_.breaker_failure_threshold) {
+        failure_streak_ = 0;
+        breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+        breaker_reopen_ns_.store(
+            (now + from_ms(policy_.breaker_cooldown_ms)).count(),
+            std::memory_order_release);
+        breaker_.store(static_cast<std::uint8_t>(BreakerState::kOpen),
+                       std::memory_order_release);
+    }
+}
+
+ResilientStore::Counters ResilientStore::counters() const {
+    Counters c;
+    c.fetches = fetches_.load(std::memory_order_relaxed);
+    c.attempts = attempts_.load(std::memory_order_relaxed);
+    c.retries = retries_.load(std::memory_order_relaxed);
+    c.hedges = hedges_.load(std::memory_order_relaxed);
+    c.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
+    c.successes = successes_.load(std::memory_order_relaxed);
+    c.failures = failures_.load(std::memory_order_relaxed);
+    c.breaker_fast_fails = breaker_fast_fails_.load(std::memory_order_relaxed);
+    c.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+    c.fault_time = SimDuration{fault_time_ns_.load(std::memory_order_relaxed)};
+    return c;
+}
+
+}  // namespace spider::storage

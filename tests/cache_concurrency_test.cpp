@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -184,6 +186,104 @@ TEST(PrefetchConcurrency, ConcurrentConsumeHidesCompletedFetches) {
     EXPECT_EQ(stats.hidden + stats.waited, 200U);
 }
 
+TEST(PrefetchConcurrency, ConcurrentFetchExceptionsPropagateToConsumers) {
+    core::PrefetchPipeline::Config pc;
+    pc.threads = 2;
+    pc.max_in_flight = 128;
+    core::PrefetchPipeline pipeline{
+        [](std::uint32_t) { return false; },
+        [](std::uint32_t id) {
+            if (id % 2 == 1) throw std::runtime_error{"backend down"};
+        },
+        pc};
+
+    std::vector<std::uint32_t> ids(100);
+    for (std::uint32_t i = 0; i < 100; ++i) ids[i] = i;
+    EXPECT_EQ(pipeline.prefetch(ids), 100U);
+
+    // Several demand threads: even ids consume clean, odd ids rethrow the
+    // background failure to exactly the consumer that claims them.
+    std::atomic<std::uint64_t> clean{0};
+    std::atomic<std::uint64_t> rethrown{0};
+    std::vector<std::thread> demanders;
+    for (int t = 0; t < 4; ++t) {
+        demanders.emplace_back([&pipeline, &clean, &rethrown, t] {
+            for (std::uint32_t id = static_cast<std::uint32_t>(t); id < 100;
+                 id += 4) {
+                try {
+                    if (pipeline.consume(id)) {
+                        clean.fetch_add(1, std::memory_order_relaxed);
+                    }
+                } catch (const std::runtime_error&) {
+                    rethrown.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& th : demanders) th.join();
+    EXPECT_EQ(clean.load(), 50U);
+    EXPECT_EQ(rethrown.load(), 50U);
+    EXPECT_EQ(pipeline.stats().failed, 50U);
+
+    // Every slot (including the failed ones) must have been released:
+    // a full window's worth of new ids is accepted and drains clean.
+    std::vector<std::uint32_t> refill(128);
+    for (std::uint32_t i = 0; i < 128; ++i) refill[i] = 1000 + 2 * i;
+    EXPECT_EQ(pipeline.prefetch(refill), 128U);
+    pipeline.drain();
+}
+
+TEST(PrefetchConcurrency, ConcurrentDrainRethrowsUnclaimedFailure) {
+    core::PrefetchPipeline::Config pc;
+    pc.threads = 2;
+    pc.max_in_flight = 8;
+    core::PrefetchPipeline pipeline{
+        [](std::uint32_t) { return false; },
+        [](std::uint32_t id) {
+            if (id == 3) throw std::runtime_error{"lost sample"};
+        },
+        pc};
+
+    std::vector<std::uint32_t> ids{1, 2, 3, 4};
+    EXPECT_EQ(pipeline.prefetch(ids), 4U);
+    // Nobody consumes id 3: its failure must surface at the drain barrier
+    // instead of passing silently.
+    EXPECT_THROW(pipeline.drain(), std::runtime_error);
+    // The failure was claimed by the throw; the next drain is clean and
+    // the window slot was not leaked.
+    pipeline.drain();
+    EXPECT_EQ(pipeline.discard_ready(), 3U);
+    std::vector<std::uint32_t> refill{10, 11, 12, 13, 14, 15, 16, 17};
+    EXPECT_EQ(pipeline.prefetch(refill), 8U);
+    pipeline.drain();
+}
+
+TEST(PrefetchConcurrency, ConcurrentReissueSupersedesStaleFailure) {
+    std::atomic<bool> failing{true};
+    core::PrefetchPipeline::Config pc;
+    pc.threads = 1;
+    pc.max_in_flight = 8;
+    core::PrefetchPipeline pipeline{
+        [](std::uint32_t) { return false; },
+        [&failing](std::uint32_t) {
+            if (failing.load(std::memory_order_relaxed)) {
+                throw std::runtime_error{"transient"};
+            }
+        },
+        pc};
+
+    std::vector<std::uint32_t> ids{7};
+    EXPECT_EQ(pipeline.prefetch(ids), 1U);
+    while (pipeline.stats().failed == 0) std::this_thread::yield();
+
+    // The backend recovers and the id is re-issued: the stale failure must
+    // not shadow the successful retry.
+    failing.store(false, std::memory_order_relaxed);
+    EXPECT_EQ(pipeline.prefetch(ids), 1U);
+    EXPECT_TRUE(pipeline.consume(7));
+    pipeline.drain();
+}
+
 TEST(PrefetchConcurrency, ConcurrentDiscardReadyFreesWindowSlots) {
     core::PrefetchPipeline::Config pc;
     pc.threads = 1;
@@ -231,6 +331,50 @@ TEST(RemoteStoreConcurrency, ConcurrentFetchesRespectSlotCap) {
     store.set_fetch_slot_cap(0);  // uncapped mode still works afterwards
     (void)store.fetch(0);
     EXPECT_EQ(store.total_fetches(), 8U * 200U + 1U);
+}
+
+// Regression: lowering the cap — and in particular dropping it to 0
+// (uncapped) — while fetchers are parked on the slot gate must wake every
+// waiter. The old wait predicate ignored cap changes, so a thread blocked
+// under cap=1 stayed blocked forever once the cap was lifted.
+TEST(RemoteStoreConcurrency, ConcurrentCapChurnNeverStrandsWaiters) {
+    data::DatasetSpec spec;
+    spec.name = "slots-churn";
+    spec.num_samples = 256;
+    spec.num_classes = 4;
+    spec.feature_dim = 8;
+    data::SyntheticDataset dataset{spec};
+    storage::RemoteStore store{dataset, {}};
+    store.set_fetch_slot_cap(1);  // maximal contention from the start
+
+    constexpr std::size_t kThreads = 8;
+    constexpr std::uint32_t kPerThread = 400;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> fetchers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        fetchers.emplace_back([&store, &go, t] {
+            while (!go.load(std::memory_order_acquire)) {
+                std::this_thread::yield();
+            }
+            for (std::uint32_t i = 0; i < kPerThread; ++i) {
+                (void)store.fetch(
+                    (static_cast<std::uint32_t>(t) * kPerThread + i) % 256);
+            }
+        });
+    }
+    // Churn the cap through raises, lowers, and full removal while the
+    // fetchers hammer the gate. Every transition must wake the parked
+    // threads or the joins below deadlock.
+    go.store(true, std::memory_order_release);
+    constexpr std::size_t kCaps[] = {1, 3, 0, 2, 1, 0, 4, 1};
+    for (int round = 0; round < 50; ++round) {
+        store.set_fetch_slot_cap(kCaps[static_cast<std::size_t>(round) % 8]);
+        std::this_thread::yield();
+    }
+    store.set_fetch_slot_cap(0);  // finish uncapped: all waiters released
+    for (auto& f : fetchers) f.join();
+
+    EXPECT_EQ(store.total_fetches(), kThreads * kPerThread);
 }
 
 }  // namespace

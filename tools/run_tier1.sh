@@ -10,6 +10,10 @@
 #   tools/run_tier1.sh --asan     # additionally: AddressSanitizer + UBSan
 #                                 # build of the full test suite in
 #                                 # build-asan/
+#   tools/run_tier1.sh --faults   # additionally: ThreadSanitizer pass over
+#                                 # the fault-injection / degraded-mode
+#                                 # suite (resilient store, breaker, fault
+#                                 # simulator — DESIGN.md §9) in build-tsan/
 #
 # Build directories: build-tier1/, build-tsan/, build-asan/ (gitignored).
 
@@ -18,11 +22,13 @@ cd "$(dirname "$0")/.."
 
 run_tsan=0
 run_asan=0
+run_faults=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
     --asan) run_asan=1 ;;
-    *) echo "usage: $0 [--tsan] [--asan]" >&2; exit 2 ;;
+    --faults) run_faults=1 ;;
+    *) echo "usage: $0 [--tsan] [--asan] [--faults]" >&2; exit 2 ;;
   esac
 done
 
@@ -45,9 +51,22 @@ if [[ "$run_tsan" == 1 ]]; then
     -DSPIDER_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j "$jobs" \
     --target ann_test scorer_test util_test pipeline_test \
-             cache_concurrency_test shard_parity_test
+             cache_concurrency_test shard_parity_test fault_tolerance_test
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     -R 'Concurrent|ScoreBatch|ThreadPool|Pipelined'
+fi
+
+if [[ "$run_faults" == 1 ]]; then
+  echo "== opt-in: ThreadSanitizer pass over the fault-tolerance paths =="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPIDER_TSAN=ON \
+    -DSPIDER_BUILD_BENCH=OFF \
+    -DSPIDER_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$jobs" \
+    --target fault_tolerance_test cache_concurrency_test
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'FaultModel|ResilientStore|FaultSimulator|RemoteStoreConcurrency|PrefetchConcurrency'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
