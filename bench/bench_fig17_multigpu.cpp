@@ -5,31 +5,61 @@
 //
 // ISSUE 2 additions: a SpiderCache+prefetch column (the lookahead
 // prefetcher overlapping predicted misses with the previous step's
-// compute; DESIGN.md §8.3) with its prefetch hit coverage, plus flags:
+// compute; DESIGN.md §8.3). ISSUE 4 adds the adaptive epoch-crossing
+// prefetcher column: the depth controller sizes the window from the
+// observed storage-idle span and spills leftover tail budget into the
+// next epoch's head, so its coverage must dominate the static column and
+// its epoch >= 2 cold-start misses must drop. Flags:
 //
 //   --threads N    run the loader stage on N real worker threads sharing
 //                  the sharded cache and capped fetch slots (0 = one per
 //                  simulated GPU; default 1 = serial, bit-identical to the
 //                  pre-threading simulator)
-//   --prefetch     also report SpiderCache with the prefetcher enabled
+//   --prefetch     also report SpiderCache with the static prefetcher
+//   --adaptive     also report the adaptive epoch-crossing prefetcher
+//                  (implies --prefetch, for the baseline column)
+//   --smoke        tiny deterministic run for CI: both prefetch columns
+//                  on, exit non-zero unless adaptive coverage beats the
+//                  static column at every GPU count
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+
+namespace {
+
+struct ColumnResult {
+    double epoch_s = 0.0;
+    double coverage = 0.0;
+    std::uint64_t warm_cold_misses = 0;  // cold-start misses, epochs >= 1
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace spider;
     std::size_t threads = 1;
     bool with_prefetch = false;
+    bool with_adaptive = false;
+    bool smoke = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--threads" && i + 1 < argc) {
             threads = static_cast<std::size_t>(std::stoul(argv[++i]));
         } else if (arg == "--prefetch") {
             with_prefetch = true;
+        } else if (arg == "--adaptive") {
+            with_adaptive = true;
+            with_prefetch = true;
+        } else if (arg == "--smoke") {
+            smoke = true;
+            with_prefetch = true;
+            with_adaptive = true;
         } else {
-            std::cerr
-                << "usage: bench_fig17_multigpu [--threads N] [--prefetch]\n";
+            std::cerr << "usage: bench_fig17_multigpu [--threads N] "
+                         "[--prefetch] [--adaptive] [--smoke]\n";
             return 2;
         }
     }
@@ -37,8 +67,15 @@ int main(int argc, char** argv) {
     bench::print_preamble("bench_fig17_multigpu", "Figure 17");
     std::cout << "### loader threads: "
               << (threads == 0 ? std::string{"per-GPU"}
-                               : std::to_string(threads))
-              << (with_prefetch ? ", prefetch column enabled" : "") << "\n\n";
+                               : std::to_string(threads));
+    if (smoke) {
+        std::cout << ", smoke mode";
+    } else if (with_adaptive) {
+        std::cout << ", prefetch + adaptive columns enabled";
+    } else if (with_prefetch) {
+        std::cout << ", prefetch column enabled";
+    }
+    std::cout << "\n\n";
 
     util::Table table{
         "Fig 17: per-epoch time (virtual s), CIFAR-10 / ResNet18"};
@@ -48,36 +85,62 @@ int main(int argc, char** argv) {
         header.insert(header.end(),
                       {"Spider+prefetch", "speedup", "coverage"});
     }
+    if (with_adaptive) {
+        header.insert(header.end(), {"Spider+adaptive", "speedup", "coverage",
+                                     "cold@2+"});
+    }
     table.set_header(std::move(header));
 
+    // Column order per row: baseline, spider, [static prefetch],
+    // [adaptive epoch-crossing prefetch].
+    enum class Column { kBaseline, kSpider, kStaticPrefetch, kAdaptive };
+    std::vector<Column> columns = {Column::kBaseline, Column::kSpider};
+    if (with_prefetch) columns.push_back(Column::kStaticPrefetch);
+    if (with_adaptive) columns.push_back(Column::kAdaptive);
+
+    bool adaptive_dominates = true;
     for (const std::size_t gpus : {1UL, 2UL, 3UL, 4UL}) {
         double baseline_s = 0.0;
+        ColumnResult stat{};
         std::vector<std::string> row = {std::to_string(gpus)};
-        std::vector<sim::StrategyKind> strategies = {
-            sim::StrategyKind::kBaselineLru, sim::StrategyKind::kSpider};
-        if (with_prefetch) strategies.push_back(sim::StrategyKind::kSpider);
-        for (std::size_t run_idx = 0; run_idx < strategies.size();
-             ++run_idx) {
-            const sim::StrategyKind strategy = strategies[run_idx];
-            const bool prefetch_run = run_idx == 2;
+        for (const Column column : columns) {
             sim::SimConfig config = bench::cifar10_config();
-            config.strategy = strategy;
+            config.strategy = column == Column::kBaseline
+                                  ? sim::StrategyKind::kBaselineLru
+                                  : sim::StrategyKind::kSpider;
             config.num_gpus = gpus;
-            config.epochs = bench::epochs(20);
-            config.worker_threads = threads;
-            config.prefetch_enabled = prefetch_run;
-            const metrics::RunResult run = sim::TrainingSimulator{config}.run();
-            const double epoch_s =
-                storage::to_ms(run.mean_epoch_time()) / 1000.0;
-            if (run_idx == 0) baseline_s = epoch_s;
-            row.push_back(util::Table::fmt(epoch_s, 2));
-            if (run_idx >= 1) {
-                row.push_back(util::Table::fmt(baseline_s / epoch_s, 2) + "x");
+            config.epochs = smoke ? 3 : bench::epochs(20);
+            if (smoke) {
+                config.dataset = data::cifar10_like(/*scale=*/0.02);
             }
-            if (prefetch_run) {
+            config.worker_threads = threads;
+            config.prefetch_enabled = column == Column::kStaticPrefetch ||
+                                      column == Column::kAdaptive;
+            config.prefetch_adaptive = column == Column::kAdaptive;
+            const metrics::RunResult run =
+                sim::TrainingSimulator{config}.run();
+
+            ColumnResult res;
+            res.epoch_s = storage::to_ms(run.mean_epoch_time()) / 1000.0;
+            res.coverage = run.prefetch_coverage();
+            for (std::size_t e = 1; e < run.epochs.size(); ++e) {
+                res.warm_cold_misses += run.epochs[e].cold_start_misses;
+            }
+
+            if (column == Column::kBaseline) baseline_s = res.epoch_s;
+            if (column == Column::kStaticPrefetch) stat = res;
+            row.push_back(util::Table::fmt(res.epoch_s, 2));
+            if (column != Column::kBaseline) {
                 row.push_back(
-                    util::Table::fmt(run.prefetch_coverage() * 100.0, 1) +
-                    "%");
+                    util::Table::fmt(baseline_s / res.epoch_s, 2) + "x");
+            }
+            if (config.prefetch_enabled) {
+                row.push_back(util::Table::fmt(res.coverage * 100.0, 1) +
+                              "%");
+            }
+            if (column == Column::kAdaptive) {
+                row.push_back(std::to_string(res.warm_cold_misses));
+                if (res.coverage <= stat.coverage) adaptive_dominates = false;
             }
         }
         table.add_row(std::move(row));
@@ -90,6 +153,21 @@ int main(int argc, char** argv) {
         std::cout << "prefetch: lookahead hides covered misses inside the "
                      "previous step's compute window,\nso the prefetch "
                      "column must be strictly faster wherever coverage > 0\n";
+    }
+    if (with_adaptive) {
+        std::cout << "adaptive: the depth controller fills the whole idle "
+                     "span and the epoch-crossing\ntail warms the next "
+                     "epoch's first batch (cold@2+ = cold-start misses "
+                     "summed over epochs >= 2)\n";
+    }
+    if (smoke) {
+        if (!adaptive_dominates) {
+            std::cerr << "SMOKE FAIL: adaptive coverage did not beat the "
+                         "static column at every GPU count\n";
+            return 1;
+        }
+        std::cout << "smoke: adaptive coverage > static coverage at every "
+                     "GPU count\n";
     }
     return 0;
 }

@@ -50,13 +50,27 @@ double ElasticCacheManager::on_epoch(double score_std, double accuracy,
     delta_t = std::max(delta_t, 0.0);  // shrinking accuracy => no penalty hold
     penalty_ = delta_t / (config_.gamma + delta_t);
 
-    // ---- Ratio Controller (Eq. 8).
+    // ---- Ratio Controller (Eq. 8), rebased on the activation epoch.
+    // Eq. 8 writes progress as t/T, implicitly assuming beta latches at
+    // t = 0. When the Importance Monitor latches late, absolute progress
+    // would jump the ratio from r_start straight to mid-curve in a single
+    // epoch; measuring progress over the *remaining* schedule instead
+    // starts the shift at zero on the first activated epoch and keeps the
+    // series continuous while still reaching r_end at the final epoch.
     if (!activated_ || total_epochs <= 1) {
         current_ratio_ = config_.r_start;
         return current_ratio_;
     }
-    const double t = static_cast<double>(epoch);
-    const double T = static_cast<double>(total_epochs - 1);
+    const double t = epoch >= activation_epoch_
+                         ? static_cast<double>(epoch - activation_epoch_)
+                         : 0.0;
+    // Degenerate tail guard: beta latching on the very last epoch leaves
+    // no schedule to traverse — jump-free is impossible, so finish at
+    // r_end as Eq. 8's endpoint demands (progress = 1).
+    const double T =
+        activation_epoch_ + 1 < total_epochs
+            ? static_cast<double>(total_epochs - 1 - activation_epoch_)
+            : 0.0;
     const double progress = std::clamp(T > 0.0 ? t / T : 1.0, 0.0, 1.0);
     current_ratio_ =
         config_.r_start - (config_.r_start - config_.r_end) *

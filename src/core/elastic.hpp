@@ -52,6 +52,10 @@ public:
                     std::size_t total_epochs);
 
     [[nodiscard]] bool activated() const { return activated_; }
+    /// Epoch at which beta latched (meaningful only once activated()).
+    [[nodiscard]] std::size_t activation_epoch() const {
+        return activation_epoch_;
+    }
     [[nodiscard]] double penalty() const { return penalty_; }
     [[nodiscard]] double current_ratio() const { return current_ratio_; }
     [[nodiscard]] double smoothed_accuracy() const { return smoothed_accuracy_; }

@@ -1,5 +1,8 @@
 #include "core/prefetch.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace spider::core {
@@ -115,6 +118,11 @@ std::size_t PrefetchPipeline::discard_ready() {
     return dropped;
 }
 
+bool PrefetchPipeline::discard(std::uint32_t id) {
+    const std::lock_guard lock{mu_};
+    return ready_.erase(id) + failed_.erase(id) > 0;
+}
+
 bool PrefetchPipeline::pending(std::uint32_t id) const {
     const std::lock_guard lock{mu_};
     return in_flight_.contains(id) || ready_.contains(id);
@@ -133,6 +141,54 @@ void PrefetchPipeline::drain() {
 PrefetchPipeline::Stats PrefetchPipeline::stats() const {
     const std::lock_guard lock{mu_};
     return stats_;
+}
+
+void PrefetchPipeline::set_max_in_flight(std::size_t max_in_flight) {
+    const std::lock_guard lock{mu_};
+    config_.max_in_flight = std::max<std::size_t>(max_in_flight, 1);
+}
+
+std::size_t PrefetchPipeline::max_in_flight() const {
+    const std::lock_guard lock{mu_};
+    return config_.max_in_flight;
+}
+
+std::size_t idle_fetch_budget(double idle_ms, double per_fetch_ms,
+                              std::size_t fetch_slots) {
+    if (per_fetch_ms <= 0.0) return std::numeric_limits<std::size_t>::max();
+    if (idle_ms <= 0.0 || fetch_slots == 0) return 0;
+    const double capacity =
+        static_cast<double>(fetch_slots) * (idle_ms / per_fetch_ms);
+    // Guard the double -> size_t cast against overflow for pathological
+    // inputs (idle spans of years): anything past 2^53 is "unbounded".
+    if (capacity >= 9.0e15) return std::numeric_limits<std::size_t>::max();
+    return static_cast<std::size_t>(std::floor(capacity));
+}
+
+AdaptivePrefetchController::AdaptivePrefetchController(Config config)
+    : config_{config}, window_{std::max<std::size_t>(config.min_window, 1)} {
+    if (config_.alpha <= 0.0 || config_.alpha > 1.0) {
+        throw std::invalid_argument{
+            "AdaptivePrefetchController: alpha in (0, 1]"};
+    }
+    config_.min_window = std::max<std::size_t>(config_.min_window, 1);
+    config_.max_window =
+        std::max<std::size_t>(config_.max_window, config_.min_window);
+    window_ = config_.min_window;
+}
+
+std::size_t AdaptivePrefetchController::update(double idle_ms,
+                                               double per_fetch_ms,
+                                               std::size_t fetch_slots) {
+    const double observed = std::max(idle_ms, 0.0);
+    ewma_idle_ms_ = seeded_ ? config_.alpha * observed +
+                                  (1.0 - config_.alpha) * ewma_idle_ms_
+                            : observed;
+    seeded_ = true;
+    const std::size_t capacity =
+        idle_fetch_budget(ewma_idle_ms_, per_fetch_ms, fetch_slots);
+    window_ = std::clamp(capacity, config_.min_window, config_.max_window);
+    return window_;
 }
 
 }  // namespace spider::core

@@ -79,6 +79,14 @@ public:
     /// number of fetches dispatched.
     std::size_t prefetch(std::span<const std::uint32_t> ids);
 
+    /// Resizes the in-flight window at runtime (the adaptive depth
+    /// controller calls this once per step). Shrinking never cancels
+    /// already-issued fetches — occupancy drains naturally and new issues
+    /// respect the smaller bound. Clamped to >= 1.
+    void set_max_in_flight(std::size_t max_in_flight);
+
+    [[nodiscard]] std::size_t max_in_flight() const;
+
     /// Demand side: true when `id` was prefetched, so the caller must not
     /// fetch it again. Blocks until the background fetch completes when it
     /// is still in flight. Consumes the entry either way. If the fetch
@@ -93,6 +101,14 @@ public:
     /// unclaimed failures, freeing their window slots. Returns how many
     /// were discarded. Never throws.
     std::size_t discard_ready();
+
+    /// Drops the single completed-but-unconsumed (or failed) entry for
+    /// `id`, if any, freeing its window slot. A still-in-flight fetch is
+    /// left to finish (never cancelled). The adaptive simulator calls this
+    /// for ids whose batch has passed without consuming them — e.g. the
+    /// id became cache-resident between issue and demand — so a stale
+    /// entry cannot pin a window slot forever. Never throws.
+    bool discard(std::uint32_t id);
 
     /// Blocks until every issued fetch has completed. Rethrows the first
     /// unclaimed fetch-callback exception (clearing all of them), so
@@ -116,6 +132,55 @@ private:
     std::unordered_map<std::uint32_t, std::exception_ptr> failed_;
     Stats stats_;
     util::ThreadPool pool_;  ///< last member: drains before sets destruct
+};
+
+/// How many prefetches the storage path can absorb inside an idle span of
+/// `idle_ms` when one fetch costs `per_fetch_ms` and `fetch_slots` run in
+/// parallel. The multiply happens in floating point *before* the single
+/// floor: eight slots each 90% through a fetch round still amount to
+/// seven whole fetches, where truncating the per-slot quotient first
+/// (the pre-fix simulator) collapsed the budget to zero whenever
+/// per_fetch_ms > idle_ms. A non-positive per_fetch_ms means fetches are
+/// free: the budget is unbounded (SIZE_MAX — callers min() it with their
+/// candidate count anyway).
+[[nodiscard]] std::size_t idle_fetch_budget(double idle_ms,
+                                            double per_fetch_ms,
+                                            std::size_t fetch_slots);
+
+/// Adaptive lookahead-depth controller (DESIGN.md §8.3): sizes the
+/// prefetch window each step from an EWMA of the observed storage-idle
+/// span and the measured per-fetch cost. When storage sits idle the EWMA
+/// (and so the window) grows toward the span's full fetch capacity; when
+/// prefetch starts competing with demand fetches the next step's load
+/// stage lengthens, the idle span shrinks, and the window backs off —
+/// a closed feedback loop with no extra signal needed. Deterministic:
+/// the window is a pure function of the observation sequence.
+class AdaptivePrefetchController {
+public:
+    struct Config {
+        /// Window clamp (min >= 1; max is SimConfig::prefetch_window_max).
+        std::size_t min_window = 1;
+        std::size_t max_window = 1024;
+        /// EWMA smoothing factor in (0, 1]: weight of the newest idle-span
+        /// observation. 1.0 tracks instantaneously (no smoothing).
+        double alpha = 0.25;
+    };
+
+    explicit AdaptivePrefetchController(Config config);
+
+    /// One observation per step: the step's storage-idle span and the
+    /// current per-fetch cost / slot count. Returns the new window.
+    std::size_t update(double idle_ms, double per_fetch_ms,
+                       std::size_t fetch_slots);
+
+    [[nodiscard]] std::size_t window() const { return window_; }
+    [[nodiscard]] double ewma_idle_ms() const { return ewma_idle_ms_; }
+
+private:
+    Config config_;
+    bool seeded_ = false;
+    double ewma_idle_ms_ = 0.0;
+    std::size_t window_;
 };
 
 }  // namespace spider::core

@@ -17,12 +17,32 @@ std::vector<std::uint32_t> identity_permutation(std::size_t n) {
 
 }  // namespace
 
+// ------------------------------------------------------------------ Sampler
+
+std::vector<std::uint32_t> Sampler::epoch_order(std::size_t epoch) {
+    if (peeked_epoch_ && *peeked_epoch_ == epoch) {
+        peeked_epoch_.reset();
+        return std::move(peeked_order_);
+    }
+    return draw_epoch_order(epoch);
+}
+
+const std::vector<std::uint32_t>& Sampler::peek_epoch_order(
+    std::size_t epoch) {
+    if (!peeked_epoch_ || *peeked_epoch_ != epoch) {
+        peeked_order_ = draw_epoch_order(epoch);
+        peeked_epoch_ = epoch;
+    }
+    return peeked_order_;
+}
+
 // ---------------------------------------------------------- UniformSampler
 
 UniformSampler::UniformSampler(std::size_t dataset_size, util::Rng rng)
     : dataset_size_{dataset_size}, rng_{rng} {}
 
-std::vector<std::uint32_t> UniformSampler::epoch_order(std::size_t /*epoch*/) {
+std::vector<std::uint32_t> UniformSampler::draw_epoch_order(
+    std::size_t /*epoch*/) {
     std::vector<std::uint32_t> order = identity_permutation(dataset_size_);
     rng_.shuffle(order);
     return order;
@@ -38,7 +58,8 @@ GraphIsSampler::GraphIsSampler(std::span<const double> scores, util::Rng rng,
     }
 }
 
-std::vector<std::uint32_t> GraphIsSampler::epoch_order(std::size_t /*epoch*/) {
+std::vector<std::uint32_t> GraphIsSampler::draw_epoch_order(
+    std::size_t /*epoch*/) {
     // Weight = score + floor * mean(score); before any scores exist the
     // floor term alone makes the draw uniform.
     double total = 0.0;
@@ -71,7 +92,8 @@ double GraphIsSampler::importance_of(std::uint32_t id) const {
 ShadeSampler::ShadeSampler(std::size_t dataset_size, util::Rng rng)
     : dataset_size_{dataset_size}, rng_{rng}, weights_(dataset_size, 1.0) {}
 
-std::vector<std::uint32_t> ShadeSampler::epoch_order(std::size_t /*epoch*/) {
+std::vector<std::uint32_t> ShadeSampler::draw_epoch_order(
+    std::size_t /*epoch*/) {
     const util::AliasSampler alias{weights_};
     return alias.draw_many(rng_, dataset_size_);
 }
@@ -116,7 +138,7 @@ GradientNormSampler::GradientNormSampler(std::size_t dataset_size,
     }
 }
 
-std::vector<std::uint32_t> GradientNormSampler::epoch_order(
+std::vector<std::uint32_t> GradientNormSampler::draw_epoch_order(
     std::size_t /*epoch*/) {
     const util::AliasSampler alias{norms_};
     return alias.draw_many(rng_, dataset_size_);
@@ -151,7 +173,7 @@ ComputeBoundSampler::ComputeBoundSampler(std::size_t dataset_size,
     }
 }
 
-std::vector<std::uint32_t> ComputeBoundSampler::epoch_order(
+std::vector<std::uint32_t> ComputeBoundSampler::draw_epoch_order(
     std::size_t /*epoch*/) {
     // Data order stays uniform: the algorithm saves *compute*, not I/O —
     // the mismatch with I/O-bound training that the paper's Motivation 1

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,9 +35,21 @@ public:
     [[nodiscard]] virtual std::string name() const = 0;
 
     /// The sequence of sample ids to visit this epoch (length = dataset
-    /// size; strategies with replacement may repeat ids).
-    [[nodiscard]] virtual std::vector<std::uint32_t> epoch_order(
-        std::size_t epoch) = 0;
+    /// size; strategies with replacement may repeat ids). If
+    /// `peek_epoch_order` cached a draw for this epoch, that exact order
+    /// is returned (and the cache consumed) — peeking never perturbs the
+    /// order stream, it only moves the draw earlier in time.
+    [[nodiscard]] std::vector<std::uint32_t> epoch_order(std::size_t epoch);
+
+    /// Epoch-crossing lookahead (DESIGN.md §8.3): draws epoch `epoch`'s
+    /// order now — advancing the sampler's RNG exactly as the later
+    /// `epoch_order(epoch)` call would have — and caches it so that call
+    /// returns the identical sequence. Safe to call repeatedly (later
+    /// peeks at the same epoch return the cached draw). Intended for the
+    /// tail of epoch e, when the importance weights for e+1 are final and
+    /// the prefetcher wants e+1's head before the boundary.
+    [[nodiscard]] const std::vector<std::uint32_t>& peek_epoch_order(
+        std::size_t epoch);
 
     /// Per-batch feedback: losses observed for the samples just trained.
     virtual void observe_losses(std::span<const std::uint32_t> ids,
@@ -60,6 +73,17 @@ public:
         (void)id;
         return 0.0;
     }
+
+protected:
+    /// The actual draw. Implementations consume RNG state here; the base
+    /// class routes both epoch_order and peek_epoch_order through this so
+    /// each epoch's order is drawn exactly once.
+    [[nodiscard]] virtual std::vector<std::uint32_t> draw_epoch_order(
+        std::size_t epoch) = 0;
+
+private:
+    std::optional<std::size_t> peeked_epoch_;
+    std::vector<std::uint32_t> peeked_order_;
 };
 
 class UniformSampler final : public Sampler {
@@ -67,7 +91,9 @@ public:
     UniformSampler(std::size_t dataset_size, util::Rng rng);
 
     [[nodiscard]] std::string name() const override { return "Uniform"; }
-    [[nodiscard]] std::vector<std::uint32_t> epoch_order(
+
+protected:
+    [[nodiscard]] std::vector<std::uint32_t> draw_epoch_order(
         std::size_t epoch) override;
 
 private:
@@ -84,9 +110,11 @@ public:
                    double uniform_floor = 0.02);
 
     [[nodiscard]] std::string name() const override { return "SpiderCache"; }
-    [[nodiscard]] std::vector<std::uint32_t> epoch_order(
-        std::size_t epoch) override;
     [[nodiscard]] double importance_of(std::uint32_t id) const override;
+
+protected:
+    [[nodiscard]] std::vector<std::uint32_t> draw_epoch_order(
+        std::size_t epoch) override;
 
 private:
     std::span<const double> scores_;
@@ -99,11 +127,13 @@ public:
     ShadeSampler(std::size_t dataset_size, util::Rng rng);
 
     [[nodiscard]] std::string name() const override { return "SHADE"; }
-    [[nodiscard]] std::vector<std::uint32_t> epoch_order(
-        std::size_t epoch) override;
     void observe_losses(std::span<const std::uint32_t> ids,
                         std::span<const double> losses) override;
     [[nodiscard]] double importance_of(std::uint32_t id) const override;
+
+protected:
+    [[nodiscard]] std::vector<std::uint32_t> draw_epoch_order(
+        std::size_t epoch) override;
 
 private:
     std::size_t dataset_size_;
@@ -123,13 +153,15 @@ public:
                         double smoothing = 0.3);
 
     [[nodiscard]] std::string name() const override { return "GradNorm"; }
-    [[nodiscard]] std::vector<std::uint32_t> epoch_order(
-        std::size_t epoch) override;
     /// Feed ||p - onehot||_2 per sample via the losses span (the simulator
     /// computes it alongside the loss).
     void observe_losses(std::span<const std::uint32_t> ids,
                         std::span<const double> grad_norms) override;
     [[nodiscard]] double importance_of(std::uint32_t id) const override;
+
+protected:
+    [[nodiscard]] std::vector<std::uint32_t> draw_epoch_order(
+        std::size_t epoch) override;
 
 private:
     std::size_t dataset_size_;
@@ -146,8 +178,6 @@ public:
                         double keep_fraction = 0.6);
 
     [[nodiscard]] std::string name() const override { return "iCache-IS"; }
-    [[nodiscard]] std::vector<std::uint32_t> epoch_order(
-        std::size_t epoch) override;
     void observe_losses(std::span<const std::uint32_t> ids,
                         std::span<const double> losses) override;
     [[nodiscard]] std::vector<std::uint8_t> train_mask(
@@ -158,6 +188,10 @@ public:
     /// iCache's H/L split: a sample is "important" while its raw last-seen
     /// loss sits above the running median of observed losses.
     [[nodiscard]] bool is_important(std::uint32_t id) const;
+
+protected:
+    [[nodiscard]] std::vector<std::uint32_t> draw_epoch_order(
+        std::size_t epoch) override;
 
 private:
     std::size_t dataset_size_;

@@ -122,6 +122,10 @@ std::vector<std::uint32_t> SpiderCache::epoch_order() {
     return sampler_.epoch_order(epoch_);
 }
 
+const std::vector<std::uint32_t>& SpiderCache::peek_next_epoch_order() {
+    return sampler_.peek_epoch_order(epoch_ + 1);
+}
+
 double SpiderCache::score_std() const {
     // Spread over *scored* samples only. Eq. 4 scores are strictly
     // positive (Part 1 >= 1/neighbor_k), so zero still marks "never

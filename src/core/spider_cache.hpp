@@ -110,6 +110,14 @@ public:
     /// Graph-IS multinomial order for the next epoch.
     [[nodiscard]] std::vector<std::uint32_t> epoch_order();
 
+    /// Epoch-crossing lookahead (DESIGN.md §8.3): the order epoch e+1
+    /// *will* use, drawn now. Call during epoch e's tail — the graph-IS
+    /// scores are final once the epoch's last observe_batch has run, so
+    /// the draw is bit-identical to the one the post-end_epoch
+    /// epoch_order() call would make (the draw is cached and returned by
+    /// that call; repeated peeks are free).
+    [[nodiscard]] const std::vector<std::uint32_t>& peek_next_epoch_order();
+
     // ------------------------------------------------- degraded mode (§9)
     /// Best resident stand-in for `id` when its remote fetch failed: the
     /// Case-3 homophily surrogate if one exists, otherwise the highest-

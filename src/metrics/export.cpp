@@ -12,7 +12,9 @@ void write_epoch_csv(const RunResult& run, std::ostream& os) {
           "homophily_hits,substitutions,ssd_hits,misses,hit_ratio,"
           "train_loss,test_accuracy,score_std,imp_ratio,load_ms,compute_ms,"
           "is_ms,epoch_ms,fetch_retries,fetch_hedges,fetch_timeouts,"
-          "breaker_trips,fault_substitutions,fault_skips,fault_ms\n";
+          "breaker_trips,fault_substitutions,fault_skips,fault_ms,"
+          "prefetch_issued,prefetch_hidden,cold_start_misses,"
+          "prefetch_window_avg\n";
     for (const EpochMetrics& e : run.epochs) {
         os << run.strategy << ',' << run.model << ',' << run.dataset << ','
            << e.epoch << ',' << e.accesses << ',' << e.hits << ','
@@ -27,7 +29,9 @@ void write_epoch_csv(const RunResult& run, std::ostream& os) {
            << e.fetch_retries << ',' << e.fetch_hedges << ','
            << e.fetch_timeouts << ',' << e.breaker_trips << ','
            << e.fault_substitutions << ',' << e.fault_skips << ','
-           << storage::to_ms(e.fault_time) << '\n';
+           << storage::to_ms(e.fault_time) << ',' << e.prefetch_issued << ','
+           << e.prefetch_hidden << ',' << e.cold_start_misses << ','
+           << e.prefetch_window_avg << '\n';
     }
 }
 

@@ -27,6 +27,14 @@ struct EpochMetrics {
     // Lookahead prefetcher (zero when prefetch is disabled).
     std::uint64_t prefetch_issued = 0;  // fetches started ahead of demand
     std::uint64_t prefetch_hidden = 0;  // misses whose I/O was overlapped
+    /// Remote misses in the epoch's *first* global batch whose fetch was
+    /// paid on the demand path — the per-epoch cold start that
+    /// epoch-crossing prefetch exists to hide (always <= misses).
+    std::uint64_t cold_start_misses = 0;
+    /// Mean lookahead window over the epoch's steps: the adaptive
+    /// controller's per-step window when prefetch_adaptive, the static
+    /// prefetch_window otherwise; 0 with prefetch disabled.
+    double prefetch_window_avg = 0.0;
 
     // Fault tolerance (DESIGN.md §9; all zero when fault injection is
     // off). Retries/hedges/timeouts/trips come from the resilient client;

@@ -41,6 +41,8 @@ const std::set<std::string>& known_keys() {
         "resilience.hedge_quantile",   "resilience.breaker_threshold",
         "resilience.breaker_cooldown_ms",
         "resilience.max_substitute_fraction",
+        "prefetch.enabled",    "prefetch.window",      "prefetch.adaptive",
+        "prefetch.window_max",
     };
     return keys;
 }
@@ -193,6 +195,14 @@ SimConfig sim_config_from(const util::Config& config) {
     sim.resilience.max_substitute_fraction =
         config.get_double("resilience.max_substitute_fraction",
                           sim.resilience.max_substitute_fraction);
+
+    sim.prefetch_enabled = config.get_bool("prefetch.enabled", false);
+    sim.prefetch_window = static_cast<std::size_t>(config.get_int(
+        "prefetch.window", static_cast<std::int64_t>(sim.prefetch_window)));
+    sim.prefetch_adaptive = config.get_bool("prefetch.adaptive", false);
+    sim.prefetch_window_max = static_cast<std::size_t>(
+        config.get_int("prefetch.window_max",
+                       static_cast<std::int64_t>(sim.prefetch_window_max)));
 
     sim.sgd.learning_rate =
         static_cast<float>(config.get_double("optimizer.lr", 0.05));

@@ -216,10 +216,25 @@ metrics::RunResult TrainingSimulator::run() {
     // overlap accounting matters.
     std::unordered_set<std::uint32_t> prefetched;
     std::unique_ptr<core::PrefetchPipeline> prefetcher;
+    // Adaptive depth controller (DESIGN.md §8.3): replaces the static
+    // prefetch_window with a per-step window sized from the EWMA of the
+    // observed storage-idle span. Engaged only when both knobs are on.
+    std::optional<core::AdaptivePrefetchController> adaptive;
+    if (config_.prefetch_enabled && config_.prefetch_adaptive) {
+        adaptive.emplace(core::AdaptivePrefetchController::Config{
+            .min_window = 1,
+            .max_window =
+                std::max<std::size_t>(config_.prefetch_window_max, 1),
+            .alpha = 0.25,
+        });
+    }
     if (config_.prefetch_enabled && threaded) {
         core::PrefetchPipeline::Config pc;
         pc.threads = std::max<std::size_t>(workers / 2, 1);
-        pc.max_in_flight = config_.prefetch_window;
+        // The adaptive controller resizes the window before the first
+        // issue; its clamp is the only bound that matters then.
+        pc.max_in_flight = adaptive ? config_.prefetch_window_max
+                                    : config_.prefetch_window;
         prefetcher = std::make_unique<core::PrefetchPipeline>(
             [&parts](std::uint32_t id) { return parts.frontend->probe(id); },
             [this, &resilient, &vnow](std::uint32_t id) {
@@ -249,8 +264,11 @@ metrics::RunResult TrainingSimulator::run() {
         std::vector<std::uint32_t> order =
             parts.spider ? parts.spider->epoch_order()
                          : parts.sampler->epoch_order(epoch);
-        // A new epoch draws a new order: stale lookahead is worthless.
-        prefetched.clear();
+        // A new epoch draws a new order, so the static path's stale
+        // lookahead is worthless. Adaptive mode instead carries the
+        // epoch-crossing prefetches over: they were drawn from a peek of
+        // this very order, so they are the next batches' ids.
+        if (!config_.prefetch_adaptive) prefetched.clear();
 
         // Degradation-ladder state (DESIGN.md §9): the epoch's surrogate
         // budget, and the refill queue — a failed id is appended to the
@@ -266,6 +284,8 @@ metrics::RunResult TrainingSimulator::run() {
         em.epoch = epoch;
         double loss_sum = 0.0;
         std::size_t loss_batches = 0;
+        double window_sum = 0.0;
+        std::size_t window_steps = 0;
 
         for (std::size_t start = 0; start < order.size();
              start += global_batch) {
@@ -435,6 +455,13 @@ metrics::RunResult TrainingSimulator::run() {
                 }
             }
             em.accesses += count;
+            // The epoch's first global batch is its cold start: any remote
+            // miss there that the prefetcher did not hide was paid on the
+            // demand path — the number epoch-crossing prefetch drives down.
+            if (start == 0) {
+                em.cold_start_misses +=
+                    static_cast<std::uint64_t>(misses - hidden);
+            }
             if (faulty) {
                 // Refill queue: each failed id is re-queued once, at the
                 // epoch's tail (appending is safe — `requested` is not
@@ -538,41 +565,103 @@ metrics::RunResult TrainingSimulator::run() {
             em.epoch_time += step;
 
             // ---- Lookahead (DESIGN.md §8.3): the sampler's order for the
-            // rest of the epoch is known, so predict the next batch's
-            // misses and issue them into this step's storage-idle window.
-            prefetched.clear();
+            // rest of the epoch is known, so predict upcoming misses and
+            // issue them into this step's storage-idle window. The static
+            // path looks exactly one batch ahead under a fixed window; the
+            // adaptive path sizes the window from the observed idle span,
+            // looks as deep as the window allows, and at the epoch's final
+            // step spills leftover budget into the next epoch's head.
             if (config_.prefetch_enabled) {
                 const std::size_t next_start = start + global_batch;
-                if (next_start < order.size()) {
-                    const std::size_t next_count =
-                        std::min(global_batch, order.size() - next_start);
-                    // Storage sits idle for everything past the (reduced)
-                    // load phase: forward, backward, IS, all-reduce.
-                    const double idle_ms = std::max(
-                        0.0, storage::to_ms(step) - (load_ms - hidden_ms));
-                    const std::size_t idle_fetches =
-                        per_fetch_ms <= 0.0
-                            ? next_count
-                            : fetch_slots *
-                                  static_cast<std::size_t>(
-                                      idle_ms / per_fetch_ms);
-                    const std::size_t budget = std::min(
-                        {idle_fetches, config_.prefetch_window, next_count});
-                    std::vector<std::uint32_t> issue;
-                    for (std::size_t i = next_start;
-                         i < next_start + next_count &&
-                         prefetched.size() < budget;
-                         ++i) {
-                        const std::uint32_t id = order[i];
-                        if (prefetched.contains(id)) continue;
-                        if (parts.frontend->probe(id)) continue;
-                        prefetched.insert(id);
-                        issue.push_back(id);
+                // Storage sits idle for everything past the (reduced)
+                // load phase: forward, backward, IS, all-reduce.
+                const double idle_ms = std::max(
+                    0.0, storage::to_ms(step) - (load_ms - hidden_ms));
+                std::size_t window = config_.prefetch_window;
+                std::vector<std::uint32_t> issue;
+                if (!config_.prefetch_adaptive) {
+                    // Legacy static path: next batch only, fresh set each
+                    // step.
+                    prefetched.clear();
+                    if (next_start < order.size()) {
+                        const std::size_t next_count =
+                            std::min(global_batch, order.size() - next_start);
+                        const std::size_t idle_fetches =
+                            per_fetch_ms <= 0.0
+                                ? next_count
+                                : core::idle_fetch_budget(
+                                      idle_ms, per_fetch_ms, fetch_slots);
+                        const std::size_t budget =
+                            std::min({idle_fetches, config_.prefetch_window,
+                                      next_count});
+                        for (std::size_t i = next_start;
+                             i < next_start + next_count &&
+                             prefetched.size() < budget;
+                             ++i) {
+                            const std::uint32_t id = order[i];
+                            if (prefetched.contains(id)) continue;
+                            if (parts.frontend->probe(id)) continue;
+                            prefetched.insert(id);
+                            issue.push_back(id);
+                        }
+                        if (prefetcher) {
+                            // Unconsumed completions are wasted lookahead;
+                            // drop them so they stop occupying the window.
+                            prefetcher->discard_ready();
+                        }
                     }
+                } else {
+                    // This batch's lookahead slots are spent — consumed,
+                    // resident by demand time, or skipped — so release
+                    // them. (Index into `order`: the refill queue may have
+                    // reallocated it, invalidating the `requested` span.)
+                    for (std::size_t i = start; i < start + count; ++i) {
+                        if (prefetched.erase(order[i]) > 0 && prefetcher) {
+                            prefetcher->discard(order[i]);
+                        }
+                    }
+                    window =
+                        adaptive->update(idle_ms, per_fetch_ms, fetch_slots);
+                    if (prefetcher) prefetcher->set_max_in_flight(window);
+                    // Budget = what this step's idle span can absorb,
+                    // capped by the window, minus lookahead already in
+                    // flight from earlier steps.
+                    std::size_t budget =
+                        std::min(window, core::idle_fetch_budget(
+                                             idle_ms, per_fetch_ms,
+                                             fetch_slots));
+                    budget = budget > prefetched.size()
+                                 ? budget - prefetched.size()
+                                 : 0;
+                    const auto collect =
+                        [&](std::span<const std::uint32_t> candidates) {
+                            for (const std::uint32_t id : candidates) {
+                                if (issue.size() >= budget) break;
+                                if (prefetched.contains(id)) continue;
+                                if (parts.frontend->probe(id)) continue;
+                                prefetched.insert(id);
+                                issue.push_back(id);
+                            }
+                        };
+                    if (next_start < order.size()) {
+                        collect({order.data() + next_start,
+                                 order.size() - next_start});
+                    } else if (epoch + 1 < config_.epochs) {
+                        // Epoch-crossing: at the final step every score
+                        // update of this epoch is already in, so the next
+                        // epoch's order can be drawn now — the sampler
+                        // caches the peek and replays the identical draw —
+                        // and leftover budget warms its head instead of
+                        // expiring into cold-start misses.
+                        const std::vector<std::uint32_t>& next_order =
+                            parts.spider
+                                ? parts.spider->peek_next_epoch_order()
+                                : parts.sampler->peek_epoch_order(epoch + 1);
+                        collect(next_order);
+                    }
+                }
+                if (!issue.empty()) {
                     if (prefetcher) {
-                        // Unconsumed completions are wasted lookahead;
-                        // drop them so they stop occupying the window.
-                        prefetcher->discard_ready();
                         prefetcher->prefetch(issue);
                     } else if (!faulty) {
                         for (const std::uint32_t id : issue) {
@@ -591,10 +680,16 @@ metrics::RunResult TrainingSimulator::run() {
                     }
                     em.prefetch_issued += issue.size();
                 }
+                window_sum += static_cast<double>(window);
+                ++window_steps;
             }
         }
 
         // ---- Epoch bookkeeping (real accuracy on the clean test split).
+        em.prefetch_window_avg =
+            window_steps == 0
+                ? 0.0
+                : window_sum / static_cast<double>(window_steps);
         em.train_loss =
             loss_batches == 0 ? 0.0
                               : loss_sum / static_cast<double>(loss_batches);

@@ -80,7 +80,19 @@ struct SimConfig {
     /// demand path — so it is a pure latency-hiding term.
     bool prefetch_enabled = false;
     /// Bounded in-flight window of the prefetcher (max outstanding ids).
+    /// Static mode only; the adaptive controller sizes its own window.
     std::size_t prefetch_window = 256;
+    /// Adaptive + epoch-crossing prefetch (DESIGN.md §8.3): size the
+    /// lookahead window each step from an EWMA of the observed
+    /// storage-idle span instead of the static prefetch_window, let the
+    /// window run past the next batch deep into the epoch's remaining
+    /// order, and spill leftover tail budget into the head of the next
+    /// epoch's order (peeked from the sampler — the draw the next epoch
+    /// then reuses bit-identically). false (default) keeps the legacy
+    /// static-window next-batch-only path untouched.
+    bool prefetch_adaptive = false;
+    /// Upper clamp of the adaptive window (max outstanding ids).
+    std::size_t prefetch_window_max = 1024;
 
     /// Two-layer cache shards (kSpider strategies). 0 = auto: 1 shard when
     /// worker_threads <= 1 (exact legacy semantics), min(16, hw) shards

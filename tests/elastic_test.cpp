@@ -140,17 +140,71 @@ TEST(Elastic, SmoothedAccuracyTracksNoisyInput) {
 }
 
 TEST(Elastic, Eq8ClosedFormAtMidpoint) {
-    // With beta latched from epoch 0 and penalty 0, ratio at t/T = 0.5 is
-    // r_start - (r_start - r_end) * 0.5.
+    // With penalty 0, ratio at progress 0.5 is
+    // r_start - (r_start - r_end) * 0.5. Progress is measured over the
+    // schedule *remaining after activation*: the monotonically falling
+    // spread latches beta at epoch 2 (slope_window = 3), so T = 98 and
+    // the midpoint sits at epoch 2 + 49 = 51.
     ElasticConfig config = fast_config();
     ElasticCacheManager manager{config};
-    const std::size_t total = 101;  // T = 100
+    const std::size_t total = 101;
     double ratio = 0.0;
-    for (std::size_t epoch = 0; epoch <= 50; ++epoch) {
+    for (std::size_t epoch = 0; epoch <= 51; ++epoch) {
         ratio = manager.on_epoch(1.0 / (1.0 + static_cast<double>(epoch)), 0.5,
                                  epoch, total);
     }
+    EXPECT_EQ(manager.activation_epoch(), 2U);
     EXPECT_NEAR(ratio, 0.9 - 0.1 * 0.5, 1e-6);
+}
+
+TEST(Elastic, ContinuousAcrossLateActivation) {
+    // The regression this guards: Eq. 8 measured progress as absolute
+    // t / (total - 1) regardless of when beta latched, so a late
+    // activation jumped the ratio from r_start straight to mid-curve in
+    // a single epoch. Rebased on the activation epoch, the series starts
+    // its shift at zero and never moves faster than one linear schedule
+    // step per epoch (penalty is 0 here — flat accuracy).
+    ElasticCacheManager manager{fast_config()};
+    const std::size_t total = 60;
+    std::vector<double> series;
+    for (std::size_t epoch = 0; epoch < total; ++epoch) {
+        const double e = static_cast<double>(epoch);
+        // Spread rises for half the run, then falls: beta latches late.
+        const double spread = epoch < 30 ? 0.10 + 0.01 * e
+                                         : 0.40 - 0.02 * (e - 30.0);
+        series.push_back(manager.on_epoch(spread, 0.5, epoch, total));
+    }
+    ASSERT_TRUE(manager.activated());
+    const std::size_t act = manager.activation_epoch();
+    ASSERT_GT(act, 20U);
+    ASSERT_LT(act, total - 2);
+    // The activation epoch itself still returns r_start (progress 0)...
+    EXPECT_NEAR(series[act], 0.9, 1e-12);
+    // ...the final epoch reaches r_end...
+    EXPECT_NEAR(series.back(), 0.8, 1e-9);
+    // ...and no epoch-to-epoch move exceeds the linear schedule step.
+    const double max_step =
+        0.1 / static_cast<double>(total - 1 - act) + 1e-9;
+    for (std::size_t epoch = 1; epoch < total; ++epoch) {
+        const double drop = series[epoch - 1] - series[epoch];
+        EXPECT_GE(drop, -1e-12) << "ratio rose at epoch " << epoch;
+        EXPECT_LE(drop, max_step) << "discontinuity at epoch " << epoch;
+    }
+}
+
+TEST(Elastic, ActivationAtFinalEpochFinishesAtREnd) {
+    // Degenerate tail: beta latching on the very last epoch leaves no
+    // schedule to traverse, so Eq. 8's endpoint (r_end) applies directly.
+    ElasticCacheManager manager{fast_config()};
+    const std::size_t total = 5;
+    const double spreads[] = {0.1, 0.2, 0.3, 0.2, 0.1};
+    double ratio = 0.0;
+    for (std::size_t epoch = 0; epoch < total; ++epoch) {
+        ratio = manager.on_epoch(spreads[epoch], 0.5, epoch, total);
+    }
+    ASSERT_TRUE(manager.activated());
+    EXPECT_EQ(manager.activation_epoch(), total - 1);
+    EXPECT_NEAR(ratio, 0.8, 1e-12);
 }
 
 TEST(Elastic, RejectsInvalidConfig) {

@@ -432,5 +432,40 @@ TEST(FaultSimulator, ConcurrentDegradedRunWithPrefetchCompletes) {
     EXPECT_GT(result.final_accuracy, 0.15);
 }
 
+// Every speculative fetch fails (transient_prob = 1, one attempt): the
+// consume() rethrow must demote each prefetched id to a demand fetch with
+// fresh fault draws — never a silent substitution or skip of a sample the
+// prefetcher happened to touch. With demand fetches equally doomed, the
+// degradation ladder handles them; the invariant under test is that
+// nothing is ever counted as hidden.
+TEST(FaultSimulator, FailedSpeculativeFetchFallsBackToDemandPath) {
+    for (const bool adaptive : {false, true}) {
+        sim::SimConfig config = small_sim(sim::StrategyKind::kSpider);
+        config.worker_threads = 4;
+        config.prefetch_enabled = true;
+        config.prefetch_adaptive = adaptive;
+        config.faults.enabled = true;
+        config.faults.transient_failure_prob = 1.0;
+        config.resilience.max_attempts = 1;
+        config.resilience.hedge_enabled = false;
+        config.resilience.max_substitute_fraction = 0.10;
+
+        const metrics::RunResult result = sim::TrainingSimulator{config}.run();
+        ASSERT_EQ(result.epochs.size(), config.epochs);
+        std::uint64_t issued = 0;
+        std::uint64_t hidden = 0;
+        std::uint64_t ladder = 0;
+        for (const metrics::EpochMetrics& e : result.epochs) {
+            issued += e.prefetch_issued;
+            hidden += e.prefetch_hidden;
+            ladder += e.fault_substitutions + e.fault_skips;
+            EXPECT_EQ(e.hits + e.misses, e.accesses);
+        }
+        EXPECT_GT(issued, 0U) << "adaptive=" << adaptive;
+        EXPECT_EQ(hidden, 0U) << "adaptive=" << adaptive;
+        EXPECT_GT(ladder, 0U) << "adaptive=" << adaptive;
+    }
+}
+
 }  // namespace
 }  // namespace spider

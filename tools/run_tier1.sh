@@ -14,6 +14,12 @@
 #                                 # the fault-injection / degraded-mode
 #                                 # suite (resilient store, breaker, fault
 #                                 # simulator — DESIGN.md §9) in build-tsan/
+#   tools/run_tier1.sh --prefetch # additionally: ThreadSanitizer pass over
+#                                 # the adaptive / epoch-crossing prefetch
+#                                 # suite (budget arithmetic, depth
+#                                 # controller, sampler peek, simulator
+#                                 # determinism — DESIGN.md §8.3) in
+#                                 # build-tsan/
 #
 # Build directories: build-tier1/, build-tsan/, build-asan/ (gitignored).
 
@@ -23,12 +29,14 @@ cd "$(dirname "$0")/.."
 run_tsan=0
 run_asan=0
 run_faults=0
+run_prefetch=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
     --asan) run_asan=1 ;;
     --faults) run_faults=1 ;;
-    *) echo "usage: $0 [--tsan] [--asan] [--faults]" >&2; exit 2 ;;
+    --prefetch) run_prefetch=1 ;;
+    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch]" >&2; exit 2 ;;
   esac
 done
 
@@ -67,6 +75,20 @@ if [[ "$run_faults" == 1 ]]; then
     --target fault_tolerance_test cache_concurrency_test
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     -R 'FaultModel|ResilientStore|FaultSimulator|RemoteStoreConcurrency|PrefetchConcurrency'
+fi
+
+if [[ "$run_prefetch" == 1 ]]; then
+  echo "== opt-in: ThreadSanitizer pass over the adaptive-prefetch paths =="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPIDER_TSAN=ON \
+    -DSPIDER_BUILD_BENCH=OFF \
+    -DSPIDER_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$jobs" \
+    --target prefetch_adaptive_test cache_concurrency_test \
+             fault_tolerance_test
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'PrefetchBudget|AdaptiveWindow|SamplerPeek|PrefetchAdaptive|PrefetchConcurrency|FailedSpeculative'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
