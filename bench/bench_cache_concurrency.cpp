@@ -1,10 +1,12 @@
-// Concurrency bench for the sharded TwoLayerSemanticCache (ISSUE 2):
-// a mixed trainer-worker workload (~90% lookup, ~8% miss admission,
-// ~2% homophily update) hammered by 1/2/4/8 threads against
+// Concurrency bench for the sharded TwoLayerSemanticCache (ISSUE 2) and
+// its seqlock read path (ISSUE 5): a mixed trainer-worker workload
+// (~90% lookup, ~8% miss admission, ~2% homophily update) hammered by
+// 1/2/4/8 threads against
 //
-//   - the sharded cache (8 shards, one mutex each), and
-//   - the shards=1 configuration (one global mutex — the pre-sharding
-//     behavior) as the contention baseline,
+//   - "seqlock":     8 shards, lock-free reads through the residency view,
+//   - "locked":      8 shards, every read takes the shard mutex, and
+//   - "global-lock": shards=1, mutex reads (the pre-sharding behavior)
+//                    as the contention baseline,
 //
 // reporting aggregate ops/s, the quiescent hit ratio, and the p99 lookup
 // latency sampled on thread 0. Prints a human-readable table and writes
@@ -50,9 +52,9 @@ struct WorkloadResult {
 /// the p99; the others run untimed to keep the probe overhead off the
 /// aggregate throughput number.
 WorkloadResult run_workload(std::size_t threads, std::size_t shards,
-                            std::size_t ops_per_thread,
+                            bool lockfree_reads, std::size_t ops_per_thread,
                             std::uint32_t id_space) {
-    cache::TwoLayerSemanticCache cache{4096, 0.7, shards};
+    cache::TwoLayerSemanticCache cache{4096, 0.7, shards, lockfree_reads};
     // Warm: fill to capacity so steady-state admissions contend for real.
     {
         util::Rng warm{99};
@@ -210,21 +212,32 @@ int main(int argc, char** argv) {
     table.set_header({"threads", "layout", "Mops/s", "hit ratio",
                       "p99 lookup ns", "vs 1-thread"});
 
+    struct Layout {
+        const char* name;
+        bool sharded;
+        bool lockfree;
+    };
+    constexpr Layout kLayouts[] = {
+        {"seqlock", true, true},
+        {"locked", true, false},
+        {"global-lock", false, false},
+    };
+
     std::ostringstream json;
     json << "{\n  \"rows\": [\n";
     bool first = true;
-    double sharded_base = 0.0;
-    double global_base = 0.0;
+    double bases[3] = {0.0, 0.0, 0.0};
     for (const std::size_t threads : {1UL, 2UL, 4UL, 8UL}) {
-        for (const bool use_shards : {true, false}) {
-            const std::size_t layout_shards = use_shards ? shards : 1;
-            const WorkloadResult r = run_workload(
-                threads, layout_shards, ops_per_thread, kIdSpace);
-            double& base = use_shards ? sharded_base : global_base;
-            if (threads == 1) base = r.ops_per_s;
-            const double scaling = base == 0.0 ? 0.0 : r.ops_per_s / base;
-            table.add_row({std::to_string(threads),
-                           use_shards ? "sharded" : "global-lock",
+        for (std::size_t l = 0; l < 3; ++l) {
+            const Layout& layout = kLayouts[l];
+            const std::size_t layout_shards = layout.sharded ? shards : 1;
+            const WorkloadResult r =
+                run_workload(threads, layout_shards, layout.lockfree,
+                             ops_per_thread, kIdSpace);
+            if (threads == 1) bases[l] = r.ops_per_s;
+            const double scaling =
+                bases[l] == 0.0 ? 0.0 : r.ops_per_s / bases[l];
+            table.add_row({std::to_string(threads), layout.name,
                            util::Table::fmt(r.ops_per_s / 1e6, 2),
                            util::Table::fmt(r.hit_ratio, 3),
                            util::Table::fmt(r.p99_lookup_ns, 0),
@@ -232,7 +245,9 @@ int main(int argc, char** argv) {
             if (!first) json << ",\n";
             first = false;
             json << "    {\"threads\": " << threads << ", \"shards\": "
-                 << layout_shards << ", \"ops_per_s\": " << r.ops_per_s
+                 << layout_shards
+                 << ", \"lockfree\": " << (layout.lockfree ? "true" : "false")
+                 << ", \"ops_per_s\": " << r.ops_per_s
                  << ", \"hit_ratio\": " << r.hit_ratio
                  << ", \"p99_lookup_ns\": " << r.p99_lookup_ns
                  << ", \"scaling_vs_1t\": " << scaling << "}";

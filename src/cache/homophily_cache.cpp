@@ -45,6 +45,7 @@ std::optional<std::uint32_t> HomophilyCache::update(
     Entry entry;
     entry.neighbors.assign(neighbors.begin(), neighbors.end());
     entry.fifo_pos = std::prev(fifo_.end());
+    entry.seq = ++next_seq_;
     for (std::uint32_t neighbor : entry.neighbors) {
         neighbor_index_[neighbor].push_back(key);
     }
@@ -55,6 +56,12 @@ std::optional<std::uint32_t> HomophilyCache::update(
 std::optional<std::uint32_t> HomophilyCache::oldest() const {
     if (fifo_.empty()) return std::nullopt;
     return fifo_.front();
+}
+
+std::optional<std::uint64_t> HomophilyCache::seq_of(std::uint32_t key) const {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second.seq;
 }
 
 std::optional<std::pair<std::uint32_t, std::vector<std::uint32_t>>>

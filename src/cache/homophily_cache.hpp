@@ -63,6 +63,27 @@ public:
     /// eviction invalidates it.
     [[nodiscard]] std::optional<std::uint32_t> oldest() const;
 
+    /// Monotonic insert-generation counter of a resident key (nullopt when
+    /// absent). Every successful insert of a key — including a re-insert
+    /// after an eviction — gets a fresh value, so a caller that published
+    /// derived state (the sharded neighbor index) can later detect that
+    /// the generation it published for no longer exists (ABA-safe).
+    [[nodiscard]] std::optional<std::uint64_t> seq_of(std::uint32_t key) const;
+
+    /// Visits every resident key, oldest first — view-rebuild helper.
+    template <typename Fn>
+    void for_each_key(Fn fn) const {
+        for (std::uint32_t key : fifo_) fn(key);
+    }
+
+    /// Visits every internal neighbor-index entry (neighbor id, resident
+    /// keys newest-last) — view-rebuild helper for the single-shard
+    /// configuration, where this internal index is the surrogate source.
+    template <typename Fn>
+    void for_each_index_entry(Fn fn) const {
+        for (const auto& [neighbor, keys] : neighbor_index_) fn(neighbor, keys);
+    }
+
     /// Pops the FIFO head and returns it with its neighbor list — the
     /// explicit-eviction path used when an external neighbor index must be
     /// kept in sync (sharded mode).
@@ -75,11 +96,13 @@ private:
     struct Entry {
         std::vector<std::uint32_t> neighbors;
         std::list<std::uint32_t>::iterator fifo_pos;
+        std::uint64_t seq = 0;
     };
 
     void evict_front();
 
     std::size_t capacity_;
+    std::uint64_t next_seq_ = 0;
     std::list<std::uint32_t> fifo_;  // front = oldest key
     std::unordered_map<std::uint32_t, Entry> entries_;
     // neighbor id -> resident keys whose lists contain it (usually one).

@@ -41,12 +41,13 @@ ImportanceCache::AdmitResult ImportanceCache::admit_scored(std::uint32_t id,
     return result;
 }
 
-void ImportanceCache::update_score(std::uint32_t id, double score) {
+bool ImportanceCache::update_score(std::uint32_t id, double score) {
     const auto it = scores_.find(id);
-    if (it == scores_.end()) return;
+    if (it == scores_.end()) return false;
     order_.erase({it->second, id});
     it->second = score;
     order_.emplace(score, id);
+    return true;
 }
 
 bool ImportanceCache::erase(std::uint32_t id) {

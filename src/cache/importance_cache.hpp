@@ -38,8 +38,17 @@ public:
     AdmitResult admit_scored(std::uint32_t id, double score);
 
     /// Re-keys a resident sample after its global score changed (scores
-    /// drift every epoch as the model trains). No-op when absent.
-    void update_score(std::uint32_t id, double score);
+    /// drift every epoch as the model trains). Returns whether the id was
+    /// resident (false = no-op), so callers mirroring residency into a
+    /// read-optimized view know whether anything changed.
+    bool update_score(std::uint32_t id, double score);
+
+    /// Visits every resident (id, score) pair in unspecified order — used
+    /// to rebuild a shard's residency view after a repartition.
+    template <typename Fn>
+    void for_each(Fn fn) const {
+        for (const auto& [id, score] : scores_) fn(id, score);
+    }
 
     /// Highest-scored resident accepted by `pred`, scanning from the top
     /// of the score order (degraded-mode surrogate search: serve the most

@@ -25,12 +25,19 @@ std::size_t TwoLayerSemanticCache::auto_shards() {
 
 TwoLayerSemanticCache::TwoLayerSemanticCache(std::size_t total_capacity,
                                              double imp_ratio,
-                                             std::size_t shards)
-    : total_capacity_{total_capacity}, imp_ratio_{imp_ratio} {
+                                             std::size_t shards,
+                                             bool lockfree_reads)
+    : total_capacity_{total_capacity},
+      imp_ratio_{imp_ratio},
+      lockfree_reads_{lockfree_reads} {
     if (imp_ratio <= 0.0 || imp_ratio > 1.0) {
         throw std::invalid_argument{
             "TwoLayerSemanticCache: imp_ratio must be in (0, 1]"};
     }
+    // Same floor as set_imp_ratio(), so a ratio the elastic manager would
+    // clamp builds the same partition when passed at construction.
+    imp_ratio = std::max(imp_ratio, kMinImpRatio);
+    imp_ratio_.store(imp_ratio, std::memory_order_relaxed);
     if (shards == kAutoShards) shards = auto_shards();
     shards_.reserve(shards);
     for (std::size_t s = 0; s < shards; ++s) {
@@ -67,11 +74,17 @@ ImportanceCache& TwoLayerSemanticCache::importance() {
             "TwoLayerSemanticCache::importance: sharded cache has no single "
             "section; use the aggregate/per-shard accessors"};
     }
+    shards_[0]->view_stale.store(true, std::memory_order_release);
     return shards_[0]->importance;
 }
 
 const ImportanceCache& TwoLayerSemanticCache::importance() const {
-    return const_cast<TwoLayerSemanticCache*>(this)->importance();
+    if (shards_.size() != 1) {
+        throw std::logic_error{
+            "TwoLayerSemanticCache::importance: sharded cache has no single "
+            "section; use the aggregate/per-shard accessors"};
+    }
+    return shards_[0]->importance;
 }
 
 HomophilyCache& TwoLayerSemanticCache::homophily() {
@@ -80,16 +93,53 @@ HomophilyCache& TwoLayerSemanticCache::homophily() {
             "TwoLayerSemanticCache::homophily: sharded cache has no single "
             "section; use the aggregate/per-shard accessors"};
     }
+    shards_[0]->view_stale.store(true, std::memory_order_release);
     return shards_[0]->homophily;
 }
 
 const HomophilyCache& TwoLayerSemanticCache::homophily() const {
-    return const_cast<TwoLayerSemanticCache*>(this)->homophily();
+    if (shards_.size() != 1) {
+        throw std::logic_error{
+            "TwoLayerSemanticCache::homophily: sharded cache has no single "
+            "section; use the aggregate/per-shard accessors"};
+    }
+    return shards_[0]->homophily;
 }
 
-Lookup TwoLayerSemanticCache::lookup(std::uint32_t id) const {
-    const Shard& shard = *shards_[shard_of(id)];
+void TwoLayerSemanticCache::rebuild_view_locked(const Shard& shard) const {
+    const ShardResidencyView::WriteSection ws{shard.view};
+    shard.view.clear();
+    shard.importance.for_each([&shard](std::uint32_t id, double score) {
+        shard.view.set_importance(id, score);
+    });
+    shard.homophily.for_each_key(
+        [&shard](std::uint32_t key) { shard.view.set_hom_key(key); });
+    if (shards_.size() == 1) {
+        shard.homophily.for_each_index_entry(
+            [&shard](std::uint32_t neighbor,
+                     const std::vector<std::uint32_t>& keys) {
+                if (!keys.empty()) {
+                    shard.view.set_surrogate(neighbor, keys.back());
+                }
+            });
+    } else {
+        for (const auto& [neighbor, keys] : shard.neighbor_index) {
+            if (!keys.empty()) shard.view.set_surrogate(neighbor, keys.back());
+        }
+    }
+    shard.view_stale.store(false, std::memory_order_release);
+}
+
+void TwoLayerSemanticCache::sync_view_locked(const Shard& shard) const {
+    if (shard.view_stale.load(std::memory_order_acquire)) {
+        rebuild_view_locked(shard);
+    }
+}
+
+Lookup TwoLayerSemanticCache::lookup_locked(const Shard& shard,
+                                            std::uint32_t id) const {
     const std::lock_guard lock{shard.mu};
+    sync_view_locked(shard);
     if (shard.importance.contains(id)) {
         return {HitKind::kImportance, id};
     }
@@ -114,18 +164,85 @@ Lookup TwoLayerSemanticCache::lookup(std::uint32_t id) const {
     return {HitKind::kMiss, id};
 }
 
+Lookup TwoLayerSemanticCache::lookup(std::uint32_t id) const {
+    const Shard& shard = *shards_[shard_of(id)];
+    if (lockfree_reads_ &&
+        !shard.view_stale.load(std::memory_order_acquire)) {
+        if (const auto probe = shard.view.try_probe(id);
+            probe.has_value() &&
+            !shard.view_stale.load(std::memory_order_acquire)) {
+            // View order mirrors the locked path: Importance, then self-
+            // serve homophily key, then surrogate (Algorithm 1 lines 5-9).
+            if (probe->flags & ShardResidencyView::kImportance) {
+                return {HitKind::kImportance, id};
+            }
+            if (probe->flags & ShardResidencyView::kHomKey) {
+                return {HitKind::kHomophily, id};
+            }
+            if (probe->flags & ShardResidencyView::kSurrogate) {
+                return {HitKind::kHomophily, probe->surrogate};
+            }
+            return {HitKind::kMiss, id};
+        }
+    }
+    return lookup_locked(shard, id);
+}
+
+bool TwoLayerSemanticCache::probe(std::uint32_t id) const {
+    const Shard& shard = *shards_[shard_of(id)];
+    if (lockfree_reads_ &&
+        !shard.view_stale.load(std::memory_order_acquire)) {
+        if (const auto probe = shard.view.try_probe(id);
+            probe.has_value() &&
+            !shard.view_stale.load(std::memory_order_acquire)) {
+            return probe->flags != 0;
+        }
+    }
+    return lookup_locked(shard, id).kind != HitKind::kMiss;
+}
+
 ImportanceCache::AdmitResult TwoLayerSemanticCache::on_miss_fetched(
     std::uint32_t id, double score) {
     Shard& shard = *shards_[shard_of(id)];
     const std::lock_guard lock{shard.mu};
-    return shard.importance.admit_scored(id, score);
+    sync_view_locked(shard);
+    // Section exclusivity (paper §4.2): an id resident as a Homophily key
+    // must not also enter the Importance section — it is already cached
+    // and a duplicate would double-count capacity.
+    if (shard.homophily.contains_key(id)) return {};
+    const auto result = shard.importance.admit_scored(id, score);
+    if (result.admitted) {
+        const ShardResidencyView::WriteSection ws{shard.view};
+        if (result.evicted.has_value()) {
+            shard.view.clear_importance(*result.evicted);
+        }
+        shard.view.set_importance(id, score);
+    }
+    return result;
 }
 
 void TwoLayerSemanticCache::update_importance_score(std::uint32_t id,
                                                     double score) {
     Shard& shard = *shards_[shard_of(id)];
+    if (lockfree_reads_ &&
+        !shard.view_stale.load(std::memory_order_acquire)) {
+        // Wait-free no-op check: most batch ids are not resident, so the
+        // common case never touches the mutex. A racing admit right after
+        // the probe is the same outcome as running this call just before
+        // that admit under the lock.
+        if (const auto probe = shard.view.try_probe(id);
+            probe.has_value() &&
+            !shard.view_stale.load(std::memory_order_acquire) &&
+            (probe->flags & ShardResidencyView::kImportance) == 0) {
+            return;
+        }
+    }
     const std::lock_guard lock{shard.mu};
-    shard.importance.update_score(id, score);
+    sync_view_locked(shard);
+    if (shard.importance.update_score(id, score)) {
+        const ShardResidencyView::WriteSection ws{shard.view};
+        shard.view.set_importance(id, score);
+    }
 }
 
 void TwoLayerSemanticCache::unindex_evicted(
@@ -133,11 +250,18 @@ void TwoLayerSemanticCache::unindex_evicted(
     for (std::uint32_t neighbor : neighbors) {
         Shard& shard = *shards_[shard_of(neighbor)];
         const std::lock_guard lock{shard.mu};
+        sync_view_locked(shard);
         const auto it = shard.neighbor_index.find(neighbor);
         if (it == shard.neighbor_index.end()) continue;
         auto& keys = it->second;
         keys.erase(std::remove(keys.begin(), keys.end(), victim), keys.end());
-        if (keys.empty()) shard.neighbor_index.erase(it);
+        const ShardResidencyView::WriteSection ws{shard.view};
+        if (keys.empty()) {
+            shard.neighbor_index.erase(it);
+            shard.view.clear_surrogate(neighbor);
+        } else {
+            shard.view.set_surrogate(neighbor, keys.back());
+        }
     }
 }
 
@@ -146,16 +270,52 @@ std::optional<std::uint32_t> TwoLayerSemanticCache::update_homophily(
     Shard& key_shard = *shards_[shard_of(key)];
     if (shards_.size() == 1) {
         const std::lock_guard lock{key_shard.mu};
-        return key_shard.homophily.update(key, neighbors);
+        sync_view_locked(key_shard);
+        // Section exclusivity (paper §4.2): a key resident in Importance
+        // is already cached — do not duplicate it as a homophily node.
+        if (key_shard.importance.contains(key)) return std::nullopt;
+        if (key_shard.homophily.capacity() == 0 ||
+            key_shard.homophily.contains_key(key)) {
+            return std::nullopt;
+        }
+        std::vector<std::uint32_t> victim_neighbors;
+        if (key_shard.homophily.size() >= key_shard.homophily.capacity()) {
+            const auto nb = key_shard.homophily.neighbors_of(
+                *key_shard.homophily.oldest());
+            victim_neighbors.assign(nb.begin(), nb.end());
+        }
+        const auto evicted = key_shard.homophily.update(key, neighbors);
+        const ShardResidencyView::WriteSection ws{key_shard.view};
+        if (evicted.has_value()) {
+            key_shard.view.clear_hom_key(*evicted);
+            // The internal neighbor index already dropped the victim;
+            // re-derive each affected neighbor's surviving surrogate.
+            for (std::uint32_t neighbor : victim_neighbors) {
+                if (const auto surrogate =
+                        key_shard.homophily.surrogate_for(neighbor)) {
+                    key_shard.view.set_surrogate(neighbor, *surrogate);
+                } else {
+                    key_shard.view.clear_surrogate(neighbor);
+                }
+            }
+        }
+        key_shard.view.set_hom_key(key);
+        for (std::uint32_t neighbor : neighbors) {
+            key_shard.view.set_surrogate(neighbor, key);
+        }
+        return evicted;
     }
     // Sharded: insert the entry under the key's shard, then maintain the
     // neighbor-index slices one shard at a time (never holding two locks,
     // so update/lookup traffic on other shards cannot deadlock with us).
     std::optional<std::uint32_t> evicted;
     std::vector<std::uint32_t> victim_neighbors;
+    std::uint64_t insert_seq = 0;
     {
         const std::lock_guard lock{key_shard.mu};
-        if (key_shard.homophily.capacity() == 0 ||
+        sync_view_locked(key_shard);
+        if (key_shard.importance.contains(key) ||  // section exclusivity
+            key_shard.homophily.capacity() == 0 ||
             key_shard.homophily.contains_key(key)) {
             return std::nullopt;
         }
@@ -165,20 +325,45 @@ std::optional<std::uint32_t> TwoLayerSemanticCache::update_homophily(
             victim_neighbors.assign(nb.begin(), nb.end());
         }
         evicted = key_shard.homophily.update(key, neighbors);
+        insert_seq = *key_shard.homophily.seq_of(key);
+        const ShardResidencyView::WriteSection ws{key_shard.view};
+        if (evicted.has_value()) key_shard.view.clear_hom_key(*evicted);
+        key_shard.view.set_hom_key(key);
     }
     if (evicted.has_value()) {
         unindex_evicted(*evicted, victim_neighbors);
     }
+    if (publish_hook_) publish_hook_();
     for (std::uint32_t neighbor : neighbors) {
         Shard& shard = *shards_[shard_of(neighbor)];
         const std::lock_guard lock{shard.mu};
+        sync_view_locked(shard);
         shard.neighbor_index[neighbor].push_back(key);
+        const ShardResidencyView::WriteSection ws{shard.view};
+        shard.view.set_surrogate(neighbor, key);
+    }
+    // Dangling-surrogate guard: the publish loop above ran without the key
+    // shard's lock, so a concurrent eviction (elastic shrink, FIFO churn)
+    // may already have removed `key` — unindex_evicted for that eviction
+    // ran before our entries existed and missed them. Re-check the insert
+    // generation and retract our own publications if it is gone. (If the
+    // key was re-inserted meanwhile, retraction may also drop the newer
+    // generation's entries — a lost surrogate opportunity, never a
+    // dangling one; the newer insert's own publish loop restores most.)
+    bool stale_publish = false;
+    {
+        const std::lock_guard lock{key_shard.mu};
+        const auto seq_now = key_shard.homophily.seq_of(key);
+        stale_publish = !seq_now.has_value() || *seq_now != insert_seq;
+    }
+    if (stale_publish) {
+        unindex_evicted(key, neighbors);
     }
     return evicted;
 }
 
 void TwoLayerSemanticCache::set_imp_ratio(double imp_ratio) {
-    imp_ratio = std::clamp(imp_ratio, 0.01, 1.0);
+    imp_ratio = std::clamp(imp_ratio, kMinImpRatio, 1.0);
     imp_ratio_.store(imp_ratio, std::memory_order_relaxed);
     for (std::size_t s = 0; s < shards_.size(); ++s) {
         Shard& shard = *shards_[s];
@@ -189,6 +374,7 @@ void TwoLayerSemanticCache::set_imp_ratio(double imp_ratio) {
             const std::lock_guard lock{shard.mu};
             shard.importance.set_capacity(imp);
             shard.homophily.set_capacity(hom);
+            rebuild_view_locked(shard);
             continue;
         }
         // Sharded: evictions forced by a shrinking homophily slice must
@@ -203,6 +389,7 @@ void TwoLayerSemanticCache::set_imp_ratio(double imp_ratio) {
                 victims.push_back(*shard.homophily.evict_oldest());
             }
             shard.homophily.set_capacity(hom);
+            rebuild_view_locked(shard);
         }
         for (const auto& [victim, victim_neighbors] : victims) {
             unindex_evicted(victim, victim_neighbors);
@@ -225,6 +412,46 @@ std::optional<std::uint32_t> TwoLayerSemanticCache::find_resident_if(
         if (auto hit = shard.homophily.find_key_if(accept)) return hit;
     }
     return std::nullopt;
+}
+
+TwoLayerSemanticCache::FrozenState TwoLayerSemanticCache::freeze() const {
+    // All shard locks, ascending index. Deadlock-free: every other
+    // operation holds at most one shard lock at a time and never blocks
+    // on a second while holding it.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+        locks.emplace_back(shard->mu);
+    }
+    FrozenState state;
+    state.shards.reserve(shards_.size());
+    for (const auto& shard_ptr : shards_) {
+        const Shard& shard = *shard_ptr;
+        sync_view_locked(shard);
+        FrozenShard frozen;
+        shard.importance.for_each([&frozen](std::uint32_t id, double score) {
+            frozen.importance.emplace_back(id, score);
+        });
+        shard.homophily.for_each_key([&frozen](std::uint32_t key) {
+            frozen.homophily_keys.push_back(key);
+        });
+        if (shards_.size() == 1) {
+            shard.homophily.for_each_index_entry(
+                [&frozen](std::uint32_t neighbor,
+                          const std::vector<std::uint32_t>& keys) {
+                    frozen.neighbor_index.emplace_back(neighbor, keys);
+                });
+        } else {
+            for (const auto& [neighbor, keys] : shard.neighbor_index) {
+                frozen.neighbor_index.emplace_back(neighbor, keys);
+            }
+        }
+        frozen.view = shard.view.entries();
+        frozen.importance_capacity = shard.importance.capacity();
+        frozen.homophily_capacity = shard.homophily.capacity();
+        state.shards.push_back(std::move(frozen));
+    }
+    return state;
 }
 
 std::size_t TwoLayerSemanticCache::importance_size() const {

@@ -25,6 +25,15 @@
 // behind one mutex and reproduces the legacy hit/miss/eviction sequence
 // bit for bit; the Case 2/4 admission rule then compares against the
 // *per-shard* resident minimum when S > 1.
+//
+// Lock-free reads (DESIGN.md §8.4): when `lockfree_reads` is on (default),
+// `lookup`, `probe`, and the no-op pre-check of `update_importance_score`
+// never take the shard mutex. Each shard carries a seqlock-versioned
+// residency view (`ShardResidencyView`, seqlock.hpp) that writers keep in
+// sync under the shard mutex; readers validate the version counter around
+// a wait-free table probe, retry on a torn snapshot, and fall back to the
+// locked path after a bounded number of torn reads or when a legacy
+// direct-section accessor has marked the view stale.
 
 #include <atomic>
 #include <cstdint>
@@ -34,10 +43,12 @@
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/homophily_cache.hpp"
 #include "cache/importance_cache.hpp"
+#include "cache/seqlock.hpp"
 
 namespace spider::cache {
 
@@ -61,51 +72,75 @@ public:
     /// Default shard count for concurrent use: min(16, hw_concurrency).
     [[nodiscard]] static std::size_t auto_shards();
 
+    /// Smallest Importance-section fraction the cache operates at. Both
+    /// the constructor and set_imp_ratio() clamp valid input up to this
+    /// floor, so elastic output and construction agree at the boundary.
+    static constexpr double kMinImpRatio = 0.01;
+
     /// @param total_capacity  Items across both sections and all shards.
-    /// @param imp_ratio       Initial Importance-section fraction (0..1].
+    /// @param imp_ratio       Initial Importance-section fraction (0..1];
+    ///                        clamped up to kMinImpRatio.
     /// @param shards          Shard count (1 = legacy single structure;
     ///                        kAutoShards = min(16, hw_concurrency)).
+    /// @param lockfree_reads  Serve lookup/probe from the seqlock view
+    ///                        (off = every read takes the shard mutex).
     TwoLayerSemanticCache(std::size_t total_capacity, double imp_ratio,
-                          std::size_t shards = 1);
+                          std::size_t shards = 1, bool lockfree_reads = true);
 
     [[nodiscard]] std::size_t total_capacity() const { return total_capacity_; }
     [[nodiscard]] double imp_ratio() const {
         return imp_ratio_.load(std::memory_order_relaxed);
     }
     [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+    [[nodiscard]] bool lockfree_reads() const { return lockfree_reads_; }
     /// Which shard `id` hashes to (stable across the cache's lifetime).
     [[nodiscard]] std::size_t shard_of(std::uint32_t id) const;
 
     /// Direct section access — single-shard configurations only (the
     /// legacy API used by tests and single-threaded callers). Throws
-    /// std::logic_error when num_shards() > 1.
+    /// std::logic_error when num_shards() > 1. The non-const overloads
+    /// mark the residency view stale: lock-free reads fall back to the
+    /// mutex path until the next locked operation rebuilds the view.
     [[nodiscard]] ImportanceCache& importance();
     [[nodiscard]] const ImportanceCache& importance() const;
     [[nodiscard]] HomophilyCache& homophily();
     [[nodiscard]] const HomophilyCache& homophily() const;
 
     /// Read path (Algorithm 1 lines 5-11): Importance first, then the
-    /// Homophily neighbor lists. Does not mutate either section. Locks the
-    /// requested id's shard only; safe from any thread.
+    /// Homophily neighbor lists. Does not mutate either section. With
+    /// lock-free reads on, served from the shard's residency view without
+    /// taking the shard mutex; otherwise locks the requested id's shard
+    /// only. Safe from any thread.
     [[nodiscard]] Lookup lookup(std::uint32_t id) const;
+
+    /// Wait-free residency probe: would `lookup(id)` hit (Case 1 or 3)?
+    /// The prefetch pipeline calls this once per lookahead id; with
+    /// lock-free reads on it never blocks behind admissions.
+    [[nodiscard]] bool probe(std::uint32_t id) const;
 
     /// Miss path (line 10): called after the sample was fetched remotely.
     /// Applies the Case 2/4 admission rule with the sample's current score
-    /// against the id's shard minimum. Safe from any thread.
+    /// against the id's shard minimum. Ids resident as Homophily *keys*
+    /// are not admitted (paper §4.2: the sections are exclusive). Safe
+    /// from any thread.
     ImportanceCache::AdmitResult on_miss_fetched(std::uint32_t id, double score);
 
     /// Batch-end path (line 22): offer the batch's highest-degree node.
-    /// Safe from any thread; locks one shard at a time.
+    /// Ids resident in the Importance section are not inserted (section
+    /// exclusivity). Safe from any thread; locks one shard at a time.
     std::optional<std::uint32_t> update_homophily(
         std::uint32_t key, std::span<const std::uint32_t> neighbors);
 
     /// Re-keys a resident importance entry after its global score changed
-    /// (scores drift every epoch). No-op when absent. Safe from any thread.
+    /// (scores drift every epoch). No-op when absent — with lock-free
+    /// reads on, the no-op case is detected from the residency view
+    /// without taking the shard mutex. Safe from any thread.
     void update_importance_score(std::uint32_t id, double score);
 
     /// Elastic repartition: resizes both sections of every shard to match
-    /// `imp_ratio` of the unchanged total capacity (Eq. 8 output). Locks
-    /// shards one at a time; concurrent lookups/admissions stay valid.
+    /// `imp_ratio` of the unchanged total capacity (Eq. 8 output, clamped
+    /// to [kMinImpRatio, 1]). Locks shards one at a time; concurrent
+    /// lookups/admissions stay valid.
     void set_imp_ratio(double imp_ratio);
 
     /// Degraded-mode surrogate scan (fault-tolerance ladder, DESIGN.md
@@ -133,10 +168,44 @@ public:
     /// admission threshold).
     [[nodiscard]] std::optional<double> shard_min_score(std::size_t s) const;
 
+    // ---- Whole-cache freeze (cross-shard invariant oracle).
+
+    /// Consistent snapshot of one shard taken with its mutex held.
+    struct FrozenShard {
+        std::vector<std::pair<std::uint32_t, double>> importance;
+        std::vector<std::uint32_t> homophily_keys;
+        /// Neighbor-index slice: (neighbor id, resident keys newest-last).
+        std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>>
+            neighbor_index;
+        /// Residency-view dump (flags != 0 entries), for view<->section
+        /// parity checks.
+        std::vector<std::pair<std::uint32_t, ShardResidencyView::Probe>> view;
+        std::size_t importance_capacity = 0;
+        std::size_t homophily_capacity = 0;
+    };
+    struct FrozenState {
+        std::vector<FrozenShard> shards;
+    };
+
+    /// Takes every shard lock (ascending index — safe because no other
+    /// operation ever holds two), syncs stale views, and dumps the full
+    /// state. Invariant-test oracle; O(total residency), not a hot path.
+    [[nodiscard]] FrozenState freeze() const;
+
+    /// Test seam: invoked in sharded `update_homophily` after the key was
+    /// inserted (key shard unlocked) and before the neighbor-index publish
+    /// loop — the window where a concurrent eviction of the key used to
+    /// leave dangling index entries. Set before any concurrent use.
+    void set_homophily_publish_hook(std::function<void()> hook) {
+        publish_hook_ = std::move(hook);
+    }
+
 private:
     struct Shard {
         Shard(std::size_t imp_capacity, std::size_t hom_capacity)
-            : importance{imp_capacity}, homophily{hom_capacity} {}
+            : importance{imp_capacity},
+              homophily{hom_capacity},
+              view{imp_capacity + hom_capacity} {}
 
         mutable std::mutex mu;
         ImportanceCache importance;
@@ -148,6 +217,14 @@ private:
         /// keeps its own index and the legacy path consults it directly).
         std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
             neighbor_index;
+        /// Seqlock-versioned id -> {section, score, surrogate} table
+        /// mirroring the three structures above; written under `mu`, read
+        /// without it (DESIGN.md §8.4).
+        mutable ShardResidencyView view;
+        /// Set by the legacy direct-section accessors (which mutate behind
+        /// the view's back); cleared by the next locked operation after it
+        /// rebuilds the view.
+        mutable std::atomic<bool> view_stale{false};
     };
 
     /// Capacity slice owned by shard `s` of `shards` (total split evenly,
@@ -160,10 +237,22 @@ private:
                                                    double ratio);
     void unindex_evicted(std::uint32_t victim,
                          std::span<const std::uint32_t> neighbors);
+    /// Locked read path (exact legacy semantics). Caller holds no lock.
+    [[nodiscard]] Lookup lookup_locked(const Shard& shard,
+                                       std::uint32_t id) const;
+    /// Rebuild `shard.view` from its sections if a direct accessor marked
+    /// it stale. Must hold `shard.mu`. Every locked mutating operation
+    /// calls this first so incremental view updates start from truth.
+    void sync_view_locked(const Shard& shard) const;
+    /// Full in-place view rebuild (repartitions, staleness recovery).
+    /// Must hold `shard.mu`.
+    void rebuild_view_locked(const Shard& shard) const;
 
     std::size_t total_capacity_;
     std::atomic<double> imp_ratio_;
+    bool lockfree_reads_;
     std::vector<std::unique_ptr<Shard>> shards_;
+    std::function<void()> publish_hook_;
 };
 
 }  // namespace spider::cache

@@ -23,7 +23,7 @@ SpiderCache::SpiderCache(SpiderCacheConfig config)
       scorer_{index_, config_.scorer, config_.label_of},
       cache_{config_.cache_items,
              config_.homophily_enabled ? config_.elastic.r_start : 1.0,
-             config_.cache_shards},
+             config_.cache_shards, config_.cache_lockfree_reads},
       elastic_{config_.elastic},
       scores_(config_.dataset_size, 0.0),
       sampler_{scores_, util::Rng{config_.seed},

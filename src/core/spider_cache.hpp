@@ -82,6 +82,11 @@ struct SpiderCacheConfig {
     /// at any shard count; sharding is what makes it scale).
     std::size_t cache_shards = 1;
 
+    /// Serve lookup/probe from the cache's seqlock residency view instead
+    /// of taking the shard mutex (DESIGN.md §8.4). Semantics are identical
+    /// either way; off forces every read through the locked path.
+    bool cache_lockfree_reads = true;
+
     std::uint64_t seed = 2025;
 };
 
@@ -91,6 +96,10 @@ public:
 
     // ------------------------------------------------ data path (Alg. 1, 4-12)
     [[nodiscard]] cache::Lookup lookup(std::uint32_t id) const;
+    /// Wait-free would-it-hit probe (Case 1 or 3) — the prefetch pipeline's
+    /// per-lookahead-id check. Never blocks behind admissions when
+    /// cache_lockfree_reads is on.
+    [[nodiscard]] bool probe(std::uint32_t id) const { return cache_.probe(id); }
     /// After a remote fetch (Alg. 1 line 10): Case 2/4 admission.
     cache::ImportanceCache::AdmitResult on_miss_fetched(std::uint32_t id);
 

@@ -42,7 +42,7 @@ const std::set<std::string>& known_keys() {
         "resilience.breaker_cooldown_ms",
         "resilience.max_substitute_fraction",
         "prefetch.enabled",    "prefetch.window",      "prefetch.adaptive",
-        "prefetch.window_max",
+        "prefetch.window_max", "cache.lockfree_reads",
     };
     return keys;
 }
@@ -203,6 +203,7 @@ SimConfig sim_config_from(const util::Config& config) {
     sim.prefetch_window_max = static_cast<std::size_t>(
         config.get_int("prefetch.window_max",
                        static_cast<std::int64_t>(sim.prefetch_window_max)));
+    sim.cache_lockfree_reads = config.get_bool("cache.lockfree_reads", true);
 
     sim.sgd.learning_rate =
         static_cast<float>(config.get_double("optimizer.lr", 0.05));

@@ -163,7 +163,9 @@ Access SpiderFrontend::access(std::uint32_t id) {
 }
 
 bool SpiderFrontend::probe(std::uint32_t id) const {
-    return spider_.lookup(id).kind != cache::HitKind::kMiss;
+    // Wait-free when cache_lockfree_reads is on: the prefetcher's probe
+    // storm no longer serializes behind trainer admissions.
+    return spider_.probe(id);
 }
 
 std::optional<std::uint32_t> SpiderFrontend::substitute(std::uint32_t id) {

@@ -135,6 +135,7 @@ TrainingSimulator::StrategyParts TrainingSimulator::build_strategy(
             if (sc.cache_shards == 0 && resolved_workers() <= 1) {
                 sc.cache_shards = 1;
             }
+            sc.cache_lockfree_reads = config_.cache_lockfree_reads;
             parts.spider = std::make_unique<core::SpiderCache>(std::move(sc));
             parts.frontend = std::make_unique<SpiderFrontend>(*parts.spider);
             // Sampling order comes from the facade, not a standalone

@@ -98,6 +98,10 @@ struct SimConfig {
     /// worker_threads <= 1 (exact legacy semantics), min(16, hw) shards
     /// otherwise. Any explicit value is used as-is.
     std::size_t cache_shards = 0;
+    /// Serve cache lookups/probes from the seqlock residency view instead
+    /// of the shard mutex (DESIGN.md §8.4). Same hit/miss sequence either
+    /// way; off forces every read through the locked path.
+    bool cache_lockfree_reads = true;
 
     // SpiderCache knobs (used by kSpiderImp / kSpider).
     core::ScorerConfig scorer{};

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cache/semantic_cache.hpp"
@@ -29,13 +31,18 @@ namespace {
 
 // ------------------------------------------------------- TwoLayer, sharded
 
-TEST(CacheConcurrency, ConcurrentMixedOpsPreserveInvariants) {
+// Both read-path modes (DESIGN.md §8.4): true = seqlock residency view,
+// false = every read through the shard mutex. Invariants must hold in both.
+class CacheConcurrencyMode : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CacheConcurrencyMode, ConcurrentMixedOpsPreserveInvariants) {
     constexpr std::size_t kCapacity = 256;
     constexpr std::size_t kThreads = 4;
     constexpr int kOpsPerThread = 20000;
     constexpr std::uint32_t kIdSpace = 4096;
 
-    cache::TwoLayerSemanticCache cache{kCapacity, 0.7, /*shards=*/8};
+    cache::TwoLayerSemanticCache cache{kCapacity, 0.7, /*shards=*/8,
+                                       /*lockfree_reads=*/GetParam()};
 
     std::vector<std::thread> workers;
     workers.reserve(kThreads);
@@ -88,8 +95,9 @@ TEST(CacheConcurrency, ConcurrentMixedOpsPreserveInvariants) {
     EXPECT_LE(cache.importance_size() + cache.homophily_size(), kCapacity);
 }
 
-TEST(CacheConcurrency, ConcurrentLookupsDuringElasticRepartition) {
-    cache::TwoLayerSemanticCache cache{128, 0.5, /*shards=*/4};
+TEST_P(CacheConcurrencyMode, ConcurrentLookupsDuringElasticRepartition) {
+    cache::TwoLayerSemanticCache cache{128, 0.5, /*shards=*/4,
+                                       /*lockfree_reads=*/GetParam()};
     for (std::uint32_t id = 0; id < 512; ++id) {
         cache.on_miss_fetched(id, 0.5 + 0.001 * static_cast<double>(id));
     }
@@ -116,6 +124,199 @@ TEST(CacheConcurrency, ConcurrentLookupsDuringElasticRepartition) {
     // Some residents must have survived every repartition.
     EXPECT_GT(hits.load(), 0U);
 }
+
+// Regression (dangling-surrogate window): sharded update_homophily inserts
+// the key under its shard's lock, releases it, then publishes the
+// neighbor-index slices. An eviction of the key inside that window (here:
+// an elastic shrink of the homophily section to zero, injected through the
+// publish hook) used to run its unindex pass before the entries existed —
+// the publish loop then left index entries pointing at a non-resident key
+// forever. The fix re-checks the key's insert generation after publishing
+// and retracts its own entries when the generation is gone.
+TEST(CacheConcurrency, ConcurrentEvictionDuringPublishLeavesNoDanglingIndex) {
+    cache::TwoLayerSemanticCache cache{32, 0.5, /*shards=*/4};
+
+    const std::uint32_t key = 1;
+    // Neighbors spread over shards other than the key's.
+    std::vector<std::uint32_t> neighbors;
+    for (std::uint32_t candidate = 100; neighbors.size() < 3; ++candidate) {
+        if (cache.shard_of(candidate) != cache.shard_of(key)) {
+            neighbors.push_back(candidate);
+        }
+    }
+
+    bool fired = false;
+    cache.set_homophily_publish_hook([&cache, &fired] {
+        if (fired) return;  // the shrink below must not re-trigger itself
+        fired = true;
+        // Concurrent-eviction stand-in: shrink homophily to zero — the key
+        // is evicted and unindexed before its index entries are published.
+        cache.set_imp_ratio(1.0);
+    });
+    cache.update_homophily(key, neighbors);
+    ASSERT_TRUE(fired);
+    ASSERT_EQ(cache.homophily_size(), 0U);
+
+    // No neighbor may resolve to the evicted key (pre-fix: all three did,
+    // permanently — the index entries had no owner left to retract them).
+    for (const std::uint32_t neighbor : neighbors) {
+        const cache::Lookup via = cache.lookup(neighbor);
+        EXPECT_EQ(via.kind, cache::HitKind::kMiss)
+            << "neighbor " << neighbor << " still serves surrogate "
+            << via.served_id;
+    }
+    const auto frozen = cache.freeze();
+    for (const auto& shard : frozen.shards) {
+        EXPECT_TRUE(shard.neighbor_index.empty());
+    }
+}
+
+// Randomized multi-threaded oracle: workers hammer the cache with the full
+// op mix (including elastic repartitions); a checker repeatedly pauses
+// them at op boundaries, freezes the cache (all shard locks), and checks
+// the cross-shard invariants the lock protocol is supposed to preserve:
+//  (a) every neighbor-index value names a resident homophily key,
+//  (b) no id is resident in both sections,
+//  (c) aggregate sizes never exceed capacities,
+//  (d) each shard's seqlock residency view mirrors its sections exactly.
+TEST_P(CacheConcurrencyMode, ConcurrentOracleFreezeFindsNoInvariantBreach) {
+    constexpr std::size_t kCapacity = 192;
+    constexpr std::size_t kThreads = 4;
+    constexpr int kOpsPerThread = 12000;
+    constexpr std::uint32_t kIdSpace = 2048;
+    constexpr int kFreezes = 25;
+
+    cache::TwoLayerSemanticCache cache{kCapacity, 0.6, /*shards=*/8,
+                                       /*lockfree_reads=*/GetParam()};
+
+    std::atomic<bool> pause{false};
+    std::atomic<std::size_t> parked{0};
+    std::atomic<std::size_t> running{kThreads};
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            util::Rng rng{0x0AC1E000ULL + t};
+            for (int op = 0; op < kOpsPerThread; ++op) {
+                // Invariant (a) only holds between operations (inside one
+                // update_homophily the index is legitimately mid-rewrite),
+                // so workers park at op boundaries while the oracle runs.
+                if (pause.load(std::memory_order_acquire)) {
+                    parked.fetch_add(1, std::memory_order_acq_rel);
+                    while (pause.load(std::memory_order_acquire)) {
+                        std::this_thread::yield();
+                    }
+                    parked.fetch_sub(1, std::memory_order_acq_rel);
+                }
+                const auto id = static_cast<std::uint32_t>(
+                    rng.uniform_index(kIdSpace));
+                const double roll = rng.uniform();
+                if (roll < 0.70) {
+                    (void)cache.lookup(id);
+                    (void)cache.probe(id);
+                } else if (roll < 0.88) {
+                    cache.on_miss_fetched(id, rng.uniform());
+                } else if (roll < 0.95) {
+                    const std::uint32_t nb[] = {id + 1, id + 7, id + 21};
+                    cache.update_homophily(id, nb);
+                } else if (roll < 0.99) {
+                    cache.update_importance_score(id, rng.uniform());
+                } else {
+                    cache.set_imp_ratio(0.2 + 0.6 * rng.uniform());
+                }
+            }
+            running.fetch_sub(1, std::memory_order_acq_rel);
+        });
+    }
+
+    for (int round = 0; round < kFreezes; ++round) {
+        pause.store(true, std::memory_order_release);
+        while (parked.load(std::memory_order_acquire) <
+               running.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+        }
+        const auto frozen = cache.freeze();
+
+        std::unordered_set<std::uint32_t> importance_ids;
+        std::unordered_map<std::uint32_t, double> importance_scores;
+        std::unordered_set<std::uint32_t> hom_keys;
+        std::size_t imp_size = 0;
+        std::size_t hom_size = 0;
+        for (const auto& shard : frozen.shards) {
+            for (const auto& [id, score] : shard.importance) {
+                importance_ids.insert(id);
+                importance_scores.emplace(id, score);
+            }
+            for (const std::uint32_t key : shard.homophily_keys) {
+                hom_keys.insert(key);
+            }
+            imp_size += shard.importance.size();
+            hom_size += shard.homophily_keys.size();
+            // (c) per-shard slices respected.
+            ASSERT_LE(shard.importance.size(), shard.importance_capacity);
+            ASSERT_LE(shard.homophily_keys.size(), shard.homophily_capacity);
+        }
+        // (b) sections exclusive.
+        for (const std::uint32_t key : hom_keys) {
+            ASSERT_FALSE(importance_ids.contains(key))
+                << "id " << key << " resident in both sections";
+        }
+        // (a) index soundness: every listed key is a resident hom key.
+        for (const auto& shard : frozen.shards) {
+            for (const auto& [neighbor, keys] : shard.neighbor_index) {
+                for (const std::uint32_t key : keys) {
+                    ASSERT_TRUE(hom_keys.contains(key))
+                        << "neighbor " << neighbor
+                        << " names non-resident surrogate " << key;
+                }
+            }
+        }
+        // (d) view <-> section parity, per shard.
+        for (std::size_t s = 0; s < frozen.shards.size(); ++s) {
+            const auto& shard = frozen.shards[s];
+            std::size_t imp_flags = 0;
+            std::size_t hom_flags = 0;
+            std::size_t sur_flags = 0;
+            for (const auto& [id, probe] : shard.view) {
+                using View = cache::ShardResidencyView;
+                if (probe.flags & View::kImportance) {
+                    ++imp_flags;
+                    const auto it = importance_scores.find(id);
+                    ASSERT_NE(it, importance_scores.end())
+                        << "view lists non-resident importance id " << id;
+                    ASSERT_EQ(it->second, probe.score) << "id " << id;
+                }
+                if (probe.flags & View::kHomKey) {
+                    ++hom_flags;
+                    ASSERT_TRUE(hom_keys.contains(id))
+                        << "view lists non-resident hom key " << id;
+                }
+                if (probe.flags & View::kSurrogate) {
+                    ++sur_flags;
+                    ASSERT_TRUE(hom_keys.contains(probe.surrogate))
+                        << "view surrogate for " << id
+                        << " names non-resident key " << probe.surrogate;
+                }
+            }
+            ASSERT_EQ(imp_flags, shard.importance.size()) << "shard " << s;
+            ASSERT_EQ(hom_flags, shard.homophily_keys.size())
+                << "shard " << s;
+            std::size_t index_entries = 0;
+            for (const auto& [neighbor, keys] : shard.neighbor_index) {
+                if (!keys.empty()) ++index_entries;
+            }
+            ASSERT_EQ(sur_flags, index_entries) << "shard " << s;
+        }
+        pause.store(false, std::memory_order_release);
+        if (running.load(std::memory_order_acquire) == 0) break;
+        std::this_thread::yield();
+    }
+    pause.store(false, std::memory_order_release);
+    for (auto& w : workers) w.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(ReadModes, CacheConcurrencyMode,
+                         ::testing::Values(true, false));
 
 // ---------------------------------------------------------- PrefetchPipeline
 

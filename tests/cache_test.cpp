@@ -402,6 +402,47 @@ TEST(SemanticCache, ShrinkingImportanceSectionEvictsLowScores) {
     EXPECT_FALSE(cache.importance().contains(0));  // low scores evicted
 }
 
+// Section exclusivity (paper §4.2: "no data exchange" between sections) —
+// an id resident in one section must never be admitted to the other, in
+// either order.
+TEST(SemanticCache, HomophilyKeyNotAdmittedToImportance) {
+    TwoLayerSemanticCache cache{10, 0.5};
+    const std::uint32_t nb[] = {100, 101};
+    cache.update_homophily(7, nb);
+    ASSERT_EQ(cache.lookup(7).kind, HitKind::kHomophily);
+    // A very high score would win admission — exclusivity must veto it.
+    const auto result = cache.on_miss_fetched(7, 0.99);
+    EXPECT_FALSE(result.admitted);
+    EXPECT_FALSE(result.evicted.has_value());
+    EXPECT_FALSE(cache.importance().contains(7));
+    EXPECT_TRUE(cache.homophily().contains_key(7));
+    EXPECT_EQ(cache.importance_size() + cache.homophily_size(), 1U);
+}
+
+TEST(SemanticCache, ImportanceResidentNotInsertedAsHomophilyKey) {
+    TwoLayerSemanticCache cache{10, 0.5};
+    cache.on_miss_fetched(7, 0.9);
+    ASSERT_EQ(cache.lookup(7).kind, HitKind::kImportance);
+    const std::uint32_t nb[] = {100, 101};
+    EXPECT_EQ(cache.update_homophily(7, nb), std::nullopt);
+    EXPECT_FALSE(cache.homophily().contains_key(7));
+    EXPECT_TRUE(cache.importance().contains(7));
+    // Its would-be neighbors gained no surrogate either.
+    EXPECT_EQ(cache.lookup(100).kind, HitKind::kMiss);
+    EXPECT_EQ(cache.importance_size() + cache.homophily_size(), 1U);
+}
+
+TEST(SemanticCache, ExclusivityHoldsWhenSharded) {
+    TwoLayerSemanticCache cache{32, 0.5, 4};
+    const std::uint32_t nb[] = {100};
+    cache.update_homophily(7, nb);
+    EXPECT_FALSE(cache.on_miss_fetched(7, 0.99).admitted);
+    cache.on_miss_fetched(9, 0.9);
+    EXPECT_EQ(cache.update_homophily(9, nb), std::nullopt);
+    EXPECT_EQ(cache.homophily_size(), 1U);  // still only key 7
+    EXPECT_EQ(cache.lookup(9).kind, HitKind::kImportance);
+}
+
 TEST(SemanticCache, RejectsBadRatio) {
     EXPECT_THROW((TwoLayerSemanticCache{10, 0.0}), std::invalid_argument);
     EXPECT_THROW((TwoLayerSemanticCache{10, 1.5}), std::invalid_argument);

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <vector>
 
+#include "cache/semantic_cache.hpp"
 #include "core/elastic.hpp"
 #include "util/rng.hpp"
 
@@ -222,6 +223,33 @@ TEST(Elastic, SingleEpochRunStaysAtStart) {
     ElasticCacheManager manager{fast_config()};
     const double ratio = manager.on_epoch(0.5, 0.5, 0, 1);
     EXPECT_DOUBLE_EQ(ratio, 0.9);
+}
+
+// The cache the manager drives must accept any ratio the schedule emits,
+// and clamp construction and set_imp_ratio identically at the boundary:
+// a ratio below the floor yields the same partition either way.
+TEST(Elastic, CacheRatioDomainMatchesConstructorDomain) {
+    constexpr std::size_t kCapacity = 1000;
+    constexpr double kTinyRatio = 0.005;  // below kMinImpRatio
+
+    cache::TwoLayerSemanticCache constructed{kCapacity, kTinyRatio};
+    cache::TwoLayerSemanticCache updated{kCapacity, 0.9};
+    updated.set_imp_ratio(kTinyRatio);
+
+    EXPECT_DOUBLE_EQ(constructed.imp_ratio(), updated.imp_ratio());
+    EXPECT_DOUBLE_EQ(constructed.imp_ratio(),
+                     cache::TwoLayerSemanticCache::kMinImpRatio);
+    EXPECT_EQ(constructed.importance_capacity(),
+              updated.importance_capacity());
+    EXPECT_EQ(constructed.homophily_capacity(), updated.homophily_capacity());
+
+    // The exact domain endpoints: 1.0 is accepted everywhere, 0 and >1
+    // are construction errors (the setter clamps them instead — it is fed
+    // by the schedule, which cannot be made to throw mid-training).
+    cache::TwoLayerSemanticCache full{kCapacity, 1.0};
+    EXPECT_EQ(full.importance_capacity(), kCapacity);
+    EXPECT_THROW((cache::TwoLayerSemanticCache{kCapacity, 0.0}),
+                 std::invalid_argument);
 }
 
 }  // namespace

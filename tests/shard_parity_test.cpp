@@ -7,7 +7,8 @@
 // interleaves lookups, miss admissions, homophily updates, and elastic
 // repartitions. The reference model below is a line-for-line transcription
 // of the pre-sharding TwoLayerSemanticCache built from the same section
-// primitives.
+// primitives, plus the section-exclusivity rule (paper §4.2: an id resident
+// in one section is never admitted to the other) that both models enforce.
 //
 // Part 2 — sharded invariants: for S > 1 the per-op interleaving is
 // intentionally different (per-shard admission minima), so the contract is
@@ -53,11 +54,13 @@ public:
 
     ImportanceCache::AdmitResult on_miss_fetched(std::uint32_t id,
                                                  double score) {
+        if (homophily_.contains_key(id)) return {};  // section exclusivity
         return importance_.admit_scored(id, score);
     }
 
     std::optional<std::uint32_t> update_homophily(
         std::uint32_t key, std::span<const std::uint32_t> neighbors) {
+        if (importance_.contains(key)) return std::nullopt;  // exclusivity
         return homophily_.update(key, neighbors);
     }
 
@@ -138,6 +141,76 @@ TEST(ShardParity, SingleShardMatchesLegacyTraceExactly) {
             << "op " << op;
     }
 }
+
+// ------------------------------------------------------------------------
+// Seqlock parity (DESIGN.md §8.4): with lock-free reads on, lookup/probe
+// must return the exact Case 1/3/miss sequence the locked path produces.
+// Single-threaded, so the residency view is always quiescent — any
+// divergence is a writer that failed to publish a mutation to the view.
+
+class SeqlockParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SeqlockParity, LocklessLookupMatchesLockedTraceExactly) {
+    const std::size_t shards = GetParam();
+    constexpr std::size_t kCapacity = 64;
+    constexpr double kRatio = 0.7;
+    constexpr std::uint32_t kIdSpace = 500;
+    constexpr int kOps = 20000;
+
+    TwoLayerSemanticCache lockfree{kCapacity, kRatio, shards,
+                                   /*lockfree_reads=*/true};
+    TwoLayerSemanticCache locked{kCapacity, kRatio, shards,
+                                 /*lockfree_reads=*/false};
+    ASSERT_TRUE(lockfree.lockfree_reads());
+    ASSERT_FALSE(locked.lockfree_reads());
+
+    util::Rng rng{0xBEEFULL};
+    const double ratios[] = {0.3, 0.5, 0.7, 0.9};
+    for (int op = 0; op < kOps; ++op) {
+        const auto id =
+            static_cast<std::uint32_t>(rng.uniform_index(kIdSpace));
+        const double roll = rng.uniform();
+        if (roll < 0.55) {
+            const Lookup a = locked.lookup(id);
+            const Lookup b = lockfree.lookup(id);
+            ASSERT_EQ(a.kind, b.kind) << "op " << op << " id " << id;
+            ASSERT_EQ(a.served_id, b.served_id) << "op " << op;
+            ASSERT_EQ(locked.probe(id), lockfree.probe(id)) << "op " << op;
+        } else if (roll < 0.85) {
+            const double score = rng.uniform();
+            const auto a = locked.on_miss_fetched(id, score);
+            const auto b = lockfree.on_miss_fetched(id, score);
+            ASSERT_EQ(a.admitted, b.admitted) << "op " << op << " id " << id;
+            ASSERT_EQ(a.evicted, b.evicted) << "op " << op;
+        } else if (roll < 0.93) {
+            std::vector<std::uint32_t> neighbors;
+            const int fanout = static_cast<int>(1 + rng.uniform_index(6));
+            for (int k = 0; k < fanout; ++k) {
+                neighbors.push_back(static_cast<std::uint32_t>(
+                    rng.uniform_index(kIdSpace)));
+            }
+            const auto a = locked.update_homophily(id, neighbors);
+            const auto b = lockfree.update_homophily(id, neighbors);
+            ASSERT_EQ(a, b) << "op " << op << " key " << id;
+        } else if (roll < 0.98) {
+            // Score churn: exercises the wait-free no-op pre-check.
+            const double score = rng.uniform();
+            locked.update_importance_score(id, score);
+            lockfree.update_importance_score(id, score);
+        } else {
+            const double ratio = ratios[rng.uniform_index(4)];
+            locked.set_imp_ratio(ratio);
+            lockfree.set_imp_ratio(ratio);
+        }
+        ASSERT_EQ(locked.importance_size(), lockfree.importance_size())
+            << "op " << op;
+        ASSERT_EQ(locked.homophily_size(), lockfree.homophily_size())
+            << "op " << op;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, SeqlockParity,
+                         ::testing::Values(1, 4));
 
 TEST(ShardParity, SingleShardLegacyAccessorsStillWork) {
     TwoLayerSemanticCache cache{10, 0.5};

@@ -20,6 +20,13 @@
 #                                 # controller, sampler peek, simulator
 #                                 # determinism — DESIGN.md §8.3) in
 #                                 # build-tsan/
+#   tools/run_tier1.sh --lockfree # additionally: ThreadSanitizer pass over
+#                                 # the seqlock read path (DESIGN.md §8.4):
+#                                 # concurrency + cross-shard-invariant
+#                                 # oracle tests with cache_lockfree_reads
+#                                 # both on and off, plus the single-
+#                                 # threaded seqlock parity traces, in
+#                                 # build-tsan/
 #
 # Build directories: build-tier1/, build-tsan/, build-asan/ (gitignored).
 
@@ -30,13 +37,15 @@ run_tsan=0
 run_asan=0
 run_faults=0
 run_prefetch=0
+run_lockfree=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
     --asan) run_asan=1 ;;
     --faults) run_faults=1 ;;
     --prefetch) run_prefetch=1 ;;
-    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch]" >&2; exit 2 ;;
+    --lockfree) run_lockfree=1 ;;
+    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch] [--lockfree]" >&2; exit 2 ;;
   esac
 done
 
@@ -89,6 +98,22 @@ if [[ "$run_prefetch" == 1 ]]; then
              fault_tolerance_test
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     -R 'PrefetchBudget|AdaptiveWindow|SamplerPeek|PrefetchAdaptive|PrefetchConcurrency|FailedSpeculative'
+fi
+
+if [[ "$run_lockfree" == 1 ]]; then
+  echo "== opt-in: ThreadSanitizer pass over the seqlock read path =="
+  # The CacheConcurrencyMode suites run every stress/oracle scenario with
+  # cache_lockfree_reads on (seqlock view) and off (mutex reads); the
+  # SeqlockParity traces pin the two modes to identical hit/miss sequences.
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPIDER_TSAN=ON \
+    -DSPIDER_BUILD_BENCH=OFF \
+    -DSPIDER_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$jobs" \
+    --target cache_concurrency_test shard_parity_test cache_test
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'Concurrent|SeqlockParity|ShardParity|ShardedInvariants|SemanticCache'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
