@@ -1,0 +1,281 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace spider::server {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_{std::exchange(other.fd_, -1)},
+      pipeline_{std::move(other.pipeline_)},
+      queued_{std::exchange(other.queued_, 0)},
+      decoder_{std::move(other.decoder_)} {}
+
+Client& Client::operator=(Client&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        pipeline_ = std::move(other.pipeline_);
+        queued_ = std::exchange(other.queued_, 0);
+        decoder_ = std::move(other.decoder_);
+    }
+    return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error{"Client: socket() failed"};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        close();
+        throw std::runtime_error{"Client: bad host '" + host + "'"};
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        close();
+        throw std::runtime_error{"Client: connect() failed: " +
+                                 std::string{std::strerror(errno)}};
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    pipeline_.clear();
+    queued_ = 0;
+    decoder_ = FrameDecoder{};
+}
+
+void Client::queue_get(std::uint8_t tenant, std::uint32_t id, double score) {
+    WireWriter w{pipeline_};
+    encode_get(w, tenant, id, score);
+    ++queued_;
+}
+
+void Client::queue_probe(std::uint8_t tenant, std::uint32_t id) {
+    WireWriter w{pipeline_};
+    encode_probe(w, tenant, id);
+    ++queued_;
+}
+
+void Client::queue_mget(std::uint8_t tenant,
+                        std::span<const std::uint32_t> ids,
+                        std::span<const double> scores) {
+    WireWriter w{pipeline_};
+    encode_mget(w, tenant, ids, scores);
+    ++queued_;
+}
+
+void Client::queue_put_score(std::uint8_t tenant, std::uint32_t id,
+                             double score) {
+    WireWriter w{pipeline_};
+    encode_put_score(w, tenant, id, score);
+    ++queued_;
+}
+
+void Client::queue_stats() {
+    WireWriter w{pipeline_};
+    encode_stats(w);
+    ++queued_;
+}
+
+void Client::queue_tenant_stat(std::uint8_t tenant) {
+    WireWriter w{pipeline_};
+    encode_tenant_stat(w, tenant);
+    ++queued_;
+}
+
+void Client::queue_tenant_set_ratio(std::uint8_t tenant, double ratio) {
+    WireWriter w{pipeline_};
+    encode_tenant_set_ratio(w, tenant, ratio);
+    ++queued_;
+}
+
+void Client::queue_put_neighbors(std::uint8_t tenant, std::uint32_t key,
+                                 std::span<const std::uint32_t> neighbors) {
+    WireWriter w{pipeline_};
+    encode_put_neighbors(w, tenant, key, neighbors);
+    ++queued_;
+}
+
+void Client::queue_ping() {
+    WireWriter w{pipeline_};
+    encode_ping(w);
+    ++queued_;
+}
+
+void Client::write_all(std::span<const std::uint8_t> bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd_, bytes.data() + off, bytes.size() - off);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        throw std::runtime_error{"Client: write() failed"};
+    }
+}
+
+void Client::send_only() {
+    write_all(pipeline_);
+    pipeline_.clear();
+    queued_ = 0;
+}
+
+std::vector<Response> Client::read_responses(std::size_t n) {
+    std::vector<Response> out;
+    out.reserve(n);
+    std::uint8_t buf[64 * 1024];
+    while (out.size() < n) {
+        Frame frame;
+        const FrameDecoder::Result r = decoder_.next(frame);
+        if (r == FrameDecoder::Result::kFrame) {
+            Response resp;
+            resp.op = static_cast<Op>(frame.b0);
+            resp.status = static_cast<Status>(frame.b1);
+            resp.payload.assign(frame.payload.begin(), frame.payload.end());
+            out.push_back(std::move(resp));
+            continue;
+        }
+        if (r != FrameDecoder::Result::kNeedMore) {
+            throw std::runtime_error{"Client: garbled response stream"};
+        }
+        const ssize_t got = ::read(fd_, buf, sizeof buf);
+        if (got > 0) {
+            decoder_.feed({buf, static_cast<std::size_t>(got)});
+            continue;
+        }
+        if (got < 0 && errno == EINTR) continue;
+        throw std::runtime_error{
+            "Client: connection closed with responses outstanding"};
+    }
+    return out;
+}
+
+std::vector<Response> Client::flush() {
+    const std::size_t n = queued_;
+    send_only();
+    return read_responses(n);
+}
+
+Response Client::one_shot() {
+    auto responses = flush();
+    if (responses.size() != 1) {
+        throw std::runtime_error{"Client: expected one response"};
+    }
+    return std::move(responses.front());
+}
+
+namespace {
+
+void require_ok(const Response& r, const char* what) {
+    if (r.status != Status::kOk) {
+        throw std::runtime_error{std::string{"Client: "} + what +
+                                 " failed: " + to_string(r.status)};
+    }
+}
+
+}  // namespace
+
+GetReply Client::get(std::uint8_t tenant, std::uint32_t id, double score) {
+    queue_get(tenant, id, score);
+    const Response r = one_shot();
+    require_ok(r, "GET");
+    const auto reply = decode_get_reply(r.payload);
+    if (!reply) throw std::runtime_error{"Client: short GET reply"};
+    return *reply;
+}
+
+bool Client::probe(std::uint8_t tenant, std::uint32_t id) {
+    queue_probe(tenant, id);
+    const Response r = one_shot();
+    require_ok(r, "PROBE");
+    WireReader reader{r.payload};
+    const bool resident = reader.u8() != 0;
+    if (!reader.done()) throw std::runtime_error{"Client: bad PROBE reply"};
+    return resident;
+}
+
+std::vector<GetReply> Client::mget(std::uint8_t tenant,
+                                   std::span<const std::uint32_t> ids,
+                                   std::span<const double> scores) {
+    queue_mget(tenant, ids, scores);
+    const Response r = one_shot();
+    require_ok(r, "MGET");
+    auto replies = decode_mget_reply(r.payload);
+    if (!replies) throw std::runtime_error{"Client: short MGET reply"};
+    return std::move(*replies);
+}
+
+void Client::put_score(std::uint8_t tenant, std::uint32_t id, double score) {
+    queue_put_score(tenant, id, score);
+    require_ok(one_shot(), "PUT_SCORE");
+}
+
+StatsReply Client::stats() {
+    queue_stats();
+    const Response r = one_shot();
+    require_ok(r, "STATS");
+    const auto reply = decode_stats_reply(r.payload);
+    if (!reply) throw std::runtime_error{"Client: short STATS reply"};
+    return *reply;
+}
+
+TenantStatReply Client::tenant_stat(std::uint8_t tenant) {
+    queue_tenant_stat(tenant);
+    const Response r = one_shot();
+    require_ok(r, "TENANT_STAT");
+    const auto reply = decode_tenant_stat_reply(r.payload);
+    if (!reply) throw std::runtime_error{"Client: short TENANT_STAT reply"};
+    return *reply;
+}
+
+double Client::tenant_set_ratio(std::uint8_t tenant, double ratio) {
+    queue_tenant_set_ratio(tenant, ratio);
+    const Response r = one_shot();
+    require_ok(r, "TENANT_SET_RATIO");
+    WireReader reader{r.payload};
+    const double applied = reader.f64();
+    if (!reader.done()) {
+        throw std::runtime_error{"Client: bad TENANT_SET_RATIO reply"};
+    }
+    return applied;
+}
+
+bool Client::put_neighbors(std::uint8_t tenant, std::uint32_t key,
+                           std::span<const std::uint32_t> neighbors) {
+    queue_put_neighbors(tenant, key, neighbors);
+    const Response r = one_shot();
+    require_ok(r, "PUT_NEIGHBORS");
+    WireReader reader{r.payload};
+    const bool accepted = reader.u8() != 0;
+    if (!reader.done()) {
+        throw std::runtime_error{"Client: bad PUT_NEIGHBORS reply"};
+    }
+    return accepted;
+}
+
+void Client::ping() {
+    queue_ping();
+    require_ok(one_shot(), "PING");
+}
+
+}  // namespace spider::server

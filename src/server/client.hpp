@@ -1,0 +1,97 @@
+#pragma once
+
+// Blocking client for the cache service: the loader-side half of the wire
+// protocol. One Client owns one TCP connection. Requests are queued into
+// a local pipeline buffer and shipped with a single write() per flush —
+// exactly the depth-D pipelining the netbench sweeps — after which the
+// matching responses are read back in order. The convenience one-shots
+// (get / probe / ...) are queue + flush of a single frame.
+//
+// Not thread-safe: callers that share a Client across threads serialize
+// externally (sim::NetworkFrontend does).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace spider::server {
+
+/// One decoded response frame.
+struct Response {
+    Op op = static_cast<Op>(0);
+    Status status = Status::kOk;
+    std::vector<std::uint8_t> payload;
+};
+
+class Client {
+public:
+    Client() = default;
+    ~Client();
+    Client(Client&& other) noexcept;
+    Client& operator=(Client&& other) noexcept;
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Connects (blocking). Throws std::runtime_error on failure.
+    void connect(const std::string& host, std::uint16_t port);
+    void close();
+    [[nodiscard]] bool connected() const { return fd_ >= 0; }
+    /// Raw socket (tests that want to write malformed bytes directly).
+    [[nodiscard]] int fd() const { return fd_; }
+
+    // ---- pipelined mode: queue N requests, then flush() once.
+    void queue_get(std::uint8_t tenant, std::uint32_t id, double score);
+    void queue_probe(std::uint8_t tenant, std::uint32_t id);
+    void queue_mget(std::uint8_t tenant, std::span<const std::uint32_t> ids,
+                    std::span<const double> scores);
+    void queue_put_score(std::uint8_t tenant, std::uint32_t id, double score);
+    void queue_stats();
+    void queue_tenant_stat(std::uint8_t tenant);
+    void queue_tenant_set_ratio(std::uint8_t tenant, double ratio);
+    void queue_put_neighbors(std::uint8_t tenant, std::uint32_t key,
+                             std::span<const std::uint32_t> neighbors);
+    void queue_ping();
+    [[nodiscard]] std::size_t queued() const { return queued_; }
+
+    /// Sends every queued frame in one write, then reads exactly that
+    /// many responses. Throws std::runtime_error on I/O failure or a
+    /// garbled response stream.
+    std::vector<Response> flush();
+
+    /// Sends queued frames without reading responses (tests that close
+    /// mid-pipeline). Leaves the response stream to the caller.
+    void send_only();
+
+    // ---- one-shot conveniences (throw on transport error; protocol
+    // errors come back in the Response/reply status).
+    GetReply get(std::uint8_t tenant, std::uint32_t id, double score);
+    bool probe(std::uint8_t tenant, std::uint32_t id);
+    std::vector<GetReply> mget(std::uint8_t tenant,
+                               std::span<const std::uint32_t> ids,
+                               std::span<const double> scores);
+    void put_score(std::uint8_t tenant, std::uint32_t id, double score);
+    StatsReply stats();
+    TenantStatReply tenant_stat(std::uint8_t tenant);
+    double tenant_set_ratio(std::uint8_t tenant, double ratio);
+    bool put_neighbors(std::uint8_t tenant, std::uint32_t key,
+                       std::span<const std::uint32_t> neighbors);
+    void ping();
+
+private:
+    /// Writes all of `bytes` (blocking, EINTR-safe).
+    void write_all(std::span<const std::uint8_t> bytes);
+    /// Reads until `n` complete response frames were decoded.
+    std::vector<Response> read_responses(std::size_t n);
+    Response one_shot();
+
+    int fd_ = -1;
+    std::vector<std::uint8_t> pipeline_;
+    std::size_t queued_ = 0;
+    FrameDecoder decoder_;
+};
+
+}  // namespace spider::server

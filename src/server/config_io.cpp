@@ -1,0 +1,112 @@
+#include "server/config_io.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace spider::server {
+
+namespace {
+
+std::vector<double> parse_list(const std::string& text, const char* key) {
+    std::vector<double> out;
+    std::stringstream ss{text};
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        try {
+            std::size_t used = 0;
+            const double v = std::stod(item, &used);
+            while (used < item.size() &&
+                   std::isspace(static_cast<unsigned char>(item[used]))) {
+                ++used;
+            }
+            if (used != item.size()) throw std::invalid_argument{item};
+            out.push_back(v);
+        } catch (const std::exception&) {
+            throw std::invalid_argument{std::string{"server config: bad "} +
+                                        key + " entry '" + item + "'"};
+        }
+    }
+    if (out.empty()) {
+        throw std::invalid_argument{std::string{"server config: empty "} +
+                                    key + " list"};
+    }
+    return out;
+}
+
+}  // namespace
+
+ServerConfig server_config_from(const util::Config& config) {
+    ServerConfig sc;
+    sc.port = static_cast<std::uint16_t>(
+        config.get_int("server.port", sc.port));
+    sc.max_pipeline = static_cast<std::size_t>(config.get_int(
+        "server.max_pipeline", static_cast<std::int64_t>(sc.max_pipeline)));
+    if (sc.max_pipeline == 0) {
+        throw std::invalid_argument{"server config: max_pipeline must be > 0"};
+    }
+    sc.cache_items = static_cast<std::size_t>(config.get_int(
+        "server.cache_items", static_cast<std::int64_t>(sc.cache_items)));
+    sc.cache_shards = static_cast<std::size_t>(config.get_int(
+        "server.cache_shards", static_cast<std::int64_t>(sc.cache_shards)));
+    sc.lockfree_reads = config.get_bool("server.lockfree_reads", true);
+
+    const auto n_tenants =
+        static_cast<std::size_t>(config.get_int("server.tenants", 1));
+    if (n_tenants == 0 || n_tenants > 256) {
+        throw std::invalid_argument{
+            "server config: tenants must be in [1, 256]"};
+    }
+    std::vector<double> pct(n_tenants, 100.0 / static_cast<double>(n_tenants));
+    if (config.contains("server.capacity_pct")) {
+        pct = parse_list(config.get_string("server.capacity_pct"),
+                         "capacity_pct");
+    }
+    std::vector<double> ratio(n_tenants, 0.9);
+    if (config.contains("server.imp_ratio")) {
+        ratio = parse_list(config.get_string("server.imp_ratio"), "imp_ratio");
+    }
+    if (pct.size() != n_tenants || ratio.size() != n_tenants) {
+        throw std::invalid_argument{
+            "server config: capacity_pct/imp_ratio list length != tenants"};
+    }
+    sc.tenants.clear();
+    for (std::size_t t = 0; t < n_tenants; ++t) {
+        sc.tenants.push_back(TenantSpec{.capacity_pct = pct[t],
+                                        .imp_ratio = ratio[t]});
+    }
+    // Fail at parse time, not at server construction: the same checks
+    // TenantCacheManager enforces, minus the slice-size one that needs
+    // cache_items context it also has here.
+    double pct_sum = 0.0;
+    for (const TenantSpec& t : sc.tenants) pct_sum += t.capacity_pct;
+    if (pct_sum > 100.0 + 1e-9) {
+        throw std::invalid_argument{
+            "server config: capacity_pct sums to > 100"};
+    }
+    return sc;
+}
+
+std::string serialize_server_config(const ServerConfig& config) {
+    std::ostringstream out;
+    out << "[server]\n";
+    out << "port = " << config.port << "\n";
+    out << "max_pipeline = " << config.max_pipeline << "\n";
+    out << "cache_items = " << config.cache_items << "\n";
+    out << "cache_shards = " << config.cache_shards << "\n";
+    out << "lockfree_reads = " << (config.lockfree_reads ? "true" : "false")
+        << "\n";
+    out << "tenants = " << config.tenants.size() << "\n";
+    out << "capacity_pct = ";
+    for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+        out << (t == 0 ? "" : ",") << config.tenants[t].capacity_pct;
+    }
+    out << "\nimp_ratio = ";
+    for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+        out << (t == 0 ? "" : ",") << config.tenants[t].imp_ratio;
+    }
+    out << "\n";
+    return out.str();
+}
+
+}  // namespace spider::server

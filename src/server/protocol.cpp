@@ -1,0 +1,283 @@
+#include "server/protocol.hpp"
+
+#include <algorithm>
+
+namespace spider::server {
+
+// ---------------------------------------------------------------- writer
+
+std::size_t WireWriter::begin_frame(std::uint8_t b0, std::uint8_t b1) {
+    const std::size_t off = buf_.size();
+    u32(0);  // length placeholder
+    u8(b0);
+    u8(b1);
+    u16(0);  // reserved
+    return off;
+}
+
+void WireWriter::end_frame(std::size_t frame_off) {
+    const std::size_t body = buf_.size() - frame_off - sizeof(std::uint32_t);
+    const auto len = static_cast<std::uint32_t>(body);
+    std::memcpy(buf_.data() + frame_off, &len, sizeof len);
+}
+
+// --------------------------------------------------------------- decoder
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+    if (poisoned_) return;
+    // Compact the consumed prefix before growing — keeps the buffer at
+    // O(unconsumed), not O(stream).
+    if (pos_ > 0) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame& out) {
+    if (poisoned_) return Result::kMalformed;
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < sizeof(std::uint32_t)) return Result::kNeedMore;
+    std::uint32_t len = 0;
+    std::memcpy(&len, buf_.data() + pos_, sizeof len);
+    if (len > kMaxFrameLen) {
+        poisoned_ = true;
+        return Result::kTooBig;
+    }
+    if (len < kHeaderLen) {
+        poisoned_ = true;
+        return Result::kMalformed;
+    }
+    if (avail < sizeof(std::uint32_t) + len) return Result::kNeedMore;
+    const std::uint8_t* frame = buf_.data() + pos_ + sizeof(std::uint32_t);
+    out.b0 = frame[0];
+    out.b1 = frame[1];
+    out.payload = {frame + kHeaderLen, len - kHeaderLen};
+    pos_ += sizeof(std::uint32_t) + len;
+    return Result::kFrame;
+}
+
+std::size_t FrameDecoder::buffered_frames() const {
+    if (poisoned_) return 0;
+    std::size_t n = 0;
+    std::size_t p = pos_;
+    while (buf_.size() - p >= sizeof(std::uint32_t)) {
+        std::uint32_t len = 0;
+        std::memcpy(&len, buf_.data() + p, sizeof len);
+        if (len > kMaxFrameLen || len < kHeaderLen) break;
+        if (buf_.size() - p < sizeof(std::uint32_t) + len) break;
+        p += sizeof(std::uint32_t) + len;
+        ++n;
+    }
+    return n;
+}
+
+// ---------------------------------------------------------------- requests
+
+void encode_get(WireWriter& w, std::uint8_t tenant, std::uint32_t id,
+                double score) {
+    const auto off =
+        w.begin_frame(static_cast<std::uint8_t>(Op::kGet), tenant);
+    w.u32(id);
+    w.f64(score);
+    w.end_frame(off);
+}
+
+void encode_probe(WireWriter& w, std::uint8_t tenant, std::uint32_t id) {
+    const auto off =
+        w.begin_frame(static_cast<std::uint8_t>(Op::kProbe), tenant);
+    w.u32(id);
+    w.end_frame(off);
+}
+
+void encode_mget(WireWriter& w, std::uint8_t tenant,
+                 std::span<const std::uint32_t> ids,
+                 std::span<const double> scores) {
+    const auto off =
+        w.begin_frame(static_cast<std::uint8_t>(Op::kMget), tenant);
+    w.u16(static_cast<std::uint16_t>(ids.size()));
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        w.u32(ids[i]);
+        w.f64(i < scores.size() ? scores[i] : 0.0);
+    }
+    w.end_frame(off);
+}
+
+void encode_put_score(WireWriter& w, std::uint8_t tenant, std::uint32_t id,
+                      double score) {
+    const auto off =
+        w.begin_frame(static_cast<std::uint8_t>(Op::kPutScore), tenant);
+    w.u32(id);
+    w.f64(score);
+    w.end_frame(off);
+}
+
+void encode_stats(WireWriter& w) {
+    const auto off = w.begin_frame(static_cast<std::uint8_t>(Op::kStats), 0);
+    w.end_frame(off);
+}
+
+void encode_tenant_stat(WireWriter& w, std::uint8_t tenant) {
+    const auto off =
+        w.begin_frame(static_cast<std::uint8_t>(Op::kTenantStat), tenant);
+    w.end_frame(off);
+}
+
+void encode_tenant_set_ratio(WireWriter& w, std::uint8_t tenant,
+                             double ratio) {
+    const auto off = w.begin_frame(
+        static_cast<std::uint8_t>(Op::kTenantSetRatio), tenant);
+    w.f64(ratio);
+    w.end_frame(off);
+}
+
+void encode_put_neighbors(WireWriter& w, std::uint8_t tenant,
+                          std::uint32_t key,
+                          std::span<const std::uint32_t> neighbors) {
+    const auto off =
+        w.begin_frame(static_cast<std::uint8_t>(Op::kPutNeighbors), tenant);
+    w.u32(key);
+    w.u16(static_cast<std::uint16_t>(neighbors.size()));
+    for (const std::uint32_t n : neighbors) w.u32(n);
+    w.end_frame(off);
+}
+
+void encode_ping(WireWriter& w) {
+    const auto off = w.begin_frame(static_cast<std::uint8_t>(Op::kPing), 0);
+    w.end_frame(off);
+}
+
+// ----------------------------------------------------------------- replies
+
+void encode_get_reply(WireWriter& w, const GetReply& r) {
+    w.u8(static_cast<std::uint8_t>(r.kind));
+    w.u32(r.served_id);
+}
+
+void encode_stats_reply(WireWriter& w, const StatsReply& r) {
+    w.u64(r.conns_accepted);
+    w.u64(r.conns_open);
+    w.u64(r.frames);
+    w.u64(r.batches);
+    w.u64(r.single_frame_batches);
+    w.u64(r.max_batch);
+    w.u64(r.gets);
+    w.u64(r.probes);
+    w.u64(r.mget_keys);
+    w.u64(r.put_scores);
+    w.u64(r.errors);
+    w.u64(r.dropped_frames);
+    w.u64(r.in_flight);
+    w.u64(r.bytes_in);
+    w.u64(r.bytes_out);
+}
+
+void encode_tenant_stat_reply(WireWriter& w, const TenantStatReply& r) {
+    w.u64(r.capacity);
+    w.u64(r.imp_capacity);
+    w.u64(r.hom_capacity);
+    w.u64(r.imp_size);
+    w.u64(r.hom_size);
+    w.u64(r.hits_importance);
+    w.u64(r.hits_homophily);
+    w.u64(r.misses);
+    w.u64(r.admitted);
+    w.f64(r.imp_ratio);
+}
+
+std::optional<GetReply> decode_get_reply(
+    std::span<const std::uint8_t> payload) {
+    WireReader r{payload};
+    GetReply g;
+    g.kind = static_cast<ServeKind>(r.u8());
+    g.served_id = r.u32();
+    if (!r.done()) return std::nullopt;
+    return g;
+}
+
+std::optional<std::vector<GetReply>> decode_mget_reply(
+    std::span<const std::uint8_t> payload) {
+    WireReader r{payload};
+    const std::uint16_t n = r.u16();
+    std::vector<GetReply> out;
+    out.reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) {
+        GetReply g;
+        g.kind = static_cast<ServeKind>(r.u8());
+        g.served_id = r.u32();
+        out.push_back(g);
+    }
+    if (!r.done()) return std::nullopt;
+    return out;
+}
+
+std::optional<StatsReply> decode_stats_reply(
+    std::span<const std::uint8_t> payload) {
+    WireReader r{payload};
+    StatsReply s;
+    s.conns_accepted = r.u64();
+    s.conns_open = r.u64();
+    s.frames = r.u64();
+    s.batches = r.u64();
+    s.single_frame_batches = r.u64();
+    s.max_batch = r.u64();
+    s.gets = r.u64();
+    s.probes = r.u64();
+    s.mget_keys = r.u64();
+    s.put_scores = r.u64();
+    s.errors = r.u64();
+    s.dropped_frames = r.u64();
+    s.in_flight = r.u64();
+    s.bytes_in = r.u64();
+    s.bytes_out = r.u64();
+    if (!r.done()) return std::nullopt;
+    return s;
+}
+
+std::optional<TenantStatReply> decode_tenant_stat_reply(
+    std::span<const std::uint8_t> payload) {
+    WireReader r{payload};
+    TenantStatReply t;
+    t.capacity = r.u64();
+    t.imp_capacity = r.u64();
+    t.hom_capacity = r.u64();
+    t.imp_size = r.u64();
+    t.hom_size = r.u64();
+    t.hits_importance = r.u64();
+    t.hits_homophily = r.u64();
+    t.misses = r.u64();
+    t.admitted = r.u64();
+    t.imp_ratio = r.f64();
+    if (!r.done()) return std::nullopt;
+    return t;
+}
+
+const char* to_string(Status status) {
+    switch (status) {
+        case Status::kOk: return "ok";
+        case Status::kBadOp: return "bad-op";
+        case Status::kBadTenant: return "bad-tenant";
+        case Status::kBadPayload: return "bad-payload";
+        case Status::kFrameTooBig: return "frame-too-big";
+        case Status::kShutdown: return "shutdown";
+    }
+    return "unknown";
+}
+
+const char* to_string(Op op) {
+    switch (op) {
+        case Op::kGet: return "GET";
+        case Op::kProbe: return "PROBE";
+        case Op::kMget: return "MGET";
+        case Op::kPutScore: return "PUT_SCORE";
+        case Op::kStats: return "STATS";
+        case Op::kTenantStat: return "TENANT_STAT";
+        case Op::kTenantSetRatio: return "TENANT_SET_RATIO";
+        case Op::kPutNeighbors: return "PUT_NEIGHBORS";
+        case Op::kPing: return "PING";
+    }
+    return "unknown";
+}
+
+}  // namespace spider::server

@@ -43,6 +43,11 @@ const std::set<std::string>& known_keys() {
         "resilience.max_substitute_fraction",
         "prefetch.enabled",    "prefetch.window",      "prefetch.adaptive",
         "prefetch.window_max", "cache.lockfree_reads",
+        // [server] keys (consumed by server::server_config_from; accepted
+        // here so one INI can configure a sim and the cache service).
+        "server.port",         "server.max_pipeline",  "server.cache_items",
+        "server.cache_shards", "server.lockfree_reads", "server.tenants",
+        "server.capacity_pct", "server.imp_ratio",
     };
     return keys;
 }

@@ -1,0 +1,57 @@
+#include "sim/net_frontend.hpp"
+
+namespace spider::sim {
+
+NetworkFrontend::NetworkFrontend(const std::string& host, std::uint16_t port,
+                                 std::uint8_t tenant)
+    : tenant_{tenant} {
+    client_.connect(host, port);
+}
+
+Access NetworkFrontend::access(std::uint32_t id) {
+    const std::lock_guard lock{mu_};
+    const double score = (freq_[id] += 1.0);
+    const server::GetReply reply = client_.get(tenant_, id, score);
+    Access access;
+    access.served_id = reply.served_id;
+    switch (reply.kind) {
+        case server::ServeKind::kImportanceHit:
+            access.hit = true;
+            access.importance_hit = true;
+            break;
+        case server::ServeKind::kHomophilyHit:
+            access.hit = true;
+            access.homophily_hit = true;
+            break;
+        case server::ServeKind::kMissAdmitted:
+        case server::ServeKind::kMissRejected:
+        case server::ServeKind::kMissSsd:
+        case server::ServeKind::kFetchFailed:
+            access.hit = false;
+            access.served_id = id;
+            break;
+    }
+    return access;
+}
+
+bool NetworkFrontend::probe(std::uint32_t id) const {
+    const std::lock_guard lock{mu_};
+    return client_.probe(tenant_, id);
+}
+
+void NetworkFrontend::post_batch(std::span<const std::uint32_t> ids) {
+    const std::lock_guard lock{mu_};
+    if (ids.empty()) return;
+    for (const std::uint32_t id : ids) {
+        client_.queue_put_score(tenant_, id, freq_[id]);
+    }
+    (void)client_.flush();
+}
+
+std::size_t NetworkFrontend::resident_items() const {
+    const std::lock_guard lock{mu_};
+    const server::TenantStatReply stat = client_.tenant_stat(tenant_);
+    return static_cast<std::size_t>(stat.imp_size + stat.hom_size);
+}
+
+}  // namespace spider::sim

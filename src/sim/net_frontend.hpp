@@ -1,0 +1,56 @@
+#pragma once
+
+// NetworkFrontend: a CacheFrontend whose cache lives on the other side of
+// the wire (DESIGN.md §10.4). Every access/probe becomes a protocol frame
+// to a SpiderServer tenant, so the existing TrainingSimulator — which only
+// ever talks to the CacheFrontend interface — runs unchanged against the
+// served cache: set SimConfig::served_port and the strategy's local
+// front-end is swapped for this one.
+//
+// Scores: the server applies the Case 2/4 admission rule with the score
+// the client sends. This frontend maintains a frequency score per id
+// (bumped on every access, refreshed via PUT_SCORE at batch ends), which
+// makes the served Importance section behave like a semantic-LFU from the
+// simulator's point of view — the residency decisions themselves stay
+// server-side.
+//
+// The simulator still charges its own virtual remote-fetch cost for
+// misses; the server is deployed cache-only in this mode (no backing
+// MissFetchFn), so nothing is double-charged.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "server/client.hpp"
+#include "sim/frontend.hpp"
+
+namespace spider::sim {
+
+class NetworkFrontend final : public CacheFrontend {
+public:
+    /// Connects immediately; throws std::runtime_error when the server is
+    /// unreachable.
+    NetworkFrontend(const std::string& host, std::uint16_t port,
+                    std::uint8_t tenant);
+
+    [[nodiscard]] std::string name() const override { return "SpiderServed"; }
+
+    /// GET over the wire. Thread-safe: loader workers share the single
+    /// connection behind a mutex (requests serialize; the server batches
+    /// across *connections*, i.e. across simulated jobs).
+    Access access(std::uint32_t id) override;
+    [[nodiscard]] bool probe(std::uint32_t id) const override;
+    /// One pipelined PUT_SCORE flush for the whole batch.
+    void post_batch(std::span<const std::uint32_t> ids) override;
+    [[nodiscard]] std::size_t resident_items() const override;
+
+private:
+    mutable std::mutex mu_;
+    mutable server::Client client_;
+    std::uint8_t tenant_;
+    std::unordered_map<std::uint32_t, double> freq_;
+};
+
+}  // namespace spider::sim

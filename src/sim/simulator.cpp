@@ -12,6 +12,7 @@
 #include "core/pipeline.hpp"
 #include "core/prefetch.hpp"
 #include "nn/optimizer.hpp"
+#include "sim/net_frontend.hpp"
 #include "util/thread_pool.hpp"
 
 namespace spider::sim {
@@ -145,6 +146,13 @@ TrainingSimulator::StrategyParts TrainingSimulator::build_strategy(
             break;
         }
     }
+    if (config_.served_port != 0) {
+        // Served-cache mode: residency decisions move behind the wire.
+        // The strategy's sampler (and, for kSpider*, its scoring/elastic
+        // machinery) keeps running locally; only the front-end is swapped.
+        parts.frontend = std::make_unique<NetworkFrontend>(
+            config_.served_host, config_.served_port, config_.served_tenant);
+    }
     return parts;
 }
 
@@ -179,8 +187,9 @@ metrics::RunResult TrainingSimulator::run() {
     result.dataset = dataset_.spec().name;
 
     storage::VirtualClock clock;
+    // SsdTier serializes internally, so threaded loader workers share it
+    // directly (the cache server's miss path relies on the same contract).
     storage::SsdTier ssd{config_.ssd};
-    std::mutex ssd_mu;
     util::Rng aug_rng{config_.seed ^ 0xA067ULL};
 
     // Fault-injected runs route every remote fetch through the resilient
@@ -328,14 +337,7 @@ metrics::RunResult TrainingSimulator::run() {
                         if (access.substitution) ++out.substitutions;
                         continue;
                     }
-                    bool from_ssd;
-                    if (threaded) {
-                        const std::lock_guard lock{ssd_mu};
-                        from_ssd = ssd.fetch(requested[i]);
-                    } else {
-                        from_ssd = ssd.fetch(requested[i]);
-                    }
-                    if (from_ssd) {
+                    if (ssd.fetch(requested[i])) {
                         // Miss in memory, absorbed by the local SSD tier.
                         ++out.ssd_hits;
                         continue;
@@ -397,12 +399,7 @@ metrics::RunResult TrainingSimulator::run() {
                         continue;
                     }
                     ++out.remote_misses;
-                    if (threaded) {
-                        const std::lock_guard lock{ssd_mu};
-                        ssd.insert(requested[i]);
-                    } else {
-                        ssd.insert(requested[i]);
-                    }
+                    ssd.insert(requested[i]);
                 }
             };
 

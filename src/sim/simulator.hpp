@@ -131,6 +131,19 @@ struct SimConfig {
     /// of the resilient client. Consulted only when faults.enabled.
     storage::ResiliencePolicy resilience{};
 
+    /// Served-cache mode (DESIGN.md §10.4): when nonzero, the strategy's
+    /// local cache front-end is replaced by a NetworkFrontend speaking
+    /// the spider::server wire protocol to served_host:served_port,
+    /// tenant served_tenant — the whole simulator then trains against a
+    /// (typically in-process) SpiderServer, and several simulators can
+    /// share one server as separate tenants. Residency/admission move
+    /// server-side; sampling and the virtual cost model stay local. Run
+    /// the server cache-only (no MissFetchFn) so miss costs are charged
+    /// exactly once, by the simulator.
+    std::uint16_t served_port = 0;
+    std::string served_host = "127.0.0.1";
+    std::uint8_t served_tenant = 0;
+
     /// Record the full access trace into RunResult (offline analysis via
     /// spider::trace).
     bool record_trace = false;

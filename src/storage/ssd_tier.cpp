@@ -20,6 +20,7 @@ SsdTier::SsdTier(SsdTierConfig config)
 
 bool SsdTier::fetch(std::uint32_t id) {
     if (!config_.enabled) return false;
+    const std::lock_guard lock{mu_};
     const bool hit = lru_.touch(id);
     (hit ? hits_ : misses_) += 1;
     return hit;
@@ -27,6 +28,7 @@ bool SsdTier::fetch(std::uint32_t id) {
 
 void SsdTier::insert(std::uint32_t id) {
     if (!config_.enabled) return;
+    const std::lock_guard lock{mu_};
     lru_.admit(id);
 }
 

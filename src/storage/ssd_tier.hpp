@@ -6,8 +6,15 @@
 // tier). A miss in the in-memory cache checks the SSD before paying the
 // remote fetch; remote fetches are written back to the SSD (LRU within the
 // byte budget). Costs live on the virtual clock like everything else.
+//
+// Thread safety: the tier sits on the cache server's miss path, where the
+// event loop and any direct library users may touch it from different
+// threads, so fetch/insert/counters are internally serialized by one
+// mutex (the LRU list is all pointer chasing — a sharded scheme would buy
+// nothing at SSD latencies). batch_read_cost is pure configuration.
 
 #include <cstdint>
+#include <mutex>
 
 #include "cache/basic_policies.hpp"
 #include "storage/clock.hpp"
@@ -28,17 +35,26 @@ public:
 
     [[nodiscard]] bool enabled() const { return config_.enabled; }
     [[nodiscard]] const SsdTierConfig& config() const { return config_; }
-    [[nodiscard]] std::size_t resident_items() const { return lru_.size(); }
+    [[nodiscard]] std::size_t resident_items() const {
+        const std::lock_guard lock{mu_};
+        return lru_.size();
+    }
 
     /// Read path: returns true when `id` was served from the SSD (and
-    /// bumps its recency). Disabled tiers always miss.
+    /// bumps its recency). Disabled tiers always miss. Thread-safe.
     bool fetch(std::uint32_t id);
 
-    /// Write-back after a remote fetch.
+    /// Write-back after a remote fetch. Thread-safe.
     void insert(std::uint32_t id);
 
-    [[nodiscard]] std::uint64_t hits() const { return hits_; }
-    [[nodiscard]] std::uint64_t misses() const { return misses_; }
+    [[nodiscard]] std::uint64_t hits() const {
+        const std::lock_guard lock{mu_};
+        return hits_;
+    }
+    [[nodiscard]] std::uint64_t misses() const {
+        const std::lock_guard lock{mu_};
+        return misses_;
+    }
 
     /// Virtual time for a batch of `count` SSD reads (reads are parallel
     /// across `parallelism` queue depths like remote fetches).
@@ -47,6 +63,7 @@ public:
 
 private:
     SsdTierConfig config_;
+    mutable std::mutex mu_;
     cache::LruCache lru_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

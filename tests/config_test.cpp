@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/config_io.hpp"
+#include "server/config_io.hpp"
 #include "util/config.hpp"
 
 namespace spider::util {
@@ -165,3 +166,97 @@ TEST(ConfigIo, ShippedExampleConfigParses) {
 
 }  // namespace
 }  // namespace spider::sim
+
+// ---------------------------------------------------------------- [server]
+
+namespace spider::server {
+namespace {
+
+TEST(ServerConfigIo, DefaultsWhenEmpty) {
+    const ServerConfig config = server_config_from(util::Config{});
+    EXPECT_EQ(config.port, 0);
+    EXPECT_EQ(config.max_pipeline, 64U);
+    EXPECT_EQ(config.cache_items, 4096U);
+    EXPECT_EQ(config.cache_shards, 0U);
+    EXPECT_TRUE(config.lockfree_reads);
+    ASSERT_EQ(config.tenants.size(), 1U);
+    EXPECT_DOUBLE_EQ(config.tenants[0].capacity_pct, 100.0);
+    EXPECT_DOUBLE_EQ(config.tenants[0].imp_ratio, 0.9);
+}
+
+TEST(ServerConfigIo, SerializeParseRoundTripsExactly) {
+    ServerConfig config;
+    config.port = 7071;
+    config.max_pipeline = 32;
+    config.cache_items = 10000;
+    config.cache_shards = 4;
+    config.lockfree_reads = false;
+    config.tenants = {TenantSpec{.capacity_pct = 50.0, .imp_ratio = 0.9},
+                      TenantSpec{.capacity_pct = 30.0, .imp_ratio = 0.8},
+                      TenantSpec{.capacity_pct = 20.0, .imp_ratio = 0.5}};
+
+    const std::string ini = serialize_server_config(config);
+    const ServerConfig parsed =
+        server_config_from(util::Config::parse_string(ini));
+    EXPECT_EQ(parsed.port, config.port);
+    EXPECT_EQ(parsed.max_pipeline, config.max_pipeline);
+    EXPECT_EQ(parsed.cache_items, config.cache_items);
+    EXPECT_EQ(parsed.cache_shards, config.cache_shards);
+    EXPECT_EQ(parsed.lockfree_reads, config.lockfree_reads);
+    ASSERT_EQ(parsed.tenants.size(), config.tenants.size());
+    for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+        EXPECT_DOUBLE_EQ(parsed.tenants[t].capacity_pct,
+                         config.tenants[t].capacity_pct);
+        EXPECT_DOUBLE_EQ(parsed.tenants[t].imp_ratio,
+                         config.tenants[t].imp_ratio);
+    }
+    // Serializing the parse reproduces the exact same text.
+    EXPECT_EQ(serialize_server_config(parsed), ini);
+}
+
+TEST(ServerConfigIo, DefaultTenantSplitIsEven) {
+    const ServerConfig config = server_config_from(
+        util::Config::parse_string("[server]\ntenants = 4\n"));
+    ASSERT_EQ(config.tenants.size(), 4U);
+    for (const TenantSpec& t : config.tenants) {
+        EXPECT_DOUBLE_EQ(t.capacity_pct, 25.0);
+        EXPECT_DOUBLE_EQ(t.imp_ratio, 0.9);
+    }
+}
+
+TEST(ServerConfigIo, InvalidSectionsRejected) {
+    const auto parse = [](const char* text) {
+        return server_config_from(util::Config::parse_string(text));
+    };
+    // List length must equal the tenant count.
+    EXPECT_THROW(parse("[server]\ntenants = 2\ncapacity_pct = 100\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse("[server]\ntenants = 2\nimp_ratio = 0.9,0.8,0.7\n"),
+                 std::invalid_argument);
+    // Percentages must sum within the budget.
+    EXPECT_THROW(parse("[server]\ntenants = 2\ncapacity_pct = 60,50\n"),
+                 std::invalid_argument);
+    // Garbled list entries.
+    EXPECT_THROW(parse("[server]\ntenants = 2\ncapacity_pct = 50,abc\n"),
+                 std::invalid_argument);
+    // Structural bounds.
+    EXPECT_THROW(parse("[server]\ntenants = 0\n"), std::invalid_argument);
+    EXPECT_THROW(parse("[server]\ntenants = 257\n"), std::invalid_argument);
+    EXPECT_THROW(parse("[server]\nmax_pipeline = 0\n"),
+                 std::invalid_argument);
+}
+
+TEST(ServerConfigIo, ShippedExampleServerSectionParses) {
+    // The [server] keys ride in the same INI as the sim schema; both
+    // consumers must accept the shipped example.
+    const util::Config ini = util::Config::load_file(SPIDER_SOURCE_DIR
+                                                     "/configs/example.ini");
+    const ServerConfig config = server_config_from(ini);
+    EXPECT_EQ(config.port, 7071);
+    ASSERT_EQ(config.tenants.size(), 2U);
+    EXPECT_DOUBLE_EQ(config.tenants[0].capacity_pct, 60.0);
+    EXPECT_DOUBLE_EQ(config.tenants[1].capacity_pct, 40.0);
+}
+
+}  // namespace
+}  // namespace spider::server

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <thread>
+#include <vector>
+
 #include "data/presets.hpp"
 #include "sim/simulator.hpp"
 #include "storage/ssd_tier.hpp"
@@ -94,6 +98,44 @@ TEST(SsdTier, SimulatorAbsorbsRemoteFetches) {
     for (const auto& epoch : cold.epochs) {
         EXPECT_EQ(epoch.ssd_hits, 0U);
     }
+}
+
+TEST(SsdTierConcurrent, ParallelFetchInsertStaysConsistent) {
+    // The tier sits on the cache server's miss path, where the event loop
+    // and library users hit it from different threads. Run under TSan by
+    // tools/run_tier1.sh --server to prove the internal locking. The
+    // functional invariants checked here: capacity is never exceeded,
+    // and hits + misses equals the number of fetch calls.
+    SsdTierConfig config;
+    config.enabled = true;
+    config.capacity_items = 64;
+    SsdTier tier{config};
+
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&tier, t] {
+            std::mt19937 rng{static_cast<std::uint32_t>(t)};
+            std::uniform_int_distribution<std::uint32_t> pick{0, 255};
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                const std::uint32_t id = pick(rng);
+                if (!tier.fetch(id)) {
+                    tier.insert(id);  // write-back, as the miss path does
+                }
+                if (i % 1024 == 0) {
+                    (void)tier.resident_items();
+                }
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+
+    EXPECT_LE(tier.resident_items(), config.capacity_items);
+    EXPECT_EQ(tier.hits() + tier.misses(),
+              static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+    EXPECT_GT(tier.hits(), 0U);
 }
 
 TEST(SsdTier, SpiderStillBenefitsOnTopOfSsd) {

@@ -27,6 +27,13 @@
 #                                 # both on and off, plus the single-
 #                                 # threaded seqlock parity traces, in
 #                                 # build-tsan/
+#   tools/run_tier1.sh --server   # additionally: ThreadSanitizer pass over
+#                                 # the cache service (DESIGN.md §10):
+#                                 # event loop + concurrent wire clients,
+#                                 # multi-tenant isolation stress, the
+#                                 # served-simulator front-end, and the
+#                                 # SsdTier miss-path locking, in
+#                                 # build-tsan/
 #
 # Build directories: build-tier1/, build-tsan/, build-asan/ (gitignored).
 
@@ -38,6 +45,7 @@ run_asan=0
 run_faults=0
 run_prefetch=0
 run_lockfree=0
+run_server=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
@@ -45,7 +53,8 @@ for arg in "$@"; do
     --faults) run_faults=1 ;;
     --prefetch) run_prefetch=1 ;;
     --lockfree) run_lockfree=1 ;;
-    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch] [--lockfree]" >&2; exit 2 ;;
+    --server) run_server=1 ;;
+    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch] [--lockfree] [--server]" >&2; exit 2 ;;
   esac
 done
 
@@ -114,6 +123,22 @@ if [[ "$run_lockfree" == 1 ]]; then
     --target cache_concurrency_test shard_parity_test cache_test
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     -R 'Concurrent|SeqlockParity|ShardParity|ShardedInvariants|SemanticCache'
+fi
+
+if [[ "$run_server" == 1 ]]; then
+  echo "== opt-in: ThreadSanitizer pass over the cache service =="
+  # Event-loop thread vs. concurrent blocking clients, the multi-tenant
+  # isolation stress, the served-simulator round trip, and the SsdTier
+  # internal locking the server miss path relies on.
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPIDER_TSAN=ON \
+    -DSPIDER_BUILD_BENCH=OFF \
+    -DSPIDER_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$jobs" \
+    --target server_test tenant_isolation_test ssd_tier_test
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'ServerWire|ServedSimulator|TenantManager|TenantIsolation|SsdTierConcurrent|Protocol|FrameDecoder'
 fi
 
 if [[ "$run_asan" == 1 ]]; then

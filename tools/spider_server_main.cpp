@@ -1,0 +1,117 @@
+// spider_server: the standalone cache service. Wires a TenantCacheManager
+// behind the wire protocol, with the production miss path — shared SSD
+// write-back tier in front of a fault-injectable remote store reached
+// through the retry/hedge/breaker resilient client (all virtual-cost; the
+// server itself never sleeps on the miss path).
+//
+//   ./spider_server                        # defaults: port 7071, 1 tenant
+//   ./spider_server configs/example.ini    # [server] section + [storage]/
+//                                          # [faults]/[resilience] reuse
+//   ./spider_server --port 0               # ephemeral port (printed)
+//
+// Stops cleanly on SIGINT/SIGTERM.
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "data/dataset.hpp"
+#include "data/presets.hpp"
+#include "server/config_io.hpp"
+#include "server/server.hpp"
+#include "sim/config_io.hpp"
+#include "storage/resilient_store.hpp"
+#include "storage/ssd_tier.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace spider;
+
+    util::Config ini;
+    std::optional<std::uint16_t> port_override;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--port" && i + 1 < argc) {
+            port_override =
+                static_cast<std::uint16_t>(std::stoi(argv[++i]));
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: spider_server [config.ini] [--port P]\n";
+            return 0;
+        } else {
+            ini = util::Config::load_file(arg);
+        }
+    }
+
+    server::ServerConfig config = server::server_config_from(ini);
+    if (config.port == 0 && !port_override) config.port = 7071;
+    if (port_override) config.port = *port_override;
+
+    // Backing store for the miss path: a synthetic dataset stands in for
+    // the remote sample files (the virtual cost model is what matters),
+    // sized generously so any id the loaders ask for exists.
+    sim::SimConfig sim_config = sim::sim_config_from(ini);
+    data::DatasetSpec spec = sim_config.dataset;
+    spec.num_samples =
+        std::max<std::size_t>(spec.num_samples, config.cache_items * 8);
+    data::SyntheticDataset dataset{spec};
+    storage::RemoteStore remote{dataset, sim_config.remote};
+    storage::SsdTierConfig ssd_config = sim_config.ssd;
+    storage::SsdTier ssd{ssd_config};
+    storage::ResilientStore resilient{remote, sim_config.faults,
+                                      sim_config.resilience};
+
+    const auto miss_fetch = [&](std::uint8_t, std::uint32_t id,
+                                storage::SimDuration now)
+        -> server::MissOutcome {
+        if (ssd.fetch(id)) return {.ok = true, .from_ssd = true};
+        const std::uint32_t sample =
+            id % static_cast<std::uint32_t>(dataset.size());
+        if (sim_config.faults.enabled) {
+            const storage::FetchResult r = resilient.fetch(sample, now);
+            if (!r.ok) return {.ok = false, .from_ssd = false};
+        } else {
+            (void)remote.fetch(sample);
+        }
+        ssd.insert(id);
+        return {.ok = true, .from_ssd = false};
+    };
+
+    server::SpiderServer server{config, miss_fetch};
+    try {
+        server.start();
+    } catch (const std::exception& e) {
+        std::cerr << "spider_server: " << e.what() << "\n";
+        return 1;
+    }
+    std::cout << "spider_server listening on " << config.host << ":"
+              << server.port() << " (" << server.tenants().num_tenants()
+              << " tenant(s), " << config.cache_items << " items, pipeline "
+              << config.max_pipeline << ")\n";
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    while (!g_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    const server::StatsReply stats = server.stats();
+    server.stop();
+    std::cout << "spider_server: served " << stats.frames << " frames in "
+              << stats.batches << " batches ("
+              << (stats.batches > 0
+                      ? static_cast<double>(stats.frames) /
+                            static_cast<double>(stats.batches)
+                      : 0.0)
+              << "x amplification), " << stats.errors << " errors\n";
+    return 0;
+}
