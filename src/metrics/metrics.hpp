@@ -48,6 +48,24 @@ struct EpochMetrics {
     std::uint64_t fault_skips = 0;      // dropped from the batch (refilled
                                         // once, then skipped for the epoch)
 
+    // Multi-node cooperative cache (DESIGN.md §11; all zero when
+    // cluster.nodes <= 1). Sources of the epoch's cluster-serviced
+    // misses plus the peer-path resilience events.
+    std::uint64_t cluster_local_hits = 0;  ///< owner-resident on requester
+    std::uint64_t peer_hits = 0;           ///< served from a peer's shard
+    std::uint64_t peer_misses = 0;         ///< owner fetched remote + forwarded
+    std::uint64_t cluster_remote = 0;      ///< own-shard miss / throttle / failover
+    std::uint64_t peer_hedges = 0;         ///< duplicate peer exchanges issued
+    std::uint64_t peer_hedge_wins = 0;
+    std::uint64_t peer_throttled = 0;      ///< comm budget exhausted
+    std::uint64_t peer_failovers = 0;      ///< peer envelope failed -> remote
+
+    // Remote-storage fetch-slot contention, reset each epoch
+    // (RemoteStore::reset_contention_counters; zero in serial runs
+    // where the slot cap is inactive).
+    std::uint64_t slot_waits = 0;
+    std::uint64_t peak_in_flight = 0;
+
     // Learning signal.
     double train_loss = 0.0;
     double test_accuracy = 0.0;

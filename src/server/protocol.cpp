@@ -280,4 +280,22 @@ const char* to_string(Op op) {
     return "unknown";
 }
 
+std::size_t get_request_wire_len() {
+    std::vector<std::uint8_t> buf;
+    WireWriter w{buf};
+    encode_get(w, 0, 0, 0.0);
+    return buf.size();
+}
+
+std::size_t get_reply_wire_len() {
+    std::vector<std::uint8_t> buf;
+    WireWriter w{buf};
+    const auto off =
+        w.begin_frame(static_cast<std::uint8_t>(Op::kGet),
+                      static_cast<std::uint8_t>(Status::kOk));
+    encode_get_reply(w, GetReply{});
+    w.end_frame(off);
+    return buf.size();
+}
+
 }  // namespace spider::server

@@ -241,6 +241,13 @@ void encode_tenant_stat_reply(WireWriter& w, const TenantStatReply& r);
 [[nodiscard]] std::optional<TenantStatReply> decode_tenant_stat_reply(
     std::span<const std::uint8_t> payload);
 
+/// On-the-wire byte counts (length prefix included) of one GET request
+/// frame and its reply frame. The cooperative cache prices its peer-fetch
+/// envelope with these, so the virtual wire cost tracks the real protocol
+/// encoding instead of a hand-kept constant.
+[[nodiscard]] std::size_t get_request_wire_len();
+[[nodiscard]] std::size_t get_reply_wire_len();
+
 [[nodiscard]] const char* to_string(Status status);
 [[nodiscard]] const char* to_string(Op op);
 

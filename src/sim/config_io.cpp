@@ -43,6 +43,14 @@ const std::set<std::string>& known_keys() {
         "resilience.max_substitute_fraction",
         "prefetch.enabled",    "prefetch.window",      "prefetch.adaptive",
         "prefetch.window_max", "cache.lockfree_reads",
+        "cluster.nodes",       "cluster.vnodes",
+        "cluster.node_cache_fraction",  "cluster.peer_fetch_enabled",
+        "cluster.peer_cost_ms",         "cluster.peer_bytes_per_ms",
+        "cluster.hedge_enabled",        "cluster.hedge_delay_ms",
+        "cluster.max_attempts",         "cluster.comm_budget_mb",
+        "cluster.peer_transient_prob",  "cluster.straggler_node",
+        "cluster.straggler_spike_prob", "cluster.straggler_spike_mult",
+        "cluster.join_epoch",           "cluster.leave_epoch",
         // [server] keys (consumed by server::server_config_from; accepted
         // here so one INI can configure a sim and the cache service).
         "server.port",         "server.max_pipeline",  "server.cache_items",
@@ -209,6 +217,49 @@ SimConfig sim_config_from(const util::Config& config) {
         config.get_int("prefetch.window_max",
                        static_cast<std::int64_t>(sim.prefetch_window_max)));
     sim.cache_lockfree_reads = config.get_bool("cache.lockfree_reads", true);
+
+    sim.cluster.nodes = static_cast<std::size_t>(
+        config.get_int("cluster.nodes",
+                       1));  // 1 = single-node path (cluster tier off)
+    if (sim.cluster.nodes > 64) {
+        throw std::invalid_argument{"cluster.nodes: at most 64"};
+    }
+    sim.cluster.vnodes_per_node = static_cast<std::size_t>(config.get_int(
+        "cluster.vnodes",
+        static_cast<std::int64_t>(sim.cluster.vnodes_per_node)));
+    sim.cluster_node_cache_fraction = config.get_double(
+        "cluster.node_cache_fraction", sim.cluster_node_cache_fraction);
+    sim.cluster.peer_fetch_enabled =
+        config.get_bool("cluster.peer_fetch_enabled", true);
+    sim.cluster.peer_latency_ms =
+        config.get_double("cluster.peer_cost_ms", sim.cluster.peer_latency_ms);
+    sim.cluster.peer_bytes_per_ms = config.get_double(
+        "cluster.peer_bytes_per_ms", sim.cluster.peer_bytes_per_ms);
+    sim.cluster.hedge_enabled = config.get_bool("cluster.hedge_enabled", true);
+    sim.cluster.hedge_delay_ms =
+        config.get_double("cluster.hedge_delay_ms", 0.0);
+    sim.cluster.max_attempts = static_cast<std::size_t>(config.get_int(
+        "cluster.max_attempts",
+        static_cast<std::int64_t>(sim.cluster.max_attempts)));
+    sim.cluster.comm_budget_mb =
+        config.get_double("cluster.comm_budget_mb", 0.0);
+    sim.cluster.peer_transient_prob =
+        config.get_double("cluster.peer_transient_prob", 0.0);
+    sim.cluster.straggler_node = config.get_int("cluster.straggler_node", -1);
+    sim.cluster.straggler_spike_prob = config.get_double(
+        "cluster.straggler_spike_prob", sim.cluster.straggler_spike_prob);
+    sim.cluster.straggler_spike_mult = config.get_double(
+        "cluster.straggler_spike_mult", sim.cluster.straggler_spike_mult);
+    sim.cluster_join_epoch = static_cast<std::size_t>(
+        config.get_int("cluster.join_epoch", 0));
+    sim.cluster_leave_epoch = static_cast<std::size_t>(
+        config.get_int("cluster.leave_epoch", 0));
+    if (sim.cluster.straggler_node >= 0 &&
+        static_cast<std::size_t>(sim.cluster.straggler_node) >=
+            sim.cluster.nodes) {
+        throw std::invalid_argument{
+            "cluster.straggler_node: outside the initial node set"};
+    }
 
     sim.sgd.learning_rate =
         static_cast<float>(config.get_double("optimizer.lr", 0.05));

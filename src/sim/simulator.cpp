@@ -52,6 +52,18 @@ struct SliceCounts {
     double fault_extra_ms = 0.0;     // envelope cost beyond nominal fetches
     std::vector<std::uint32_t> skipped;  // ids to offer the refill queue
 
+    // Cluster mode only (all zero otherwise): virtual time and sources
+    // of the slice's cooperative-cache miss service.
+    double cluster_ms = 0.0;
+    std::uint64_t cluster_local = 0;
+    std::uint64_t peer_hits = 0;
+    std::uint64_t peer_misses = 0;
+    std::uint64_t cluster_remote = 0;
+    std::uint64_t peer_hedges = 0;
+    std::uint64_t peer_hedge_wins = 0;
+    std::uint64_t peer_throttled = 0;
+    std::uint64_t peer_failovers = 0;
+
     struct TraceEvent {
         std::uint32_t requested;
         std::uint32_t served;
@@ -158,6 +170,15 @@ TrainingSimulator::StrategyParts TrainingSimulator::build_strategy(
 
 metrics::RunResult TrainingSimulator::run() {
     const std::size_t n = dataset_.size();
+    // Validate before build_strategy so the cluster/served conflict is
+    // reported as such, not as a failed connect to an absent server.
+    if (config_.cluster.nodes > 1 &&
+        (config_.faults.enabled || config_.served_port != 0 ||
+         config_.prefetch_enabled)) {
+        throw std::invalid_argument{
+            "SimConfig: cluster.nodes > 1 is mutually exclusive with "
+            "faults.enabled, served_port, and prefetch.enabled"};
+    }
     const auto cache_items = static_cast<std::size_t>(
         std::llround(config_.cache_fraction * static_cast<double>(n)));
     StrategyParts parts = build_strategy(cache_items);
@@ -200,6 +221,29 @@ metrics::RunResult TrainingSimulator::run() {
     if (faulty) {
         resilient = std::make_unique<storage::ResilientStore>(
             remote_, config_.faults, config_.resilience);
+    }
+
+    // Multi-node cooperative cache (DESIGN.md §11). Engaged only when
+    // nodes > 1, so single-node runs keep the legacy path bit for bit.
+    const bool clustered = config_.cluster.nodes > 1;
+    std::unique_ptr<cluster::CooperativeCache> coop;
+    std::vector<std::uint32_t> cluster_nodes;
+    if (clustered) {
+        cluster::ClusterConfig cc = config_.cluster;
+        cc.node_cache_items = std::max<std::size_t>(
+            static_cast<std::size_t>(std::llround(
+                config_.cluster_node_cache_fraction * static_cast<double>(n))),
+            1);
+        cc.local_hit_ms = config_.hit_cost_ms;
+        cc.cache_shards = config_.cache_shards;
+        if (cc.cache_shards == 0 && resolved_workers() <= 1) {
+            cc.cache_shards = 1;  // auto resolves like build_strategy
+        }
+        cc.cache_lockfree_reads = config_.cache_lockfree_reads;
+        cc.seed = config_.seed ^ 0xC10C5EEDULL;
+        coop = std::make_unique<cluster::CooperativeCache>(dataset_, remote_,
+                                                           cc);
+        cluster_nodes = coop->active_nodes();
     }
     storage::ResilientStore::Counters fault_prev{};
     std::uint64_t timeouts_prev = 0;
@@ -271,6 +315,23 @@ metrics::RunResult TrainingSimulator::run() {
         model.set_learning_rate(nn::cosine_lr(config_.sgd.learning_rate,
                                               config_.lr_min, epoch,
                                               config_.epochs));
+        // Per-epoch contention counters (slot_waits / peak_in_flight)
+        // start fresh so CSV rows don't accumulate across epochs.
+        remote_.reset_contention_counters();
+        if (coop) {
+            // Membership events land at epoch boundaries, workers
+            // quiesced; the ring moves only the affected keys and
+            // stranded entries age out of their old shard.
+            if (epoch != 0 && epoch == config_.cluster_join_epoch) {
+                (void)coop->add_node();
+            }
+            if (epoch != 0 && epoch == config_.cluster_leave_epoch &&
+                coop->num_nodes() > 1) {
+                coop->remove_node(coop->active_nodes().back());
+            }
+            cluster_nodes = coop->active_nodes();
+            coop->begin_epoch();  // fresh communication budget
+        }
         std::vector<std::uint32_t> order =
             parts.spider ? parts.spider->epoch_order()
                          : parts.sampler->epoch_order(epoch);
@@ -355,6 +416,44 @@ metrics::RunResult TrainingSimulator::run() {
                             hidden = false;
                         }
                     }
+                    if (coop) {
+                        // Cooperative-cache miss service: the requester
+                        // node is the batch-slice position mapped onto
+                        // the active node list (contiguous per-node
+                        // micro-slices, like the per-GPU split).
+                        const std::uint32_t node = cluster_nodes
+                            [i * cluster_nodes.size() / std::max<std::size_t>(
+                                                            count, 1)];
+                        const cluster::ServiceResult sr =
+                            coop->service(node, requested[i], batch_now);
+                        out.cluster_ms += storage::to_ms(sr.cost);
+                        switch (sr.source) {
+                            case cluster::ServeSource::kLocalHit:
+                                ++out.cluster_local;
+                                break;
+                            case cluster::ServeSource::kPeerHit:
+                                ++out.peer_hits;
+                                break;
+                            case cluster::ServeSource::kPeerMiss:
+                                ++out.peer_misses;
+                                break;
+                            case cluster::ServeSource::kRemote:
+                                ++out.cluster_remote;
+                                break;
+                        }
+                        if (sr.hedged) ++out.peer_hedges;
+                        if (sr.hedge_won) ++out.peer_hedge_wins;
+                        if (sr.throttled) ++out.peer_throttled;
+                        if (sr.failover) ++out.peer_failovers;
+                        ++out.remote_misses;
+                        if (sr.source != cluster::ServeSource::kLocalHit) {
+                            // The sample's bytes reached this node, so
+                            // the write-back SSD tier may absorb a
+                            // future re-miss.
+                            ssd.insert(requested[i]);
+                        }
+                        continue;
+                    }
                     bool fetched = true;
                     if (hidden) {
                         ++out.prefetch_hidden;
@@ -429,6 +528,7 @@ metrics::RunResult TrainingSimulator::run() {
             std::uint64_t batch_ok = 0;
             std::uint64_t batch_failed = 0;
             double fault_extra_ms = 0.0;
+            double cluster_ms = 0.0;
             for (const SliceCounts& s : slices) {
                 hits += s.hits;
                 ssd_hits += s.ssd_hits;
@@ -437,6 +537,15 @@ metrics::RunResult TrainingSimulator::run() {
                 batch_ok += s.fetch_ok;
                 batch_failed += s.fetch_failed;
                 fault_extra_ms += s.fault_extra_ms;
+                cluster_ms += s.cluster_ms;
+                em.cluster_local_hits += s.cluster_local;
+                em.peer_hits += s.peer_hits;
+                em.peer_misses += s.peer_misses;
+                em.cluster_remote += s.cluster_remote;
+                em.peer_hedges += s.peer_hedges;
+                em.peer_hedge_wins += s.peer_hedge_wins;
+                em.peer_throttled += s.peer_throttled;
+                em.peer_failovers += s.peer_failovers;
                 em.hits += s.hits;
                 em.importance_hits += s.importance_hits;
                 em.homophily_hits += s.homophily_hits;
@@ -476,9 +585,14 @@ metrics::RunResult TrainingSimulator::run() {
                 std::erase(served, kSkippedSentinel);
             }
 
+            if (coop) coop->on_batch_end(batch_now);
+
             // Load-stage time: every remote miss pays a fetch round, minus
             // the rounds the prefetcher already absorbed into the previous
-            // batch's compute window.
+            // batch's compute window. In cluster mode the misses carry
+            // heterogeneous per-sample service costs (local hit / peer /
+            // remote), so the rounds model is replaced by the summed
+            // service time spread across the same fetch channels.
             const std::size_t miss_rounds = ceil_div(misses, fetch_slots);
             const std::size_t demand_rounds = ceil_div(misses - hidden,
                                                        fetch_slots);
@@ -493,8 +607,11 @@ metrics::RunResult TrainingSimulator::run() {
                 faulty ? std::max(0.0, fault_extra_ms) /
                              static_cast<double>(fetch_slots)
                        : 0.0;
+            const double miss_service_ms =
+                coop ? cluster_ms / static_cast<double>(fetch_slots)
+                     : per_fetch_ms * static_cast<double>(miss_rounds);
             const double load_ms =
-                per_fetch_ms * static_cast<double>(miss_rounds) +
+                miss_service_ms +
                 storage::to_ms(ssd.batch_read_cost(ssd_hits, fetch_slots)) +
                 config_.hit_cost_ms * static_cast<double>(hits) /
                     static_cast<double>(fetch_slots) +
@@ -720,6 +837,10 @@ metrics::RunResult TrainingSimulator::run() {
             em.fetch_timeouts = timeouts - timeouts_prev;
             timeouts_prev = timeouts;
         }
+
+        // Fetch-slot contention of this epoch alone (reset at its start).
+        em.slot_waits = remote_.slot_waits();
+        em.peak_in_flight = remote_.peak_in_flight();
 
         result.epochs.push_back(em);
         result.best_accuracy = std::max(result.best_accuracy, em.test_accuracy);

@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 
+#include "cluster/cooperative_cache.hpp"
 #include "core/elastic.hpp"
 #include "core/graph_scorer.hpp"
 #include "data/dataset.hpp"
@@ -143,6 +144,26 @@ struct SimConfig {
     std::uint16_t served_port = 0;
     std::string served_host = "127.0.0.1";
     std::uint8_t served_tenant = 0;
+
+    /// Multi-node cooperative cache (DESIGN.md §11): engaged when
+    /// cluster.nodes > 1. Each node owns a consistent-hash slice of the
+    /// id space with its own cache shard; local frontend misses are
+    /// serviced through cluster::CooperativeCache (local hit / peer
+    /// fetch / remote fallback) instead of the direct remote path.
+    /// `nodes <= 1` leaves the single-node path bit-identical (parity
+    /// test). Mutually exclusive with faults.enabled, served_port, and
+    /// prefetch_enabled — those layers price the storage path directly.
+    /// node_cache_items and local_hit_ms are derived at run() time from
+    /// cluster_node_cache_fraction and hit_cost_ms; the seed from
+    /// run.seed.
+    cluster::ClusterConfig cluster{.nodes = 1};
+    /// Per-node cluster-shard capacity as a fraction of the dataset.
+    double cluster_node_cache_fraction = 0.10;
+    /// Simulated membership events, applied at the start of the given
+    /// 0-based epoch (0 = never; epoch 0 is construction): join adds a
+    /// fresh node, leave removes the highest-id active node.
+    std::size_t cluster_join_epoch = 0;
+    std::size_t cluster_leave_epoch = 0;
 
     /// Record the full access trace into RunResult (offline analysis via
     /// spider::trace).

@@ -86,6 +86,10 @@ SimDuration RemoteStore::batch_fetch_cost(std::size_t miss_count) const {
 void RemoteStore::reset_counters() {
     total_fetches_.store(0, std::memory_order_relaxed);
     total_bytes_.store(0, std::memory_order_relaxed);
+    reset_contention_counters();
+}
+
+void RemoteStore::reset_contention_counters() {
     slot_waits_.store(0, std::memory_order_relaxed);
     peak_in_flight_.store(0, std::memory_order_relaxed);
 }

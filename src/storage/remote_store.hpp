@@ -65,6 +65,10 @@ public:
         return peak_in_flight_.load(std::memory_order_relaxed);
     }
     void reset_counters();
+    /// Zeroes only the slot-contention counters (slot_waits /
+    /// peak_in_flight) so per-epoch reporting can snapshot them fresh
+    /// without disturbing the monotone fetch/byte totals.
+    void reset_contention_counters();
 
 private:
     class SlotGuard;

@@ -1,0 +1,100 @@
+#include "util/hash_ring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spider::util {
+
+namespace {
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64->64 bijection. Ring
+/// points and key placement use the same mix with different domains.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+[[nodiscard]] std::uint64_t point_hash(std::uint32_t node,
+                                       std::uint32_t replica) {
+    return mix64((static_cast<std::uint64_t>(node) << 32) | replica);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes_per_node)
+    : vnodes_per_node_{std::max<std::size_t>(vnodes_per_node, 1)} {}
+
+void HashRing::insert_points(std::uint32_t node, std::size_t vnodes) {
+    points_.reserve(points_.size() + vnodes);
+    for (std::size_t r = 0; r < vnodes; ++r) {
+        points_.push_back(
+            Point{point_hash(node, static_cast<std::uint32_t>(r)), node});
+    }
+    // (hash, node) ordering: a 64-bit point collision between two nodes
+    // would otherwise make ownership depend on insertion order.
+    std::sort(points_.begin(), points_.end(),
+              [](const Point& a, const Point& b) {
+                  return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+              });
+}
+
+void HashRing::add_node(std::uint32_t node, double weight) {
+    if (contains(node)) {
+        throw std::invalid_argument{"HashRing: node already present"};
+    }
+    if (!(weight > 0.0) || !std::isfinite(weight)) {
+        throw std::invalid_argument{"HashRing: weight must be positive"};
+    }
+    const auto vnodes = std::max<std::size_t>(
+        static_cast<std::size_t>(
+            std::llround(static_cast<double>(vnodes_per_node_) * weight)),
+        1);
+    insert_points(node, vnodes);
+    const auto it = std::lower_bound(
+        nodes_.begin(), nodes_.end(), node,
+        [](const Member& m, std::uint32_t id) { return m.node < id; });
+    nodes_.insert(it, Member{node, vnodes});
+}
+
+void HashRing::remove_node(std::uint32_t node) {
+    const auto it = std::lower_bound(
+        nodes_.begin(), nodes_.end(), node,
+        [](const Member& m, std::uint32_t id) { return m.node < id; });
+    if (it == nodes_.end() || it->node != node) {
+        throw std::invalid_argument{"HashRing: node not present"};
+    }
+    nodes_.erase(it);
+    std::erase_if(points_, [node](const Point& p) { return p.node == node; });
+}
+
+bool HashRing::contains(std::uint32_t node) const {
+    const auto it = std::lower_bound(
+        nodes_.begin(), nodes_.end(), node,
+        [](const Member& m, std::uint32_t id) { return m.node < id; });
+    return it != nodes_.end() && it->node == node;
+}
+
+std::vector<std::uint32_t> HashRing::nodes() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(nodes_.size());
+    for (const Member& m : nodes_) out.push_back(m.node);
+    return out;
+}
+
+std::uint32_t HashRing::owner_of(std::uint64_t key) const {
+    if (points_.empty()) {
+        throw std::logic_error{"HashRing: owner_of on an empty ring"};
+    }
+    // Keys and points share mix64 but the key domain is offset so a key
+    // never lands exactly on its own id's point by construction.
+    const std::uint64_t h = mix64(key ^ 0xD6E8FEB86659FD93ULL);
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), h,
+        [](std::uint64_t value, const Point& p) { return value < p.hash; });
+    return it == points_.end() ? points_.front().node : it->node;
+}
+
+}  // namespace spider::util

@@ -1,0 +1,69 @@
+#pragma once
+
+// Consistent-hash ring with virtual nodes (the ownership map of the
+// multi-node cooperative cache, DESIGN.md §11). Each node is expanded
+// into `vnodes_per_node * weight` points on a 64-bit ring; a key is
+// owned by the first point clockwise from its hash. Adding or removing
+// one node therefore moves only the keys adjacent to that node's points
+// — about 1/(N+1) of the space on join, exactly the departed node's
+// share on leave — while every other key keeps its owner.
+//
+// All hashing is a pure SplitMix64 finalizer, so ownership is a
+// deterministic function of the membership set: two rings built from
+// the same (node, weight) multiset agree point for point, regardless of
+// insertion order.
+//
+// Not thread-safe: the cooperative cache mutates membership only at
+// epoch boundaries (workers quiesced) and shares the ring read-only in
+// between.
+
+#include <cstdint>
+#include <vector>
+
+namespace spider::util {
+
+class HashRing {
+public:
+    /// @param vnodes_per_node  Ring points per unit of node weight. More
+    ///                         points flatten the ownership spread at the
+    ///                         cost of a larger sorted array.
+    explicit HashRing(std::size_t vnodes_per_node = 64);
+
+    /// Adds `node` with `weight` (vnode count scales linearly; weight is
+    /// clamped so every node gets at least one point). Throws
+    /// std::invalid_argument if the node is already present.
+    void add_node(std::uint32_t node, double weight = 1.0);
+
+    /// Removes `node` and its points. Throws std::invalid_argument if
+    /// the node is not present.
+    void remove_node(std::uint32_t node);
+
+    [[nodiscard]] bool contains(std::uint32_t node) const;
+    [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+    [[nodiscard]] std::size_t num_points() const { return points_.size(); }
+    /// Member nodes in ascending id order.
+    [[nodiscard]] std::vector<std::uint32_t> nodes() const;
+
+    /// The node owning `key`: first ring point clockwise from
+    /// hash(key), wrapping at the top. Throws std::logic_error on an
+    /// empty ring.
+    [[nodiscard]] std::uint32_t owner_of(std::uint64_t key) const;
+
+private:
+    struct Point {
+        std::uint64_t hash;
+        std::uint32_t node;
+    };
+    struct Member {
+        std::uint32_t node;
+        std::size_t vnodes;
+    };
+
+    void insert_points(std::uint32_t node, std::size_t vnodes);
+
+    std::size_t vnodes_per_node_;
+    std::vector<Point> points_;    // sorted by (hash, node)
+    std::vector<Member> nodes_;    // sorted by node id
+};
+
+}  // namespace spider::util

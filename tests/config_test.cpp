@@ -155,6 +155,67 @@ TEST(ConfigIo, BadPresetRejected) {
     EXPECT_THROW(sim_config_from(ini), std::invalid_argument);
 }
 
+TEST(ConfigIo, ClusterSectionRoundTrips) {
+    const util::Config ini = util::Config::parse_string(R"(
+[cluster]
+nodes = 8
+vnodes = 32
+node_cache_fraction = 0.25
+peer_fetch_enabled = false
+peer_cost_ms = 0.8
+peer_bytes_per_ms = 2.5e7
+hedge_enabled = false
+hedge_delay_ms = 1.5
+max_attempts = 3
+comm_budget_mb = 16.0
+peer_transient_prob = 0.05
+straggler_node = 5
+straggler_spike_prob = 0.4
+straggler_spike_mult = 12.0
+join_epoch = 4
+leave_epoch = 9
+)");
+    const SimConfig config = sim_config_from(ini);
+    EXPECT_EQ(config.cluster.nodes, 8U);
+    EXPECT_EQ(config.cluster.vnodes_per_node, 32U);
+    EXPECT_DOUBLE_EQ(config.cluster_node_cache_fraction, 0.25);
+    EXPECT_FALSE(config.cluster.peer_fetch_enabled);
+    EXPECT_DOUBLE_EQ(config.cluster.peer_latency_ms, 0.8);
+    EXPECT_DOUBLE_EQ(config.cluster.peer_bytes_per_ms, 2.5e7);
+    EXPECT_FALSE(config.cluster.hedge_enabled);
+    EXPECT_DOUBLE_EQ(config.cluster.hedge_delay_ms, 1.5);
+    EXPECT_EQ(config.cluster.max_attempts, 3U);
+    EXPECT_DOUBLE_EQ(config.cluster.comm_budget_mb, 16.0);
+    EXPECT_DOUBLE_EQ(config.cluster.peer_transient_prob, 0.05);
+    EXPECT_EQ(config.cluster.straggler_node, 5);
+    EXPECT_DOUBLE_EQ(config.cluster.straggler_spike_prob, 0.4);
+    EXPECT_DOUBLE_EQ(config.cluster.straggler_spike_mult, 12.0);
+    EXPECT_EQ(config.cluster_join_epoch, 4U);
+    EXPECT_EQ(config.cluster_leave_epoch, 9U);
+}
+
+TEST(ConfigIo, ClusterDefaultsKeepSingleNodePath) {
+    const SimConfig config = sim_config_from(util::Config{});
+    EXPECT_EQ(config.cluster.nodes, 1U);
+    EXPECT_TRUE(config.cluster.peer_fetch_enabled);
+    EXPECT_EQ(config.cluster.straggler_node, -1);
+    EXPECT_EQ(config.cluster_join_epoch, 0U);
+}
+
+TEST(ConfigIo, ClusterBoundsRejected) {
+    EXPECT_THROW(
+        sim_config_from(util::Config::parse_string("cluster.nodes = 65\n")),
+        std::invalid_argument);
+    // The straggler must name a node in the initial set.
+    EXPECT_THROW(sim_config_from(util::Config::parse_string(
+                     "[cluster]\nnodes = 4\nstraggler_node = 4\n")),
+                 std::invalid_argument);
+    // And cluster typos are rejected like every other section's.
+    EXPECT_THROW(
+        sim_config_from(util::Config::parse_string("cluster.node = 4\n")),
+        std::invalid_argument);
+}
+
 TEST(ConfigIo, ShippedExampleConfigParses) {
     // The checked-in example must always stay valid.
     const SimConfig config =
@@ -162,6 +223,7 @@ TEST(ConfigIo, ShippedExampleConfigParses) {
                                                 "/configs/example.ini"));
     EXPECT_EQ(config.strategy, StrategyKind::kSpider);
     EXPECT_EQ(config.epochs, 24U);
+    EXPECT_EQ(config.cluster.nodes, 1U);  // example keeps the cluster off
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+// util::HashRing: deterministic ownership, virtual-node balance, and the
+// bounded key movement that makes consistent hashing worth its name —
+// joins pull keys only onto the new node, leaves move only the departed
+// node's keys.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/hash_ring.hpp"
+
+namespace spider::util {
+namespace {
+
+constexpr std::uint64_t kKeys = 40000;
+
+[[nodiscard]] std::vector<std::uint32_t> owners(const HashRing& ring) {
+    std::vector<std::uint32_t> out;
+    out.reserve(kKeys);
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+        out.push_back(ring.owner_of(k));
+    }
+    return out;
+}
+
+TEST(HashRing, DeterministicAndOrderIndependent) {
+    HashRing a{64};
+    for (std::uint32_t n = 0; n < 5; ++n) a.add_node(n);
+
+    HashRing b{64};
+    for (const std::uint32_t n : {3U, 0U, 4U, 2U, 1U}) b.add_node(n);
+
+    EXPECT_EQ(a.num_nodes(), 5U);
+    EXPECT_EQ(a.num_points(), b.num_points());
+    EXPECT_EQ(owners(a), owners(b));
+    // And a rebuilt ring agrees with itself.
+    EXPECT_EQ(owners(a), owners(a));
+}
+
+TEST(HashRing, MembershipBasics) {
+    HashRing ring{16};
+    EXPECT_THROW((void)ring.owner_of(1), std::logic_error);
+    ring.add_node(7);
+    EXPECT_TRUE(ring.contains(7));
+    EXPECT_FALSE(ring.contains(8));
+    EXPECT_THROW(ring.add_node(7), std::invalid_argument);
+    EXPECT_THROW(ring.remove_node(8), std::invalid_argument);
+    EXPECT_THROW(ring.add_node(8, 0.0), std::invalid_argument);
+    // A one-node ring owns everything.
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        EXPECT_EQ(ring.owner_of(k), 7U);
+    }
+    ring.remove_node(7);
+    EXPECT_EQ(ring.num_nodes(), 0U);
+    EXPECT_EQ(ring.num_points(), 0U);
+}
+
+TEST(HashRing, VirtualNodesBalanceOwnership) {
+    HashRing ring{128};
+    const std::size_t nodes = 8;
+    for (std::uint32_t n = 0; n < nodes; ++n) ring.add_node(n);
+
+    std::map<std::uint32_t, std::uint64_t> share;
+    for (const std::uint32_t o : owners(ring)) ++share[o];
+    ASSERT_EQ(share.size(), nodes);
+    const double mean = static_cast<double>(kKeys) / nodes;
+    for (const auto& [node, count] : share) {
+        // 128 vnodes keep every node within ~2x of the fair share.
+        EXPECT_GT(static_cast<double>(count), 0.4 * mean) << "node " << node;
+        EXPECT_LT(static_cast<double>(count), 2.0 * mean) << "node " << node;
+    }
+}
+
+TEST(HashRing, WeightScalesOwnership) {
+    HashRing ring{128};
+    ring.add_node(0, 1.0);
+    ring.add_node(1, 3.0);
+    std::uint64_t heavy = 0;
+    for (const std::uint32_t o : owners(ring)) heavy += o == 1 ? 1 : 0;
+    // Node 1 has 3x the vnodes, so ~75% of the keys (generous band).
+    const double frac = static_cast<double>(heavy) / kKeys;
+    EXPECT_GT(frac, 0.60);
+    EXPECT_LT(frac, 0.90);
+}
+
+TEST(HashRing, JoinMovesOnlyTowardTheNewNode) {
+    HashRing ring{64};
+    const std::size_t nodes = 4;
+    for (std::uint32_t n = 0; n < nodes; ++n) ring.add_node(n);
+    const std::vector<std::uint32_t> before = owners(ring);
+
+    ring.add_node(static_cast<std::uint32_t>(nodes));
+    const std::vector<std::uint32_t> after = owners(ring);
+
+    std::uint64_t moved = 0;
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+        if (after[k] == before[k]) continue;
+        ++moved;
+        // Every moved key must have moved TO the new node; old nodes
+        // never exchange keys among themselves on a join.
+        EXPECT_EQ(after[k], nodes) << "key " << k;
+    }
+    // The new node takes about 1/(N+1) of the space.
+    const double frac = static_cast<double>(moved) / kKeys;
+    EXPECT_GT(frac, 0.5 / (nodes + 1.0));
+    EXPECT_LT(frac, 2.0 / (nodes + 1.0));
+}
+
+TEST(HashRing, LeaveMovesOnlyTheDepartedKeys) {
+    HashRing ring{64};
+    for (std::uint32_t n = 0; n < 5; ++n) ring.add_node(n);
+    const std::vector<std::uint32_t> before = owners(ring);
+
+    ring.remove_node(2);
+    const std::vector<std::uint32_t> after = owners(ring);
+
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+        if (before[k] == 2) {
+            EXPECT_NE(after[k], 2U) << "key " << k;  // redistributed
+        } else {
+            EXPECT_EQ(after[k], before[k]) << "key " << k;  // untouched
+        }
+    }
+    // And re-adding node 2 restores the exact original map (pure-hash
+    // points: membership alone determines ownership).
+    ring.add_node(2);
+    EXPECT_EQ(owners(ring), before);
+}
+
+}  // namespace
+}  // namespace spider::util

@@ -632,6 +632,45 @@ TEST_F(ServerWire, FetchFailureReportedNotAdmitted) {
     EXPECT_EQ(c.tenant_stat(0).admitted, 0U);
 }
 
+TEST_F(ServerWire, MgetPartialFetchFailureIsPerId) {
+    // A peer/backing store that browns out for some ids must not poison
+    // the rest of the vector: each id carries its own status and the
+    // connection keeps serving afterwards.
+    start(ServerConfig{.cache_items = 64},
+          [](std::uint8_t, std::uint32_t id, storage::SimDuration) {
+              return MissOutcome{.ok = id % 2 == 0, .from_ssd = false};
+          });
+    Client c = connect();
+    std::vector<std::uint32_t> ids;
+    std::vector<double> scores;
+    for (std::uint32_t i = 0; i < 20; ++i) {
+        ids.push_back(i);
+        scores.push_back(1.0);
+    }
+    const std::vector<GetReply> cold = c.mget(0, ids, scores);
+    ASSERT_EQ(cold.size(), ids.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_EQ(cold[i].kind, ids[i] % 2 == 0 ? ServeKind::kMissAdmitted
+                                                : ServeKind::kFetchFailed)
+            << "id " << ids[i];
+    }
+    // Failed ids were not admitted; successful ones were.
+    EXPECT_FALSE(c.probe(0, 1));
+    EXPECT_TRUE(c.probe(0, 2));
+
+    // The connection is still healthy: a warm re-mget hits the admitted
+    // half and re-reports the failing half, id by id.
+    c.ping();
+    const std::vector<GetReply> warm = c.mget(0, ids, scores);
+    ASSERT_EQ(warm.size(), ids.size());
+    for (std::size_t i = 0; i < warm.size(); ++i) {
+        EXPECT_EQ(warm[i].kind, ids[i] % 2 == 0 ? ServeKind::kImportanceHit
+                                                : ServeKind::kFetchFailed)
+            << "id " << ids[i];
+    }
+    EXPECT_EQ(c.stats().errors, 0U);  // fetch failures are not protocol errors
+}
+
 TEST_F(ServerWire, SsdServePathReported) {
     start(ServerConfig{.cache_items = 64},
           [](std::uint8_t, std::uint32_t, storage::SimDuration) {

@@ -97,6 +97,30 @@ TEST(RemoteStore, ConcurrentFetchesAreCounted) {
     EXPECT_EQ(store.total_fetches(), 400U);
 }
 
+TEST(RemoteStore, ContentionCountersResetIndependently) {
+    const data::SyntheticDataset dataset{tiny_spec()};
+    RemoteStore store{dataset, RemoteStoreConfig{}};
+    store.set_fetch_slot_cap(1);  // slot accounting engages with a cap
+    store.fetch(1);
+    store.fetch(2);
+    EXPECT_GE(store.peak_in_flight(), 1U);  // the fetches held a slot
+
+    // Per-epoch hygiene: the contention counters reset alone, while the
+    // run-lifetime fetch/byte totals keep accumulating.
+    store.reset_contention_counters();
+    EXPECT_EQ(store.slot_waits(), 0U);
+    EXPECT_EQ(store.peak_in_flight(), 0U);
+    EXPECT_EQ(store.total_fetches(), 2U);
+    EXPECT_EQ(store.total_bytes(), 2U * 2048U);
+
+    store.fetch(3);
+    EXPECT_GE(store.peak_in_flight(), 1U);  // tracking resumes
+    // And the full reset still clears everything, contention included.
+    store.reset_counters();
+    EXPECT_EQ(store.total_fetches(), 0U);
+    EXPECT_EQ(store.peak_in_flight(), 0U);
+}
+
 TEST(CacheStore, CapacityInItems) {
     CacheStore store{10 * 100, 100};
     EXPECT_EQ(store.capacity_items(), 10U);

@@ -34,6 +34,12 @@
 #                                 # served-simulator front-end, and the
 #                                 # SsdTier miss-path locking, in
 #                                 # build-tsan/
+#   tools/run_tier1.sh --cluster  # additionally: ThreadSanitizer pass over
+#                                 # the multi-node cooperative cache
+#                                 # (DESIGN.md §11): concurrent service()
+#                                 # across nodes, hash-ring ownership, and
+#                                 # the threaded cluster-mode simulator,
+#                                 # in build-tsan/
 #
 # Build directories: build-tier1/, build-tsan/, build-asan/ (gitignored).
 
@@ -46,6 +52,7 @@ run_faults=0
 run_prefetch=0
 run_lockfree=0
 run_server=0
+run_cluster=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
@@ -54,7 +61,8 @@ for arg in "$@"; do
     --prefetch) run_prefetch=1 ;;
     --lockfree) run_lockfree=1 ;;
     --server) run_server=1 ;;
-    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch] [--lockfree] [--server]" >&2; exit 2 ;;
+    --cluster) run_cluster=1 ;;
+    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch] [--lockfree] [--server] [--cluster]" >&2; exit 2 ;;
   esac
 done
 
@@ -139,6 +147,22 @@ if [[ "$run_server" == 1 ]]; then
     --target server_test tenant_isolation_test ssd_tier_test
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     -R 'ServerWire|ServedSimulator|TenantManager|TenantIsolation|SsdTierConcurrent|Protocol|FrameDecoder'
+fi
+
+if [[ "$run_cluster" == 1 ]]; then
+  echo "== opt-in: ThreadSanitizer pass over the cooperative cache =="
+  # Loader workers hammering CooperativeCache::service() across nodes
+  # (shared freq table, per-node shards, budget reservations), the ring
+  # unit suite, and the threaded multi-node simulator run.
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPIDER_TSAN=ON \
+    -DSPIDER_BUILD_BENCH=OFF \
+    -DSPIDER_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$jobs" \
+    --target cluster_test hash_ring_test cache_concurrency_test
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'ClusterConcurrent|ClusterSim|CooperativeCacheTest|HashRing'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
