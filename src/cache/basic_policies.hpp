@@ -28,6 +28,14 @@ public:
     std::optional<std::uint32_t> admit(std::uint32_t id) override;
     void set_capacity(std::size_t capacity) override;
 
+    /// Visits every resident id, least-recently-used first. Re-admitting
+    /// in this order reproduces the recency horizon exactly — the SSD
+    /// tier's residency dump (warm-restart snapshots) relies on it.
+    template <typename Fn>
+    void for_each_lru_first(Fn fn) const {
+        for (auto it = order_.rbegin(); it != order_.rend(); ++it) fn(*it);
+    }
+
 private:
     std::optional<std::uint32_t> evict_lru();
 

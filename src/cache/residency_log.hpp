@@ -1,0 +1,62 @@
+#pragma once
+
+// Residency-change vocabulary shared by the cache layers and the WAL
+// (DESIGN.md §12). The two in-memory sections and the SSD tier report
+// admissions / evictions / score drift as `ResidencyRecord`s through a
+// listener callback; `storage::CacheWal` appends them to an append-only
+// log and periodically compacts the folded state into a snapshot. After
+// a kill -9, replaying snapshot + log tail yields a `RestoreImage` from
+// which `TwoLayerSemanticCache::restore_from_wal` rebuilds residency —
+// the warm-restart path measured by the per-epoch cold_start_misses
+// burn-down.
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace spider::cache {
+
+enum class ResidencyOp : std::uint8_t {
+    kAdmitImportance = 1,  ///< id entered the Importance section
+    kEvictImportance = 2,  ///< id left the Importance section
+    kScoreUpdate = 3,      ///< resident importance entry re-keyed
+    kAdmitHomophily = 4,   ///< id became a homophily key (carries neighbors)
+    kEvictHomophily = 5,   ///< homophily key evicted (FIFO or retraction)
+    kSsdInsert = 6,        ///< id admitted to (or touched in) the SSD tier
+    kSsdEvict = 7,         ///< id evicted from the SSD tier
+};
+
+/// One residency change. `score` is meaningful for the importance ops,
+/// `generation` carries the homophily insert sequence (ABA disambiguator
+/// for log readers), and `neighbors` only rides on kAdmitHomophily.
+struct ResidencyRecord {
+    ResidencyOp op = ResidencyOp::kAdmitImportance;
+    std::uint32_t id = 0;
+    double score = 0.0;
+    std::uint64_t generation = 0;
+    std::vector<std::uint32_t> neighbors;
+};
+
+using ResidencyListener = std::function<void(const ResidencyRecord&)>;
+
+/// Folded residency state: what a crash-surviving log replays into and
+/// what a compaction snapshot serializes. Orders matter — importance is
+/// arbitrary (restore sorts by score), homophily is FIFO oldest-first,
+/// ssd is LRU oldest-first — so re-inserting in order reproduces the
+/// pre-crash eviction horizons.
+struct RestoreImage {
+    std::vector<std::pair<std::uint32_t, double>> importance;
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>>
+        homophily;
+    std::vector<std::uint32_t> ssd;
+
+    [[nodiscard]] bool empty() const {
+        return importance.empty() && homophily.empty() && ssd.empty();
+    }
+    [[nodiscard]] std::size_t total_items() const {
+        return importance.size() + homophily.size() + ssd.size();
+    }
+};
+
+}  // namespace spider::cache

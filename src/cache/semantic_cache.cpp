@@ -218,6 +218,19 @@ ImportanceCache::AdmitResult TwoLayerSemanticCache::on_miss_fetched(
         }
         shard.view.set_importance(id, score);
     }
+    if (residency_listener_ && result.admitted) {
+        if (result.evicted.has_value()) {
+            ResidencyRecord evict;
+            evict.op = ResidencyOp::kEvictImportance;
+            evict.id = *result.evicted;
+            emit(evict);
+        }
+        ResidencyRecord admit;
+        admit.op = ResidencyOp::kAdmitImportance;
+        admit.id = id;
+        admit.score = score;
+        emit(admit);
+    }
     return result;
 }
 
@@ -242,6 +255,11 @@ void TwoLayerSemanticCache::update_importance_score(std::uint32_t id,
     if (shard.importance.update_score(id, score)) {
         const ShardResidencyView::WriteSection ws{shard.view};
         shard.view.set_importance(id, score);
+        ResidencyRecord record;
+        record.op = ResidencyOp::kScoreUpdate;
+        record.id = id;
+        record.score = score;
+        emit(record);
     }
 }
 
@@ -285,6 +303,20 @@ std::optional<std::uint32_t> TwoLayerSemanticCache::update_homophily(
             victim_neighbors.assign(nb.begin(), nb.end());
         }
         const auto evicted = key_shard.homophily.update(key, neighbors);
+        if (residency_listener_) {
+            if (evicted.has_value()) {
+                ResidencyRecord ev;
+                ev.op = ResidencyOp::kEvictHomophily;
+                ev.id = *evicted;
+                emit(ev);
+            }
+            ResidencyRecord admit;
+            admit.op = ResidencyOp::kAdmitHomophily;
+            admit.id = key;
+            admit.generation = key_shard.homophily.seq_of(key).value_or(0);
+            admit.neighbors.assign(neighbors.begin(), neighbors.end());
+            emit(admit);
+        }
         const ShardResidencyView::WriteSection ws{key_shard.view};
         if (evicted.has_value()) {
             key_shard.view.clear_hom_key(*evicted);
@@ -326,6 +358,20 @@ std::optional<std::uint32_t> TwoLayerSemanticCache::update_homophily(
         }
         evicted = key_shard.homophily.update(key, neighbors);
         insert_seq = *key_shard.homophily.seq_of(key);
+        if (residency_listener_) {
+            if (evicted.has_value()) {
+                ResidencyRecord ev;
+                ev.op = ResidencyOp::kEvictHomophily;
+                ev.id = *evicted;
+                emit(ev);
+            }
+            ResidencyRecord admit;
+            admit.op = ResidencyOp::kAdmitHomophily;
+            admit.id = key;
+            admit.generation = insert_seq;
+            admit.neighbors.assign(neighbors.begin(), neighbors.end());
+            emit(admit);
+        }
         const ShardResidencyView::WriteSection ws{key_shard.view};
         if (evicted.has_value()) key_shard.view.clear_hom_key(*evicted);
         key_shard.view.set_hom_key(key);
@@ -520,6 +566,53 @@ std::optional<double> TwoLayerSemanticCache::shard_min_score(
     std::size_t s) const {
     const std::lock_guard lock{shards_[s]->mu};
     return shards_[s]->importance.min_score();
+}
+
+RestoreImage TwoLayerSemanticCache::dump_residency() const {
+    // All shard locks ascending, like freeze(): the dump must be one
+    // consistent cut or the compacted snapshot could capture a key in
+    // neither (or both) sections mid-move.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+        locks.emplace_back(shard->mu);
+    }
+    RestoreImage image;
+    for (const auto& shard_ptr : shards_) {
+        const Shard& shard = *shard_ptr;
+        shard.importance.for_each([&image](std::uint32_t id, double score) {
+            image.importance.emplace_back(id, score);
+        });
+        shard.homophily.for_each_key([&image, &shard](std::uint32_t key) {
+            const auto nb = shard.homophily.neighbors_of(key);
+            image.homophily.emplace_back(
+                key, std::vector<std::uint32_t>{nb.begin(), nb.end()});
+        });
+    }
+    return image;
+}
+
+std::size_t TwoLayerSemanticCache::restore_from_wal(const RestoreImage& image) {
+    // Re-admit through the public paths so every invariant the normal
+    // write traffic maintains (section exclusivity, per-shard capacity
+    // slices, neighbor index, residency views) holds by construction —
+    // even when this cache has a different shard count than the one that
+    // wrote the log. Importance first, highest score first: if the image
+    // outsizes a shard slice, the admission rule keeps the most important
+    // survivors, matching what steady-state churn would have converged to.
+    auto importance = image.importance;
+    std::sort(importance.begin(), importance.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (const auto& [id, score] : importance) {
+        (void)on_miss_fetched(id, score);
+    }
+    // Homophily in FIFO order (oldest first) reproduces the pre-crash
+    // eviction horizon; keys that landed in Importance above are skipped
+    // by the exclusivity guard.
+    for (const auto& [key, neighbors] : image.homophily) {
+        (void)update_homophily(key, neighbors);
+    }
+    return importance_size() + homophily_size();
 }
 
 }  // namespace spider::cache

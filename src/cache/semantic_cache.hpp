@@ -48,6 +48,7 @@
 
 #include "cache/homophily_cache.hpp"
 #include "cache/importance_cache.hpp"
+#include "cache/residency_log.hpp"
 #include "cache/seqlock.hpp"
 
 namespace spider::cache {
@@ -200,6 +201,33 @@ public:
         publish_hook_ = std::move(hook);
     }
 
+    // ---- Crash-safe warm restart (DESIGN.md §12).
+
+    /// Streams admissions / evictions / score re-keys to `listener`
+    /// (typically storage::CacheWal::append). Invoked with the affected
+    /// shard's mutex held, so the listener must not call back into the
+    /// cache. Set before concurrent use — and *after* restore_from_wal,
+    /// or the restore itself gets re-logged. Elastic repartition
+    /// evictions are NOT streamed; owners reconcile them by compacting a
+    /// dump_residency() snapshot at the next stable point.
+    void set_residency_listener(ResidencyListener listener) {
+        residency_listener_ = std::move(listener);
+    }
+
+    /// Folds the full residency into a RestoreImage (importance pairs,
+    /// homophily FIFO oldest-first) for WAL compaction. Takes every shard
+    /// lock like freeze(); not a hot path.
+    [[nodiscard]] RestoreImage dump_residency() const;
+
+    /// Rebuilds residency from a recovered image through the normal
+    /// admission paths (importance re-admitted highest-score-first, then
+    /// homophily keys in FIFO order), so section exclusivity, per-shard
+    /// capacity slices, and the neighbor index hold by construction even
+    /// when the shard count changed across the restart. Returns how many
+    /// items are resident afterwards. Call on a fresh cache before
+    /// concurrent use.
+    std::size_t restore_from_wal(const RestoreImage& image);
+
 private:
     struct Shard {
         Shard(std::size_t imp_capacity, std::size_t hom_capacity)
@@ -248,11 +276,18 @@ private:
     /// Must hold `shard.mu`.
     void rebuild_view_locked(const Shard& shard) const;
 
+    /// Forwards a residency change to the listener, if any. Called with
+    /// the affected shard's mutex held.
+    void emit(const ResidencyRecord& record) const {
+        if (residency_listener_) residency_listener_(record);
+    }
+
     std::size_t total_capacity_;
     std::atomic<double> imp_ratio_;
     bool lockfree_reads_;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::function<void()> publish_hook_;
+    ResidencyListener residency_listener_;
 };
 
 }  // namespace spider::cache

@@ -137,4 +137,11 @@ double SpiderCache::score_std() const {
     return stats.stddev();
 }
 
+std::size_t SpiderCache::restore_from_wal(const cache::RestoreImage& image) {
+    for (const auto& [id, score] : image.importance) {
+        if (id < scores_.size()) scores_[id] = score;
+    }
+    return cache_.restore_from_wal(image);
+}
+
 }  // namespace spider::core

@@ -136,6 +136,14 @@ public:
     [[nodiscard]] std::optional<std::uint32_t> degraded_surrogate(
         std::uint32_t id) const;
 
+    // --------------------------------------------- warm restart (§12)
+    /// Rebuilds the two-layer residency from a recovered WAL image (see
+    /// TwoLayerSemanticCache::restore_from_wal) and seeds the global
+    /// score table with the logged scores — the scorer refines them as
+    /// training resumes. Returns the resident item count afterwards.
+    /// Call on a fresh instance, before any listener is attached.
+    std::size_t restore_from_wal(const cache::RestoreImage& image);
+
     // ----------------------------------------------------------- inspection
     [[nodiscard]] std::span<const double> scores() const { return scores_; }
     [[nodiscard]] double score_std() const;

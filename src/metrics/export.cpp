@@ -14,7 +14,8 @@ void write_epoch_csv(const RunResult& run, std::ostream& os) {
           "is_ms,epoch_ms,fetch_retries,fetch_hedges,fetch_timeouts,"
           "breaker_trips,fault_substitutions,fault_skips,fault_ms,"
           "prefetch_issued,prefetch_hidden,cold_start_misses,"
-          "prefetch_window_avg,cluster_local_hits,peer_hits,peer_misses,"
+          "prefetch_window_avg,restored_items,"
+          "cluster_local_hits,peer_hits,peer_misses,"
           "cluster_remote,peer_hedges,peer_hedge_wins,peer_throttled,"
           "peer_failovers,slot_waits,peak_in_flight\n";
     for (const EpochMetrics& e : run.epochs) {
@@ -33,7 +34,8 @@ void write_epoch_csv(const RunResult& run, std::ostream& os) {
            << e.fault_substitutions << ',' << e.fault_skips << ','
            << storage::to_ms(e.fault_time) << ',' << e.prefetch_issued << ','
            << e.prefetch_hidden << ',' << e.cold_start_misses << ','
-           << e.prefetch_window_avg << ',' << e.cluster_local_hits << ','
+           << e.prefetch_window_avg << ',' << e.restored_items << ','
+           << e.cluster_local_hits << ','
            << e.peer_hits << ',' << e.peer_misses << ',' << e.cluster_remote
            << ',' << e.peer_hedges << ',' << e.peer_hedge_wins << ','
            << e.peer_throttled << ',' << e.peer_failovers << ','

@@ -35,6 +35,10 @@ struct EpochMetrics {
     /// controller's per-step window when prefetch_adaptive, the static
     /// prefetch_window otherwise; 0 with prefetch disabled.
     double prefetch_window_avg = 0.0;
+    /// Items resident again after a simulated kill -9 + WAL warm restart
+    /// at the start of this epoch (DESIGN.md §12). Zero in epochs with no
+    /// restart and in cold (WAL-less) restarts.
+    std::uint64_t restored_items = 0;
 
     // Fault tolerance (DESIGN.md §9; all zero when fault injection is
     // off). Retries/hedges/timeouts/trips come from the resilient client;

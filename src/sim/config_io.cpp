@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "data/presets.hpp"
+#include "storage/fault_model.hpp"
 
 namespace spider::sim {
 
@@ -34,7 +35,14 @@ const std::set<std::string>& known_keys() {
         "faults.spike_prob",   "faults.spike_mult",    "faults.timeout_ms",
         "faults.outage_start_ms",   "faults.outage_duration_ms",
         "faults.outage_period_ms",  "faults.brownout_factor",
-        "faults.brownout_ms",       "resilience.max_attempts",
+        "faults.brownout_ms",
+        "weather.enabled",          "weather.slot_ms",
+        "weather.p_degrade",        "weather.p_recover",
+        "weather.p_fail",           "weather.p_restore",
+        "weather.degraded_mult",    "weather.degraded_slowdown",
+        "restart.epoch",            "wal.dir",
+        "wal.compact_every_epochs", "wal.sync_every_append",
+        "resilience.max_attempts",
         "resilience.backoff_base_ms",  "resilience.backoff_mult",
         "resilience.backoff_max_ms",   "resilience.backoff_jitter",
         "resilience.hedge_enabled",    "resilience.hedge_delay_ms",
@@ -180,6 +188,39 @@ SimConfig sim_config_from(const util::Config& config) {
         config.get_double("faults.brownout_factor", 1.0);
     sim.faults.brownout_duration_ms =
         config.get_double("faults.brownout_ms", 0.0);
+
+    sim.faults.weather.enabled = config.get_bool("weather.enabled", false);
+    sim.faults.weather.slot_ms =
+        config.get_double("weather.slot_ms", sim.faults.weather.slot_ms);
+    sim.faults.weather.p_degrade =
+        config.get_double("weather.p_degrade", sim.faults.weather.p_degrade);
+    sim.faults.weather.p_recover =
+        config.get_double("weather.p_recover", sim.faults.weather.p_recover);
+    sim.faults.weather.p_fail =
+        config.get_double("weather.p_fail", sim.faults.weather.p_fail);
+    sim.faults.weather.p_restore =
+        config.get_double("weather.p_restore", sim.faults.weather.p_restore);
+    sim.faults.weather.degraded_mult = config.get_double(
+        "weather.degraded_mult", sim.faults.weather.degraded_mult);
+    sim.faults.weather.degraded_slowdown = config.get_double(
+        "weather.degraded_slowdown", sim.faults.weather.degraded_slowdown);
+    // Reject malformed fault/weather settings at parse time, with the
+    // offending key in the message, instead of at TrainingSimulator
+    // construction deep inside a bench loop.
+    storage::validate(sim.faults);
+
+    sim.restart_epoch =
+        static_cast<std::size_t>(config.get_int("restart.epoch", 0));
+    sim.wal_dir = config.get_string("wal.dir", "");
+    sim.wal_compact_every_epochs = static_cast<std::size_t>(
+        config.get_int("wal.compact_every_epochs", 1));
+    if (sim.wal_compact_every_epochs == 0) {
+        throw std::invalid_argument{
+            "wal.compact_every_epochs: must be >= 1 (epochs between "
+            "snapshot compactions)"};
+    }
+    sim.wal_sync_every_append =
+        config.get_bool("wal.sync_every_append", false);
 
     sim.resilience.max_attempts = static_cast<std::size_t>(config.get_int(
         "resilience.max_attempts",

@@ -13,6 +13,7 @@
 #include "core/prefetch.hpp"
 #include "nn/optimizer.hpp"
 #include "sim/net_frontend.hpp"
+#include "storage/wal.hpp"
 #include "util/thread_pool.hpp"
 
 namespace spider::sim {
@@ -179,6 +180,18 @@ metrics::RunResult TrainingSimulator::run() {
             "SimConfig: cluster.nodes > 1 is mutually exclusive with "
             "faults.enabled, served_port, and prefetch.enabled"};
     }
+    if (config_.restart_epoch > 0 &&
+        (config_.prefetch_enabled || config_.served_port != 0 ||
+         config_.cluster.nodes > 1)) {
+        throw std::invalid_argument{
+            "SimConfig: restart.epoch is mutually exclusive with "
+            "prefetch.enabled, served_port, and cluster.nodes > 1 (the "
+            "kill tears down state those layers hold across epochs)"};
+    }
+    if (config_.wal_compact_every_epochs == 0) {
+        throw std::invalid_argument{
+            "SimConfig: wal.compact_every_epochs must be >= 1"};
+    }
     const auto cache_items = static_cast<std::size_t>(
         std::llround(config_.cache_fraction * static_cast<double>(n)));
     StrategyParts parts = build_strategy(cache_items);
@@ -210,8 +223,38 @@ metrics::RunResult TrainingSimulator::run() {
     storage::VirtualClock clock;
     // SsdTier serializes internally, so threaded loader workers share it
     // directly (the cache server's miss path relies on the same contract).
-    storage::SsdTier ssd{config_.ssd};
+    // Behind a pointer because a simulated kill -9 replaces the tier (the
+    // mutex member makes it immovable).
+    auto ssd = std::make_unique<storage::SsdTier>(config_.ssd);
     util::Rng aug_rng{config_.seed ^ 0xA067ULL};
+
+    // Residency WAL (DESIGN.md §12): cache layers stream admissions /
+    // evictions; epoch-end compaction folds a consistent snapshot. The
+    // listener holds the affected shard/tier lock while appending — the
+    // WAL's internal mutex is always innermost and never calls back out.
+    std::unique_ptr<storage::CacheWal> wal;
+    if (!config_.wal_dir.empty()) {
+        wal = std::make_unique<storage::CacheWal>(storage::WalConfig{
+            .enabled = true,
+            .dir = config_.wal_dir,
+            .sync_every_append = config_.wal_sync_every_append,
+        });
+    }
+    const auto attach_wal_listeners = [&wal, &parts, &ssd] {
+        if (!wal) return;
+        const cache::ResidencyListener listener =
+            [&wal](const cache::ResidencyRecord& record) {
+                wal->append(record);
+            };
+        if (parts.spider) {
+            parts.spider->cache().set_residency_listener(listener);
+        }
+        ssd->set_residency_listener(listener);
+    };
+    attach_wal_listeners();
+    // Fresh run: reset whatever a previous process left in the directory,
+    // so a mid-run restore only ever sees this run's records.
+    if (wal) wal->compact({});
 
     // Fault-injected runs route every remote fetch through the resilient
     // client; fault-free runs keep the direct RemoteStore path, untouched
@@ -315,9 +358,37 @@ metrics::RunResult TrainingSimulator::run() {
         model.set_learning_rate(nn::cosine_lr(config_.sgd.learning_rate,
                                               config_.lr_min, epoch,
                                               config_.epochs));
+        // Simulated kill -9 + restart (DESIGN.md §12): the process dies
+        // between epochs — in-memory cache, SSD tier handle, resilient
+        // client, and the WAL's unsynced tail all vanish; the model is
+        // assumed checkpointed. With a WAL the rebuilt caches restore
+        // their pre-kill residency from snapshot + surviving log.
+        std::uint64_t restored_this_epoch = 0;
+        if (epoch != 0 && epoch == config_.restart_epoch) {
+            if (wal) wal->drop_unflushed();
+            parts = build_strategy(cache_items);
+            ssd = std::make_unique<storage::SsdTier>(config_.ssd);
+            if (faulty) {
+                resilient = std::make_unique<storage::ResilientStore>(
+                    remote_, config_.faults, config_.resilience);
+                fault_prev = {};
+                timeouts_prev = 0;
+            }
+            if (wal) {
+                const cache::RestoreImage image = wal->load();
+                if (parts.spider) {
+                    restored_this_epoch +=
+                        parts.spider->restore_from_wal(image);
+                }
+                restored_this_epoch += ssd->restore(image.ssd);
+            }
+            attach_wal_listeners();
+        }
         // Per-epoch contention counters (slot_waits / peak_in_flight)
-        // start fresh so CSV rows don't accumulate across epochs.
+        // start fresh so CSV rows don't accumulate across epochs — the
+        // SSD tier's hit/miss counters follow the same discipline.
         remote_.reset_contention_counters();
+        ssd->reset_counters();
         if (coop) {
             // Membership events land at epoch boundaries, workers
             // quiesced; the ring moves only the affected keys and
@@ -353,6 +424,7 @@ metrics::RunResult TrainingSimulator::run() {
 
         metrics::EpochMetrics em;
         em.epoch = epoch;
+        em.restored_items = restored_this_epoch;
         double loss_sum = 0.0;
         std::size_t loss_batches = 0;
         double window_sum = 0.0;
@@ -398,7 +470,7 @@ metrics::RunResult TrainingSimulator::run() {
                         if (access.substitution) ++out.substitutions;
                         continue;
                     }
-                    if (ssd.fetch(requested[i])) {
+                    if (ssd->fetch(requested[i])) {
                         // Miss in memory, absorbed by the local SSD tier.
                         ++out.ssd_hits;
                         continue;
@@ -450,7 +522,7 @@ metrics::RunResult TrainingSimulator::run() {
                             // The sample's bytes reached this node, so
                             // the write-back SSD tier may absorb a
                             // future re-miss.
-                            ssd.insert(requested[i]);
+                            ssd->insert(requested[i]);
                         }
                         continue;
                     }
@@ -498,7 +570,7 @@ metrics::RunResult TrainingSimulator::run() {
                         continue;
                     }
                     ++out.remote_misses;
-                    ssd.insert(requested[i]);
+                    ssd->insert(requested[i]);
                 }
             };
 
@@ -612,7 +684,7 @@ metrics::RunResult TrainingSimulator::run() {
                      : per_fetch_ms * static_cast<double>(miss_rounds);
             const double load_ms =
                 miss_service_ms +
-                storage::to_ms(ssd.batch_read_cost(ssd_hits, fetch_slots)) +
+                storage::to_ms(ssd->batch_read_cost(ssd_hits, fetch_slots)) +
                 config_.hit_cost_ms * static_cast<double>(hits) /
                     static_cast<double>(fetch_slots) +
                 fault_ms;
@@ -841,6 +913,18 @@ metrics::RunResult TrainingSimulator::run() {
         // Fetch-slot contention of this epoch alone (reset at its start).
         em.slot_waits = remote_.slot_waits();
         em.peak_in_flight = remote_.peak_in_flight();
+
+        // Epoch-end WAL compaction (a stable point): folds the live
+        // residency into the snapshot, which also reconciles the
+        // elastic-repartition evictions the listeners do not stream.
+        if (wal && (epoch + 1) % config_.wal_compact_every_epochs == 0) {
+            cache::RestoreImage image;
+            if (parts.spider) {
+                image = parts.spider->cache().dump_residency();
+            }
+            image.ssd = ssd->dump_residency();
+            wal->compact(image);
+        }
 
         result.epochs.push_back(em);
         result.best_accuracy = std::max(result.best_accuracy, em.test_accuracy);

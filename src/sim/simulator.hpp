@@ -124,6 +124,27 @@ struct SimConfig {
     /// the paper's Spot-VM setting where local SSDs are unreliable).
     storage::SsdTierConfig ssd{};
 
+    /// Crash-safe warm restart (DESIGN.md §12): when nonzero, a kill -9 +
+    /// restart is simulated at the START of this 0-based epoch — the
+    /// in-memory cache, SSD tier object, and resilient-client state are
+    /// torn down and rebuilt (the model itself is assumed checkpointed,
+    /// the standard practice). With a WAL configured the rebuilt caches
+    /// restore their pre-kill residency (warm); without one the restart
+    /// is stone-cold — the baseline the cold_start_misses burn-down is
+    /// measured against. 0 = never. Mutually exclusive with
+    /// prefetch_enabled, served_port, and cluster.nodes > 1.
+    std::size_t restart_epoch = 0;
+    /// Directory of the residency WAL + snapshot ("" = WAL disabled).
+    /// kSpider* strategies log both in-memory sections; every strategy
+    /// logs the SSD tier.
+    std::string wal_dir;
+    /// Compact the WAL into a snapshot every this many epochs (epoch-end;
+    /// >= 1). Records since the last compaction ride the log tail and are
+    /// lost if unsynced at the kill (see wal_sync_every_append).
+    std::size_t wal_compact_every_epochs = 1;
+    /// Flush the log on every append instead of only at compaction.
+    bool wal_sync_every_append = false;
+
     /// Remote-storage fault injection (DESIGN.md §9). Disabled by default;
     /// the resilient client layer is then bypassed entirely and the run is
     /// bit-identical to a fault-free build (zero-cost-off).

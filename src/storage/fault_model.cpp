@@ -1,6 +1,9 @@
 #include "storage/fault_model.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace spider::storage {
 
@@ -16,14 +19,91 @@ namespace {
 }
 
 // Purpose tags keep the independent draws of one attempt apart.
+// (ResilientStore claims 8 for its backoff jitter.)
 constexpr std::uint32_t kPurposeTransient = 0;
 constexpr std::uint32_t kPurposeSpike = 1;
 constexpr std::uint32_t kPurposeSpikeMag = 2;
+constexpr std::uint32_t kPurposeWeather = 16;
+
+void require_prob(double p, const char* name) {
+    if (p < 0.0 || p > 1.0) {
+        throw std::invalid_argument(std::string{"faults: "} + name + " = " +
+                                    std::to_string(p) +
+                                    " must be a probability in [0, 1]");
+    }
+}
+
+void require_non_negative(double v, const char* name) {
+    if (v < 0.0) {
+        throw std::invalid_argument(std::string{"faults: "} + name + " = " +
+                                    std::to_string(v) +
+                                    " must be non-negative");
+    }
+}
 
 }  // namespace
 
+void validate(const FaultModelConfig& config) {
+    require_prob(config.transient_failure_prob, "transient_prob");
+    require_prob(config.latency_spike_prob, "spike_prob");
+    require_non_negative(config.latency_spike_mult, "spike_mult");
+    require_non_negative(config.timeout_ms, "timeout_ms");
+    require_non_negative(config.outage_start_ms, "outage_start_ms");
+    require_non_negative(config.outage_duration_ms, "outage_duration_ms");
+    require_non_negative(config.outage_period_ms, "outage_period_ms");
+    require_non_negative(config.brownout_duration_ms, "brownout_duration_ms");
+    if (config.brownout_factor < 1.0) {
+        throw std::invalid_argument(
+            "faults: brownout_factor = " +
+            std::to_string(config.brownout_factor) +
+            " must be >= 1.0 (1.0 disables the brownout tail; a recovery "
+            "that is *faster* than healthy makes no sense)");
+    }
+    if (config.outage_period_ms > 0.0 &&
+        config.outage_duration_ms > config.outage_period_ms) {
+        throw std::invalid_argument(
+            "faults: outage_duration_ms = " +
+            std::to_string(config.outage_duration_ms) +
+            " exceeds outage_period_ms = " +
+            std::to_string(config.outage_period_ms) +
+            " — periodic windows would overlap into a permanent outage; "
+            "set period to 0 for a single window or shorten the duration");
+    }
+    const FaultWeatherConfig& w = config.weather;
+    if (w.enabled && w.slot_ms <= 0.0) {
+        throw std::invalid_argument(
+            "faults: weather.slot_ms = " + std::to_string(w.slot_ms) +
+            " must be > 0 when the weather chain is enabled");
+    }
+    require_prob(w.p_degrade, "weather.p_degrade");
+    require_prob(w.p_recover, "weather.p_recover");
+    require_prob(w.p_fail, "weather.p_fail");
+    require_prob(w.p_restore, "weather.p_restore");
+    if (w.p_recover + w.p_fail > 1.0) {
+        throw std::invalid_argument(
+            "faults: weather.p_recover + weather.p_fail = " +
+            std::to_string(w.p_recover + w.p_fail) +
+            " exceeds 1.0 — the degraded state cannot leave with total "
+            "probability above 1");
+    }
+    if (w.degraded_mult < 1.0) {
+        throw std::invalid_argument(
+            "faults: weather.degraded_mult = " +
+            std::to_string(w.degraded_mult) +
+            " must be >= 1.0 (degraded weather cannot make faults rarer)");
+    }
+    if (w.degraded_slowdown < 1.0) {
+        throw std::invalid_argument(
+            "faults: weather.degraded_slowdown = " +
+            std::to_string(w.degraded_slowdown) +
+            " must be >= 1.0 (degraded weather cannot speed fetches up)");
+    }
+}
+
 FaultModel::FaultModel(FaultModelConfig config, SimDuration base_latency)
-    : config_{config}, base_latency_{base_latency} {}
+    : config_{config}, base_latency_{base_latency} {
+    validate(config_);
+}
 
 double FaultModel::unit_draw(std::uint32_t id, std::uint32_t attempt,
                              std::uint32_t context,
@@ -68,6 +148,52 @@ double FaultModel::slowdown(SimDuration now) const {
                : 1.0;
 }
 
+WeatherState FaultModel::weather_state_at_slot(std::uint64_t slot) const {
+    if (!config_.weather.enabled) return WeatherState::kGood;
+    std::lock_guard<std::mutex> lock(weather_mu_);
+    if (weather_states_.empty()) {
+        weather_states_.push_back(
+            static_cast<std::uint8_t>(WeatherState::kGood));
+    }
+    const FaultWeatherConfig& w = config_.weather;
+    while (weather_states_.size() <= slot) {
+        const auto prev =
+            static_cast<WeatherState>(weather_states_.back());
+        // One transition draw per slot boundary; the slot index rides in
+        // the id coordinate of the shared draw-key packing, so the chain
+        // never collides with per-attempt streams (distinct purpose tag).
+        const double u =
+            unit_draw(static_cast<std::uint32_t>(weather_states_.size()), 0, 0,
+                      kPurposeWeather);
+        WeatherState next = prev;
+        switch (prev) {
+            case WeatherState::kGood:
+                if (u < w.p_degrade) next = WeatherState::kDegraded;
+                break;
+            case WeatherState::kDegraded:
+                if (u < w.p_fail) {
+                    next = WeatherState::kOutage;
+                } else if (u < w.p_fail + w.p_recover) {
+                    next = WeatherState::kGood;
+                }
+                break;
+            case WeatherState::kOutage:
+                if (u < w.p_restore) next = WeatherState::kDegraded;
+                break;
+        }
+        weather_states_.push_back(static_cast<std::uint8_t>(next));
+    }
+    return static_cast<WeatherState>(weather_states_[slot]);
+}
+
+WeatherState FaultModel::weather_state(SimDuration now) const {
+    if (!config_.weather.enabled) return WeatherState::kGood;
+    const double t = to_ms(now);
+    const auto slot =
+        static_cast<std::uint64_t>(std::max(0.0, t / config_.weather.slot_ms));
+    return weather_state_at_slot(slot);
+}
+
 FaultOutcome FaultModel::evaluate(std::uint32_t id, std::uint32_t attempt,
                                   SimDuration now,
                                   std::uint32_t context) const {
@@ -87,10 +213,36 @@ FaultOutcome FaultModel::evaluate(std::uint32_t id, std::uint32_t attempt,
         return out;
     }
 
-    double latency_ms = base_ms * slowdown(now);
-    if (config_.latency_spike_prob > 0.0 &&
-        unit_draw(id, attempt, context, kPurposeSpike) <
-            config_.latency_spike_prob) {
+    // Weather modulation. Disabled (or a good-weather slot) leaves every
+    // probability and multiplier untouched, so the draw arithmetic below
+    // is bit-identical to the plain i.i.d. model.
+    double transient_prob = config_.transient_failure_prob;
+    double spike_prob = config_.latency_spike_prob;
+    double weather_slow = 1.0;
+    if (config_.weather.enabled) {
+        switch (weather_state(now)) {
+            case WeatherState::kGood:
+                break;
+            case WeatherState::kDegraded:
+                transient_prob = std::min(
+                    1.0, transient_prob * config_.weather.degraded_mult);
+                spike_prob =
+                    std::min(1.0, spike_prob * config_.weather.degraded_mult);
+                weather_slow = config_.weather.degraded_slowdown;
+                break;
+            case WeatherState::kOutage:
+                out.kind = FaultKind::kOutage;
+                out.latency = config_.timeout_ms > 0.0
+                                  ? from_ms(config_.timeout_ms)
+                                  : base_latency_;
+                weather_rejections_.fetch_add(1, std::memory_order_relaxed);
+                return out;
+        }
+    }
+
+    double latency_ms = base_ms * slowdown(now) * weather_slow;
+    if (spike_prob > 0.0 &&
+        unit_draw(id, attempt, context, kPurposeSpike) < spike_prob) {
         latency_ms = base_ms * config_.latency_spike_mult *
                      (0.5 + unit_draw(id, attempt, context, kPurposeSpikeMag));
         spikes_.fetch_add(1, std::memory_order_relaxed);
@@ -101,9 +253,8 @@ FaultOutcome FaultModel::evaluate(std::uint32_t id, std::uint32_t attempt,
         timeouts_.fetch_add(1, std::memory_order_relaxed);
         return out;
     }
-    if (config_.transient_failure_prob > 0.0 &&
-        unit_draw(id, attempt, context, kPurposeTransient) <
-            config_.transient_failure_prob) {
+    if (transient_prob > 0.0 &&
+        unit_draw(id, attempt, context, kPurposeTransient) < transient_prob) {
         // The error reply arrives with the attempt's latency.
         out.kind = FaultKind::kTransient;
         out.latency = from_ms(latency_ms);
@@ -119,6 +270,7 @@ void FaultModel::reset_counters() {
     spikes_.store(0, std::memory_order_relaxed);
     timeouts_.store(0, std::memory_order_relaxed);
     outage_rejections_.store(0, std::memory_order_relaxed);
+    weather_rejections_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace spider::storage

@@ -20,10 +20,44 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 #include "storage/clock.hpp"
 
 namespace spider::storage {
+
+/// Markov-modulated "fault weather" layered over the i.i.d. draws: the
+/// backend wanders through good / degraded / outage states on a fixed
+/// virtual-time slot grid, so brownouts *cluster* the way real NFS does
+/// instead of striking one attempt at a time. The chain is a pure
+/// function of (seed, slot index) — state at slot k is derived by
+/// folding the per-slot transition draws from slot 0 — so replays are
+/// exact regardless of thread count or retry timing. `enabled=false`
+/// (default) leaves the i.i.d. model bit-identical to before.
+struct FaultWeatherConfig {
+    bool enabled = false;
+    /// Width of one weather slot in virtual milliseconds. State is
+    /// constant within a slot and transitions only on slot boundaries.
+    double slot_ms = 250.0;
+    /// Per-slot transition probabilities.
+    double p_degrade = 0.0;  ///< good -> degraded
+    double p_recover = 0.0;  ///< degraded -> good
+    double p_fail = 0.0;     ///< degraded -> outage
+    double p_restore = 0.0;  ///< outage -> degraded
+    /// In the degraded state, transient and spike probabilities are
+    /// multiplied by this factor (clamped to 1.0 after scaling)...
+    double degraded_mult = 4.0;
+    /// ...and successful attempts run this much slower (compounds with
+    /// any scheduled-outage brownout tail).
+    double degraded_slowdown = 2.0;
+};
+
+enum class WeatherState : std::uint8_t {
+    kGood = 0,
+    kDegraded = 1,
+    kOutage = 2,
+};
 
 struct FaultModelConfig {
     /// Master switch. Off (default) means evaluate() always succeeds at
@@ -55,7 +89,17 @@ struct FaultModelConfig {
     /// storms). 1.0 disables the brownout tail.
     double brownout_factor = 1.0;
     double brownout_duration_ms = 0.0;
+
+    /// Correlated-failure weather chain (off by default).
+    FaultWeatherConfig weather{};
 };
+
+/// Validates a fault configuration, throwing std::invalid_argument with
+/// an actionable message on out-of-range probabilities, a brownout
+/// factor below 1.0, an outage window longer than its period, negative
+/// durations, or malformed weather parameters. Called by the FaultModel
+/// constructor and by the INI front-end at parse time.
+void validate(const FaultModelConfig& config);
 
 enum class FaultKind : std::uint8_t {
     kNone,       ///< attempt succeeded
@@ -93,8 +137,14 @@ public:
                                         SimDuration now,
                                         std::uint32_t context = 0) const;
 
-    /// Is `now` inside a scheduled outage window?
+    /// Is `now` inside a scheduled outage window? (Weather outages are
+    /// reported separately via weather_state().)
     [[nodiscard]] bool in_outage(SimDuration now) const;
+    /// Weather state governing virtual time `now` (kGood whenever the
+    /// weather chain is disabled). Deterministic in (seed, slot index).
+    [[nodiscard]] WeatherState weather_state(SimDuration now) const;
+    /// Weather state at slot `slot` of the chain (slot 0 starts kGood).
+    [[nodiscard]] WeatherState weather_state_at_slot(std::uint64_t slot) const;
     /// Latency multiplier at `now` (brownout_factor inside a brownout
     /// tail, 1.0 otherwise).
     [[nodiscard]] double slowdown(SimDuration now) const;
@@ -118,6 +168,11 @@ public:
     [[nodiscard]] std::uint64_t outage_rejections() const {
         return outage_rejections_.load(std::memory_order_relaxed);
     }
+    /// Attempts rejected because the weather chain was in kOutage
+    /// (subset of nothing — counted separately from scheduled outages).
+    [[nodiscard]] std::uint64_t weather_rejections() const {
+        return weather_rejections_.load(std::memory_order_relaxed);
+    }
     void reset_counters();
 
 private:
@@ -127,6 +182,13 @@ private:
     mutable std::atomic<std::uint64_t> spikes_{0};
     mutable std::atomic<std::uint64_t> timeouts_{0};
     mutable std::atomic<std::uint64_t> outage_rejections_{0};
+    mutable std::atomic<std::uint64_t> weather_rejections_{0};
+    /// Memoized weather chain: weather_states_[k] is the state during
+    /// slot k, extended on demand under weather_mu_. The chain itself is
+    /// a pure function of (seed, k); the memo only avoids re-deriving a
+    /// prefix per query. Never consulted when weather is disabled.
+    mutable std::mutex weather_mu_;
+    mutable std::vector<std::uint8_t> weather_states_;
 };
 
 }  // namespace spider::storage

@@ -29,7 +29,42 @@ bool SsdTier::fetch(std::uint32_t id) {
 void SsdTier::insert(std::uint32_t id) {
     if (!config_.enabled) return;
     const std::lock_guard lock{mu_};
-    lru_.admit(id);
+    const auto evicted = lru_.admit(id);
+    if (residency_listener_) {
+        if (evicted.has_value()) {
+            cache::ResidencyRecord ev;
+            ev.op = cache::ResidencyOp::kSsdEvict;
+            ev.id = *evicted;
+            residency_listener_(ev);
+        }
+        cache::ResidencyRecord admit;
+        admit.op = cache::ResidencyOp::kSsdInsert;
+        admit.id = id;
+        residency_listener_(admit);
+    }
+}
+
+void SsdTier::reset_counters() {
+    const std::lock_guard lock{mu_};
+    hits_ = 0;
+    misses_ = 0;
+}
+
+std::vector<std::uint32_t> SsdTier::dump_residency() const {
+    const std::lock_guard lock{mu_};
+    std::vector<std::uint32_t> ids;
+    ids.reserve(lru_.size());
+    lru_.for_each_lru_first([&ids](std::uint32_t id) { ids.push_back(id); });
+    return ids;
+}
+
+std::size_t SsdTier::restore(const std::vector<std::uint32_t>& ids) {
+    if (!config_.enabled) return 0;
+    const std::lock_guard lock{mu_};
+    for (std::uint32_t id : ids) {
+        lru_.admit(id);
+    }
+    return lru_.size();
 }
 
 SimDuration SsdTier::batch_read_cost(std::size_t count,

@@ -15,8 +15,11 @@
 
 #include <cstdint>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "cache/basic_policies.hpp"
+#include "cache/residency_log.hpp"
 #include "storage/clock.hpp"
 
 namespace spider::storage {
@@ -61,12 +64,39 @@ public:
     [[nodiscard]] SimDuration batch_read_cost(std::size_t count,
                                               std::size_t parallelism) const;
 
+    /// Zeroes hits/misses — mirrors RemoteStore::reset_contention_counters
+    /// so per-epoch CSV attribution is correct across epochs. Thread-safe.
+    void reset_counters();
+
+    // ---- Crash-safe warm restart (DESIGN.md §12).
+
+    /// Streams kSsdInsert/kSsdEvict records for write-back admissions and
+    /// their evictions (fetch-path recency touches are not streamed; the
+    /// periodic compaction snapshot reconciles recency drift). Called
+    /// under the tier mutex — the listener must not call back in. Set
+    /// before concurrent use.
+    void set_residency_listener(cache::ResidencyListener listener) {
+        const std::lock_guard lock{mu_};
+        residency_listener_ = std::move(listener);
+    }
+
+    /// Resident ids, least-recently-used first — the `ssd` leg of a
+    /// RestoreImage for WAL compaction. Thread-safe.
+    [[nodiscard]] std::vector<std::uint32_t> dump_residency() const;
+
+    /// Re-admits `ids` in order (LRU-first, as dump_residency emits), so
+    /// the rebuilt tier has the same contents and recency horizon up to
+    /// its capacity. Returns how many ids are resident afterwards. Call
+    /// on a fresh tier before concurrent use; no-op when disabled.
+    std::size_t restore(const std::vector<std::uint32_t>& ids);
+
 private:
     SsdTierConfig config_;
     mutable std::mutex mu_;
     cache::LruCache lru_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    cache::ResidencyListener residency_listener_;
 };
 
 }  // namespace spider::storage

@@ -1,0 +1,338 @@
+#include "storage/wal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace spider::storage {
+
+namespace {
+
+/// SplitMix64 finalizer (same mix as the fault model's draw stream).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+[[nodiscard]] std::uint32_t checksum32(const char* data, std::size_t len) {
+    std::uint64_t h = 0x5CA1AB1EULL ^ len;
+    std::size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        std::uint64_t chunk = 0;
+        std::memcpy(&chunk, data + i, 8);
+        h = mix64(h ^ chunk);
+    }
+    std::uint64_t tail = 0;
+    if (i < len) {
+        std::memcpy(&tail, data + i, len - i);
+        h = mix64(h ^ tail);
+    }
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+template <typename T>
+void put(std::string& out, T value) {
+    char bytes[sizeof(T)];
+    std::memcpy(bytes, &value, sizeof(T));
+    out.append(bytes, sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] bool get(const std::string& in, std::size_t& off, T& value) {
+    if (off + sizeof(T) > in.size()) return false;
+    std::memcpy(&value, in.data() + off, sizeof(T));
+    off += sizeof(T);
+    return true;
+}
+
+/// A single record can describe one homophily entry; its neighbor list
+/// is small (one per resident key). Anything bigger than this is a torn
+/// or corrupt length prefix, not a real record.
+constexpr std::uint32_t kMaxPayload = 1U << 20;
+
+[[nodiscard]] std::string serialize(const cache::ResidencyRecord& record) {
+    std::string payload;
+    payload.reserve(25 + record.neighbors.size() * 4);
+    put<std::uint8_t>(payload, static_cast<std::uint8_t>(record.op));
+    put<std::uint32_t>(payload, record.id);
+    put<double>(payload, record.score);
+    put<std::uint64_t>(payload, record.generation);
+    put<std::uint32_t>(payload,
+                       static_cast<std::uint32_t>(record.neighbors.size()));
+    for (std::uint32_t n : record.neighbors) put<std::uint32_t>(payload, n);
+
+    std::string framed;
+    framed.reserve(payload.size() + 8);
+    put<std::uint32_t>(framed, static_cast<std::uint32_t>(payload.size()));
+    put<std::uint32_t>(framed, checksum32(payload.data(), payload.size()));
+    framed += payload;
+    return framed;
+}
+
+[[nodiscard]] bool deserialize(const std::string& payload,
+                               cache::ResidencyRecord& out) {
+    std::size_t off = 0;
+    std::uint8_t op = 0;
+    std::uint32_t count = 0;
+    if (!get(payload, off, op) || !get(payload, off, out.id) ||
+        !get(payload, off, out.score) || !get(payload, off, out.generation) ||
+        !get(payload, off, count)) {
+        return false;
+    }
+    if (op < static_cast<std::uint8_t>(cache::ResidencyOp::kAdmitImportance) ||
+        op > static_cast<std::uint8_t>(cache::ResidencyOp::kSsdEvict)) {
+        return false;
+    }
+    out.op = static_cast<cache::ResidencyOp>(op);
+    if (off + static_cast<std::size_t>(count) * 4 != payload.size()) {
+        return false;
+    }
+    out.neighbors.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (!get(payload, off, out.neighbors[i])) return false;
+    }
+    return true;
+}
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+    std::ifstream is{path, std::ios::binary};
+    if (!is) return {};
+    std::string bytes{std::istreambuf_iterator<char>{is},
+                      std::istreambuf_iterator<char>{}};
+    return bytes;
+}
+
+void write_file(const std::string& path, const std::string& bytes,
+                std::ios::openmode mode) {
+    std::ofstream os{path, std::ios::binary | mode};
+    if (!os) {
+        throw std::runtime_error("wal: cannot open " + path + " for writing");
+    }
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!os) throw std::runtime_error("wal: short write to " + path);
+}
+
+}  // namespace
+
+CacheWal::CacheWal(WalConfig config) : config_{std::move(config)} {
+    if (!config_.enabled) return;
+    if (config_.dir.empty()) {
+        throw std::invalid_argument(
+            "wal: enabled but no directory configured (set wal.dir)");
+    }
+    std::filesystem::create_directories(config_.dir);
+}
+
+CacheWal::~CacheWal() {
+    // Clean close: persist the buffered tail. A simulated kill -9 calls
+    // drop_unflushed() first, so the tail is already gone by the time the
+    // destructor runs.
+    try {
+        flush();
+    } catch (...) {
+        // Destructor must not throw; a failed final flush just means the
+        // tail is lost, which the load() path tolerates by design.
+    }
+}
+
+std::string CacheWal::wal_path() const {
+    return (std::filesystem::path{config_.dir} / "cache.wal").string();
+}
+
+std::string CacheWal::snapshot_path() const {
+    return (std::filesystem::path{config_.dir} / "cache.snapshot").string();
+}
+
+void CacheWal::append(const cache::ResidencyRecord& record) {
+    if (!config_.enabled) return;
+    const std::lock_guard lock{mu_};
+    pending_ += serialize(record);
+    ++appended_;
+    if (config_.sync_every_append) {
+        write_file(wal_path(), pending_, std::ios::app);
+        pending_.clear();
+    }
+}
+
+void CacheWal::flush() {
+    if (!config_.enabled) return;
+    const std::lock_guard lock{mu_};
+    if (pending_.empty()) return;
+    write_file(wal_path(), pending_, std::ios::app);
+    pending_.clear();
+}
+
+void CacheWal::drop_unflushed() {
+    if (!config_.enabled) return;
+    const std::lock_guard lock{mu_};
+    pending_.clear();
+}
+
+void CacheWal::compact(const cache::RestoreImage& image) {
+    if (!config_.enabled) return;
+    const std::lock_guard lock{mu_};
+    std::string bytes;
+    cache::ResidencyRecord record;
+    for (const auto& [id, score] : image.importance) {
+        record = {};
+        record.op = cache::ResidencyOp::kAdmitImportance;
+        record.id = id;
+        record.score = score;
+        bytes += serialize(record);
+    }
+    for (const auto& [key, neighbors] : image.homophily) {
+        record = {};
+        record.op = cache::ResidencyOp::kAdmitHomophily;
+        record.id = key;
+        record.neighbors = neighbors;
+        bytes += serialize(record);
+    }
+    for (std::uint32_t id : image.ssd) {
+        record = {};
+        record.op = cache::ResidencyOp::kSsdInsert;
+        record.id = id;
+        bytes += serialize(record);
+    }
+    // Tmp + rename so a crash mid-compaction keeps the old snapshot.
+    const std::string tmp = snapshot_path() + ".tmp";
+    write_file(tmp, bytes, std::ios::trunc);
+    std::filesystem::rename(tmp, snapshot_path());
+    // Everything folded into the snapshot: the log starts over.
+    write_file(wal_path(), "", std::ios::trunc);
+    pending_.clear();
+}
+
+std::uint64_t CacheWal::parse_records(const std::string& bytes,
+                                      std::vector<cache::ResidencyRecord>& out) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        std::size_t cursor = off;
+        std::uint32_t len = 0;
+        std::uint32_t sum = 0;
+        if (!get(bytes, cursor, len) || !get(bytes, cursor, sum) ||
+            len > kMaxPayload || cursor + len > bytes.size()) {
+            return 1;  // torn tail: header or payload incomplete
+        }
+        if (checksum32(bytes.data() + cursor, len) != sum) {
+            return 1;  // corrupt record ends replay
+        }
+        cache::ResidencyRecord record;
+        if (!deserialize(bytes.substr(cursor, len), record)) {
+            return 1;
+        }
+        out.push_back(std::move(record));
+        off = cursor + len;
+    }
+    return 0;
+}
+
+cache::RestoreImage CacheWal::fold(
+    cache::RestoreImage base,
+    const std::vector<cache::ResidencyRecord>& records) {
+    // Importance: last-writer-wins map (restore re-sorts by score).
+    std::unordered_map<std::uint32_t, double> importance;
+    for (const auto& [id, score] : base.importance) importance[id] = score;
+    // Homophily and SSD: order-preserving lists (FIFO / LRU horizons).
+    std::list<std::uint32_t> hom_order;
+    std::unordered_map<std::uint32_t,
+                       std::pair<std::list<std::uint32_t>::iterator,
+                                 std::vector<std::uint32_t>>>
+        hom;
+    for (auto& [key, neighbors] : base.homophily) {
+        hom_order.push_back(key);
+        hom[key] = {std::prev(hom_order.end()), std::move(neighbors)};
+    }
+    std::list<std::uint32_t> ssd_order;
+    std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> ssd;
+    for (std::uint32_t id : base.ssd) {
+        ssd_order.push_back(id);
+        ssd[id] = std::prev(ssd_order.end());
+    }
+
+    for (const auto& record : records) {
+        switch (record.op) {
+            case cache::ResidencyOp::kAdmitImportance:
+            case cache::ResidencyOp::kScoreUpdate:
+                importance[record.id] = record.score;
+                break;
+            case cache::ResidencyOp::kEvictImportance:
+                importance.erase(record.id);
+                break;
+            case cache::ResidencyOp::kAdmitHomophily: {
+                if (auto it = hom.find(record.id); it != hom.end()) {
+                    hom_order.erase(it->second.first);
+                    hom.erase(it);
+                }
+                hom_order.push_back(record.id);
+                hom[record.id] = {std::prev(hom_order.end()),
+                                  record.neighbors};
+                break;
+            }
+            case cache::ResidencyOp::kEvictHomophily: {
+                if (auto it = hom.find(record.id); it != hom.end()) {
+                    hom_order.erase(it->second.first);
+                    hom.erase(it);
+                }
+                break;
+            }
+            case cache::ResidencyOp::kSsdInsert: {
+                if (auto it = ssd.find(record.id); it != ssd.end()) {
+                    ssd_order.erase(it->second);  // LRU touch: move to back
+                }
+                ssd_order.push_back(record.id);
+                ssd[record.id] = std::prev(ssd_order.end());
+                break;
+            }
+            case cache::ResidencyOp::kSsdEvict: {
+                if (auto it = ssd.find(record.id); it != ssd.end()) {
+                    ssd_order.erase(it->second);
+                    ssd.erase(it);
+                }
+                break;
+            }
+        }
+    }
+
+    cache::RestoreImage out;
+    out.importance.assign(importance.begin(), importance.end());
+    // Deterministic output independent of hash iteration order.
+    std::sort(out.importance.begin(), out.importance.end());
+    out.homophily.reserve(hom.size());
+    for (std::uint32_t key : hom_order) {
+        out.homophily.emplace_back(key, std::move(hom[key].second));
+    }
+    out.ssd.assign(ssd_order.begin(), ssd_order.end());
+    return out;
+}
+
+cache::RestoreImage CacheWal::load() {
+    if (!config_.enabled) return {};
+    const std::lock_guard lock{mu_};
+    dropped_ = 0;
+    std::vector<cache::ResidencyRecord> snapshot_records;
+    dropped_ += parse_records(read_file(snapshot_path()), snapshot_records);
+    cache::RestoreImage image = fold({}, snapshot_records);
+    std::vector<cache::ResidencyRecord> log_records;
+    dropped_ += parse_records(read_file(wal_path()), log_records);
+    return fold(std::move(image), log_records);
+}
+
+std::uint64_t CacheWal::appended_records() const {
+    const std::lock_guard lock{mu_};
+    return appended_;
+}
+
+std::uint64_t CacheWal::dropped_records() const {
+    const std::lock_guard lock{mu_};
+    return dropped_;
+}
+
+}  // namespace spider::storage

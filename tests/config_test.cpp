@@ -216,6 +216,70 @@ TEST(ConfigIo, ClusterBoundsRejected) {
         std::invalid_argument);
 }
 
+TEST(ConfigIo, WeatherRestartAndWalSectionsRoundTrip) {
+    const util::Config ini = util::Config::parse_string(R"(
+[faults]
+enabled = true
+transient_prob = 0.02
+[weather]
+enabled = true
+slot_ms = 300
+p_degrade = 0.05
+p_recover = 0.25
+p_fail = 0.10
+p_restore = 0.40
+degraded_mult = 6.0
+degraded_slowdown = 3.0
+[restart]
+epoch = 5
+[wal]
+dir = /tmp/spider_wal
+compact_every_epochs = 2
+sync_every_append = true
+)");
+    const SimConfig sim = sim_config_from(ini);
+    EXPECT_TRUE(sim.faults.weather.enabled);
+    EXPECT_DOUBLE_EQ(sim.faults.weather.slot_ms, 300.0);
+    EXPECT_DOUBLE_EQ(sim.faults.weather.p_degrade, 0.05);
+    EXPECT_DOUBLE_EQ(sim.faults.weather.p_recover, 0.25);
+    EXPECT_DOUBLE_EQ(sim.faults.weather.p_fail, 0.10);
+    EXPECT_DOUBLE_EQ(sim.faults.weather.p_restore, 0.40);
+    EXPECT_DOUBLE_EQ(sim.faults.weather.degraded_mult, 6.0);
+    EXPECT_DOUBLE_EQ(sim.faults.weather.degraded_slowdown, 3.0);
+    EXPECT_EQ(sim.restart_epoch, 5U);
+    EXPECT_EQ(sim.wal_dir, "/tmp/spider_wal");
+    EXPECT_EQ(sim.wal_compact_every_epochs, 2U);
+    EXPECT_TRUE(sim.wal_sync_every_append);
+}
+
+TEST(ConfigIo, MalformedFaultAndWeatherConfigsRejectedAtParseTime) {
+    // Negative probability.
+    EXPECT_THROW(sim_config_from(util::Config::parse_string(
+                     "faults.transient_prob = -0.2\n")),
+                 std::invalid_argument);
+    // Recovery faster than healthy makes no sense.
+    EXPECT_THROW(sim_config_from(util::Config::parse_string(
+                     "faults.brownout_factor = 0.5\n")),
+                 std::invalid_argument);
+    // Periodic windows that overlap into a permanent outage.
+    EXPECT_THROW(sim_config_from(util::Config::parse_string(
+                     "faults.outage_duration_ms = 500\n"
+                     "faults.outage_period_ms = 200\n")),
+                 std::invalid_argument);
+    // Weather chain with a degenerate slot width.
+    EXPECT_THROW(sim_config_from(util::Config::parse_string(
+                     "weather.enabled = true\nweather.slot_ms = 0\n")),
+                 std::invalid_argument);
+    // Degraded-state exit probabilities summing past 1.
+    EXPECT_THROW(sim_config_from(util::Config::parse_string(
+                     "weather.p_recover = 0.7\nweather.p_fail = 0.6\n")),
+                 std::invalid_argument);
+    // WAL compaction cadence of zero epochs.
+    EXPECT_THROW(sim_config_from(util::Config::parse_string(
+                     "wal.compact_every_epochs = 0\n")),
+                 std::invalid_argument);
+}
+
 TEST(ConfigIo, ShippedExampleConfigParses) {
     // The checked-in example must always stay valid.
     const SimConfig config =

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <future>
+#include <stdexcept>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -130,6 +131,195 @@ TEST(FaultModel, BrownoutSlowsTheRecoveryTail) {
     const auto out = model.evaluate(3, 0, storage::from_ms(160.0));
     EXPECT_TRUE(out.ok());
     EXPECT_EQ(out.latency, storage::from_ms(12.0));
+}
+
+TEST(FaultModel, ZeroDurationOutageWindowNeverFires) {
+    storage::FaultModelConfig config;
+    config.enabled = true;
+    config.outage_start_ms = 100.0;
+    config.outage_duration_ms = 0.0;  // degenerate window
+    config.outage_period_ms = 200.0;
+    storage::FaultModel model{config, storage::from_ms(4.0)};
+    for (double t : {0.0, 100.0, 150.0, 300.0, 1e9}) {
+        EXPECT_FALSE(model.in_outage(storage::from_ms(t))) << t;
+        EXPECT_TRUE(model.evaluate(1, 0, storage::from_ms(t)).ok()) << t;
+    }
+    EXPECT_EQ(model.outage_rejections(), 0U);
+}
+
+TEST(FaultModel, SingleNonPeriodicOutageWindowFiresExactlyOnce) {
+    storage::FaultModelConfig config;
+    config.enabled = true;
+    config.outage_start_ms = 100.0;
+    config.outage_duration_ms = 50.0;
+    config.outage_period_ms = 0.0;  // one window, no repetition
+    storage::FaultModel model{config, storage::from_ms(4.0)};
+    EXPECT_FALSE(model.in_outage(storage::from_ms(99.0)));
+    EXPECT_TRUE(model.in_outage(storage::from_ms(100.0)));
+    EXPECT_TRUE(model.in_outage(storage::from_ms(149.0)));
+    EXPECT_FALSE(model.in_outage(storage::from_ms(150.0)));
+    // Where a periodic config would strike again, the single window
+    // stays healthy forever.
+    EXPECT_FALSE(model.in_outage(storage::from_ms(300.0)));
+    EXPECT_FALSE(model.in_outage(storage::from_ms(1e12)));
+}
+
+TEST(FaultModel, BrownoutTailOverlappingNextOutageYieldsToTheOutage) {
+    storage::FaultModelConfig config;
+    config.enabled = true;
+    config.outage_start_ms = 0.0;
+    config.outage_duration_ms = 40.0;
+    config.outage_period_ms = 100.0;
+    config.brownout_factor = 2.0;
+    // Tail runs 80 ms past each 40 ms window: it would reach 20 ms into
+    // the *next* period's outage. The outage check wins there.
+    config.brownout_duration_ms = 80.0;
+    storage::FaultModel model{config, storage::from_ms(4.0)};
+    EXPECT_TRUE(model.in_outage(storage::from_ms(20.0)));
+    EXPECT_DOUBLE_EQ(model.slowdown(storage::from_ms(50.0)), 2.0);
+    EXPECT_DOUBLE_EQ(model.slowdown(storage::from_ms(99.0)), 2.0);
+    // 110 ms = 10 ms into the next period: inside the new outage window,
+    // even though the previous brownout tail nominally covers it.
+    EXPECT_TRUE(model.in_outage(storage::from_ms(110.0)));
+    EXPECT_EQ(model.evaluate(5, 0, storage::from_ms(110.0)).kind,
+              storage::FaultKind::kOutage);
+    // The slowdown resumes for the rest of the tail after that window.
+    EXPECT_DOUBLE_EQ(model.slowdown(storage::from_ms(150.0)), 2.0);
+}
+
+TEST(FaultModel, WeatherChainIsDeterministicAcrossThreadCounts) {
+    storage::FaultModelConfig config;
+    config.enabled = true;
+    config.weather.enabled = true;
+    config.weather.p_degrade = 0.10;
+    config.weather.p_recover = 0.30;
+    config.weather.p_fail = 0.15;
+    config.weather.p_restore = 0.40;
+    const storage::FaultModel reference{config, storage::from_ms(4.0)};
+    constexpr std::uint64_t kSlots = 2000;
+    std::vector<storage::WeatherState> expected(kSlots);
+    for (std::uint64_t s = 0; s < kSlots; ++s) {
+        expected[s] = reference.weather_state_at_slot(s);
+    }
+    // A second instance queried from many threads in scrambled order
+    // must reproduce the chain exactly: state is a pure function of
+    // (seed, slot), never of query interleaving.
+    const storage::FaultModel concurrent{config, storage::from_ms(4.0)};
+    std::vector<std::future<bool>> checks;
+    for (int t = 0; t < 8; ++t) {
+        checks.push_back(std::async(std::launch::async, [&, t] {
+            for (std::uint64_t i = 0; i < kSlots; ++i) {
+                const std::uint64_t slot =
+                    (i * 2654435761ULL + static_cast<std::uint64_t>(t) * 97) %
+                    kSlots;
+                if (concurrent.weather_state_at_slot(slot) != expected[slot]) {
+                    return false;
+                }
+            }
+            return true;
+        }));
+    }
+    for (auto& c : checks) EXPECT_TRUE(c.get());
+    // The chain actually moves under these rates.
+    std::size_t non_good = 0;
+    for (const auto s : expected) {
+        if (s != storage::WeatherState::kGood) ++non_good;
+    }
+    EXPECT_GT(non_good, 0U);
+}
+
+TEST(FaultModel, AllGoodWeatherChainIsBitIdenticalToIidModel) {
+    storage::FaultModelConfig iid;
+    iid.enabled = true;
+    iid.transient_failure_prob = 0.2;
+    iid.latency_spike_prob = 0.1;
+    storage::FaultModelConfig calm = iid;
+    calm.weather.enabled = true;  // chain on, but every transition prob 0
+    const storage::FaultModel a{iid, storage::from_ms(4.0)};
+    const storage::FaultModel b{calm, storage::from_ms(4.0)};
+    for (std::uint32_t id = 0; id < 500; ++id) {
+        const auto oa = a.evaluate(id, 0, storage::from_ms(id * 3.0));
+        const auto ob = b.evaluate(id, 0, storage::from_ms(id * 3.0));
+        EXPECT_EQ(oa.kind, ob.kind) << id;
+        EXPECT_EQ(oa.latency, ob.latency) << id;
+    }
+}
+
+TEST(FaultModel, DegradedWeatherScalesRatesAndOutageWeatherRejects) {
+    storage::FaultModelConfig config;
+    config.enabled = true;
+    config.transient_failure_prob = 0.05;
+    config.weather.enabled = true;
+    config.weather.slot_ms = 100.0;
+    config.weather.p_degrade = 1.0;  // slot 1 onward: degraded
+    config.weather.degraded_mult = 8.0;
+    config.weather.degraded_slowdown = 2.0;
+    storage::FaultModel model{config, storage::from_ms(4.0)};
+    ASSERT_EQ(model.weather_state_at_slot(0), storage::WeatherState::kGood);
+    ASSERT_EQ(model.weather_state_at_slot(5),
+              storage::WeatherState::kDegraded);
+
+    std::size_t good_transients = 0;
+    std::size_t degraded_transients = 0;
+    for (std::uint32_t id = 0; id < 4000; ++id) {
+        const auto good = model.evaluate(id, 0, storage::from_ms(10.0));
+        if (good.kind == storage::FaultKind::kTransient) ++good_transients;
+        if (good.ok()) {
+            EXPECT_EQ(good.latency, storage::from_ms(4.0));
+        }
+        const auto bad = model.evaluate(id, 0, storage::from_ms(510.0));
+        if (bad.kind == storage::FaultKind::kTransient) ++degraded_transients;
+        if (bad.ok()) {  // degraded successes run degraded_slowdown slower
+            EXPECT_EQ(bad.latency, storage::from_ms(8.0));
+        }
+    }
+    // 0.05 vs 0.40 per attempt over 4000 draws.
+    EXPECT_GT(degraded_transients, good_transients * 4);
+
+    storage::FaultModelConfig storm = config;
+    storm.weather.p_fail = 1.0;  // slot 2 onward: outage
+    storage::FaultModel stormy{storm, storage::from_ms(4.0)};
+    const auto out = stormy.evaluate(9, 0, storage::from_ms(250.0));
+    EXPECT_EQ(out.kind, storage::FaultKind::kOutage);
+    EXPECT_EQ(stormy.weather_rejections(), 1U);
+    EXPECT_EQ(stormy.outage_rejections(), 0U);  // not a *scheduled* window
+    stormy.reset_counters();
+    EXPECT_EQ(stormy.weather_rejections(), 0U);
+}
+
+TEST(FaultModel, ValidateRejectsMalformedConfigsWithActionableMessages) {
+    const auto rejects = [](auto mutate) {
+        storage::FaultModelConfig config;
+        config.enabled = true;
+        mutate(config);
+        EXPECT_THROW(storage::validate(config), std::invalid_argument);
+    };
+    rejects([](auto& c) { c.transient_failure_prob = -0.1; });
+    rejects([](auto& c) { c.latency_spike_prob = 1.5; });
+    rejects([](auto& c) { c.brownout_factor = 0.5; });
+    rejects([](auto& c) { c.outage_duration_ms = -1.0; });
+    rejects([](auto& c) {
+        c.outage_duration_ms = 300.0;  // longer than the period
+        c.outage_period_ms = 200.0;
+    });
+    rejects([](auto& c) {
+        c.weather.enabled = true;
+        c.weather.slot_ms = 0.0;
+    });
+    rejects([](auto& c) { c.weather.p_degrade = 2.0; });
+    rejects([](auto& c) {
+        c.weather.p_recover = 0.8;  // degraded exits sum past 1
+        c.weather.p_fail = 0.5;
+    });
+    rejects([](auto& c) { c.weather.degraded_mult = 0.5; });
+    rejects([](auto& c) { c.weather.degraded_slowdown = 0.0; });
+    // A healthy config passes, and the single-window outage with a zero
+    // period is legal.
+    storage::FaultModelConfig ok;
+    ok.enabled = true;
+    ok.outage_duration_ms = 300.0;
+    ok.outage_period_ms = 0.0;
+    EXPECT_NO_THROW(storage::validate(ok));
 }
 
 // --------------------------------------------------------- ResilientStore

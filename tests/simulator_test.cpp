@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
+#include <stdexcept>
 
 #include "data/presets.hpp"
 #include "sim/frontend.hpp"
@@ -210,6 +212,67 @@ TEST(Simulator, DeterministicForSameSeed) {
     for (std::size_t i = 0; i < a.epochs.size(); ++i) {
         EXPECT_EQ(a.epochs[i].hits, b.epochs[i].hits);
     }
+}
+
+TEST(Simulator, WarmRestartRecoversResidencyColdRestartDoesNot) {
+    const auto wal_dir = std::filesystem::temp_directory_path() /
+                         "spider_sim_warm_restart_test";
+    std::filesystem::remove_all(wal_dir);
+
+    SimConfig cold = small_config(StrategyKind::kSpider);
+    cold.ssd.enabled = true;
+    cold.ssd.capacity_items = 150;
+    cold.restart_epoch = 4;  // kill -9 at the start of epoch 4
+    SimConfig warm = cold;
+    warm.wal_dir = wal_dir.string();
+
+    const auto cold_run = TrainingSimulator{cold}.run();
+    const auto warm_run = TrainingSimulator{warm}.run();
+    std::filesystem::remove_all(wal_dir);
+
+    ASSERT_EQ(cold_run.epochs.size(), 8U);
+    for (const auto& e : cold_run.epochs) {
+        EXPECT_EQ(e.restored_items, 0U);  // no WAL: stone-cold restart
+    }
+    for (std::size_t i = 0; i < warm_run.epochs.size(); ++i) {
+        if (i == 4) continue;
+        EXPECT_EQ(warm_run.epochs[i].restored_items, 0U) << i;
+    }
+    // The warm restart rebuilt a substantial resident set...
+    EXPECT_GT(warm_run.epochs[4].restored_items, 0U);
+    // ...and pays fewer post-restart misses than the cold one.
+    EXPECT_LT(warm_run.epochs[4].misses, cold_run.epochs[4].misses);
+}
+
+TEST(Simulator, WalWithoutRestartLeavesRunBitIdentical) {
+    const auto wal_dir = std::filesystem::temp_directory_path() /
+                         "spider_sim_wal_parity_test";
+    std::filesystem::remove_all(wal_dir);
+    SimConfig plain = small_config(StrategyKind::kSpider);
+    SimConfig logged = plain;
+    logged.wal_dir = wal_dir.string();
+    const auto a = TrainingSimulator{plain}.run();
+    const auto b = TrainingSimulator{logged}.run();
+    std::filesystem::remove_all(wal_dir);
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    EXPECT_EQ(a.total_time, b.total_time);  // logging is off the cost model
+    for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+        EXPECT_EQ(a.epochs[i].hits, b.epochs[i].hits) << i;
+        EXPECT_EQ(a.epochs[i].misses, b.epochs[i].misses) << i;
+    }
+}
+
+TEST(Simulator, RestartEpochRejectsIncompatibleLayers) {
+    SimConfig config = small_config(StrategyKind::kSpider);
+    config.restart_epoch = 2;
+    config.prefetch_enabled = true;
+    EXPECT_THROW(TrainingSimulator{config}.run(), std::invalid_argument);
+    config.prefetch_enabled = false;
+    config.cluster.nodes = 2;
+    EXPECT_THROW(TrainingSimulator{config}.run(), std::invalid_argument);
+    config.cluster.nodes = 1;
+    config.wal_compact_every_epochs = 0;
+    EXPECT_THROW(TrainingSimulator{config}.run(), std::invalid_argument);
 }
 
 TEST(Simulator, RunResultAggregates) {

@@ -50,6 +50,21 @@ TEST(SsdTier, LruEvictionWithinBudget) {
     EXPECT_EQ(tier.resident_items(), 2U);
 }
 
+TEST(SsdTier, ResetCountersZeroesHitAndMissTotals) {
+    SsdTierConfig config;
+    config.enabled = true;
+    SsdTier tier{config};
+    tier.insert(1);
+    EXPECT_TRUE(tier.fetch(1));
+    EXPECT_FALSE(tier.fetch(2));
+    ASSERT_EQ(tier.hits(), 1U);
+    ASSERT_EQ(tier.misses(), 1U);
+    tier.reset_counters();  // per-epoch attribution, like RemoteStore's
+    EXPECT_EQ(tier.hits(), 0U);
+    EXPECT_EQ(tier.misses(), 0U);
+    EXPECT_EQ(tier.resident_items(), 1U);  // residency untouched
+}
+
 TEST(SsdTier, UnboundedCapacityNeverEvicts) {
     SsdTierConfig config;
     config.enabled = true;

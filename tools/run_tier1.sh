@@ -40,6 +40,13 @@
 #                                 # across nodes, hash-ring ownership, and
 #                                 # the threaded cluster-mode simulator,
 #                                 # in build-tsan/
+#   tools/run_tier1.sh --chaos    # additionally: ThreadSanitizer build of
+#                                 # the chaos/soak harness (DESIGN.md §12)
+#                                 # plus the WAL / warm-restart / weather
+#                                 # suites, then a spider_chaos --smoke
+#                                 # soak (~4.2 virtual hours of kill/
+#                                 # restart, elastic, churn, and weather
+#                                 # storms under TSan) in build-tsan/
 #
 # Build directories: build-tier1/, build-tsan/, build-asan/ (gitignored).
 
@@ -53,6 +60,7 @@ run_prefetch=0
 run_lockfree=0
 run_server=0
 run_cluster=0
+run_chaos=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
@@ -62,7 +70,8 @@ for arg in "$@"; do
     --lockfree) run_lockfree=1 ;;
     --server) run_server=1 ;;
     --cluster) run_cluster=1 ;;
-    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch] [--lockfree] [--server] [--cluster]" >&2; exit 2 ;;
+    --chaos) run_chaos=1 ;;
+    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch] [--lockfree] [--server] [--cluster] [--chaos]" >&2; exit 2 ;;
   esac
 done
 
@@ -163,6 +172,24 @@ if [[ "$run_cluster" == 1 ]]; then
     --target cluster_test hash_ring_test cache_concurrency_test
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     -R 'ClusterConcurrent|ClusterSim|CooperativeCacheTest|HashRing'
+fi
+
+if [[ "$run_chaos" == 1 ]]; then
+  echo "== opt-in: ThreadSanitizer chaos/soak pass =="
+  # The WAL / warm-restart / weather unit suites, then the spider_chaos
+  # --smoke soak: ~4.2 virtual hours of multithreaded op bursts under
+  # kill -9 + WAL restarts, elastic flips, cluster churn, and weather
+  # storms, freeze-oracle checked every virtual minute.
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPIDER_TSAN=ON \
+    -DSPIDER_BUILD_BENCH=OFF \
+    -DSPIDER_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$jobs" \
+    --target spider_chaos wal_test fault_tolerance_test \
+             cache_concurrency_test ssd_tier_test
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'WalTest|Weather|ChaosSmoke|FaultModel|SsdTierConcurrent|ConcurrentOracle'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
