@@ -41,6 +41,19 @@ void LruCache::set_capacity(std::size_t capacity) {
     while (index_.size() > capacity_) evict_lru();
 }
 
+std::optional<std::uint32_t> LruCache::peek_victim() const {
+    if (order_.empty()) return std::nullopt;
+    return order_.back();
+}
+
+bool LruCache::erase(std::uint32_t id) {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+}
+
 // ---------------------------------------------------------------- LfuCache
 
 LfuCache::LfuCache(std::size_t capacity) : capacity_{capacity} {}
@@ -84,7 +97,21 @@ std::optional<std::uint32_t> LfuCache::admit(std::uint32_t id) {
 
 void LfuCache::set_capacity(std::size_t capacity) {
     capacity_ = capacity;
+    // Shrink follows the exact (frequency, stamp) eviction order.
     while (entries_.size() > capacity_) evict_lfu();
+}
+
+std::optional<std::uint32_t> LfuCache::peek_victim() const {
+    if (order_.empty()) return std::nullopt;
+    return order_.begin()->second;
+}
+
+bool LfuCache::erase(std::uint32_t id) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    order_.erase({it->second.frequency, it->second.stamp});
+    entries_.erase(it);
+    return true;
 }
 
 // --------------------------------------------------------------- FifoCache
@@ -122,6 +149,19 @@ void FifoCache::set_capacity(std::size_t capacity) {
     }
 }
 
+std::optional<std::uint32_t> FifoCache::peek_victim() const {
+    if (order_.empty()) return std::nullopt;
+    return order_.front();
+}
+
+bool FifoCache::erase(std::uint32_t id) {
+    const auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+}
+
 // ------------------------------------------------------------- StaticCache
 
 StaticCache::StaticCache(std::size_t capacity) : capacity_{capacity} {}
@@ -143,10 +183,28 @@ std::optional<std::uint32_t> StaticCache::admit(std::uint32_t id) {
 
 void StaticCache::set_capacity(std::size_t capacity) {
     capacity_ = capacity;
+    // Never-replaces != never-shrinks: elastic resize evicts LIFO
+    // (newest-admitted first), keeping the earliest-admitted stable set.
     while (items_.size() > capacity_) {
         slots_.erase(items_.back());
         items_.pop_back();
     }
+}
+
+std::optional<std::uint32_t> StaticCache::peek_victim() const {
+    if (items_.empty()) return std::nullopt;
+    return items_.back();
+}
+
+bool StaticCache::erase(std::uint32_t id) {
+    const auto it = slots_.find(id);
+    if (it == slots_.end()) return false;
+    const std::size_t slot = it->second;
+    items_[slot] = items_.back();
+    slots_[items_.back()] = slot;
+    items_.pop_back();
+    slots_.erase(id);
+    return true;
 }
 
 // ------------------------------------------------------------- RandomCache
@@ -162,18 +220,21 @@ bool RandomCache::touch(std::uint32_t id) {
     return slots_.contains(id);
 }
 
+std::uint32_t RandomCache::remove_slot(std::size_t slot) {
+    const std::uint32_t victim = items_[slot];
+    items_[slot] = items_.back();
+    slots_[items_.back()] = slot;
+    items_.pop_back();
+    slots_.erase(victim);
+    return victim;
+}
+
 std::optional<std::uint32_t> RandomCache::admit(std::uint32_t id) {
     if (capacity_ == 0 || slots_.contains(id)) return std::nullopt;
     std::optional<std::uint32_t> evicted;
     if (items_.size() >= capacity_) {
         // Swap-remove a uniformly random victim.
-        const std::size_t victim_slot = rng_.uniform_index(items_.size());
-        const std::uint32_t victim = items_[victim_slot];
-        items_[victim_slot] = items_.back();
-        slots_[items_.back()] = victim_slot;
-        items_.pop_back();
-        slots_.erase(victim);
-        evicted = victim;
+        evicted = remove_slot(rng_.uniform_index(items_.size()));
     }
     slots_.emplace(id, items_.size());
     items_.push_back(id);
@@ -182,16 +243,187 @@ std::optional<std::uint32_t> RandomCache::admit(std::uint32_t id) {
 
 void RandomCache::set_capacity(std::size_t capacity) {
     capacity_ = capacity;
+    // Shrink evicts uniformly random victims — the same victim order the
+    // policy uses on the admission path.
     while (items_.size() > capacity_) {
-        slots_.erase(items_.back());
-        items_.pop_back();
+        remove_slot(rng_.uniform_index(items_.size()));
     }
 }
 
-std::optional<std::uint32_t> RandomCache::random_resident(
-    util::Rng& rng) const {
+std::optional<std::uint32_t> RandomCache::peek_victim() const {
     if (items_.empty()) return std::nullopt;
-    return items_[rng.uniform_index(items_.size())];
+    util::Rng preview = rng_;  // preview the next draw without consuming it
+    return items_[preview.uniform_index(items_.size())];
+}
+
+bool RandomCache::erase(std::uint32_t id) {
+    const auto it = slots_.find(id);
+    if (it == slots_.end()) return false;
+    remove_slot(it->second);
+    return true;
+}
+
+std::optional<std::uint32_t> RandomCache::random_resident() {
+    if (items_.empty()) return std::nullopt;
+    return items_[rng_.uniform_index(items_.size())];
+}
+
+// --------------------------------------------------------------- GdsfCache
+
+GdsfCache::GdsfCache(std::size_t capacity) : capacity_{capacity} {}
+
+bool GdsfCache::contains(std::uint32_t id) const {
+    return entries_.contains(id);
+}
+
+void GdsfCache::rekey(std::uint32_t id, Entry& entry, double priority) {
+    order_.erase({entry.priority, entry.stamp});
+    entry.priority = priority;
+    entry.stamp = ++stamp_counter_;
+    order_.emplace(std::pair{entry.priority, entry.stamp}, id);
+}
+
+bool GdsfCache::touch(std::uint32_t id) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    Entry& e = it->second;
+    ++e.frequency;
+    rekey(id, e, clock_ + static_cast<double>(e.frequency) * e.cost);
+    return true;
+}
+
+std::optional<std::uint32_t> GdsfCache::evict_min() {
+    if (order_.empty()) return std::nullopt;
+    const auto victim_it = order_.begin();
+    const std::uint32_t victim = victim_it->second;
+    // The clock inflates to the evicted priority: future insertions start
+    // above everything that has already aged out.
+    clock_ = std::max(clock_, victim_it->first.first);
+    order_.erase(victim_it);
+    entries_.erase(victim);
+    return victim;
+}
+
+std::optional<std::uint32_t> GdsfCache::admit(std::uint32_t id) {
+    if (capacity_ == 0 || entries_.contains(id)) return std::nullopt;
+    std::optional<std::uint32_t> evicted;
+    if (entries_.size() >= capacity_) evicted = evict_min();
+    const double cost =
+        (pending_valid_ && pending_id_ == id) ? pending_cost_ : 1.0;
+    pending_valid_ = false;
+    Entry entry{.frequency = 1,
+                .cost = cost,
+                .priority = clock_ + cost,
+                .stamp = ++stamp_counter_};
+    order_.emplace(std::pair{entry.priority, entry.stamp}, id);
+    entries_.emplace(id, entry);
+    return evicted;
+}
+
+void GdsfCache::set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (entries_.size() > capacity_) evict_min();
+}
+
+void GdsfCache::note_score(std::uint32_t id, double score) {
+    const double cost = std::max(score, 0.0);
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) {
+        pending_id_ = id;
+        pending_cost_ = cost;
+        pending_valid_ = true;
+        return;
+    }
+    Entry& e = it->second;
+    e.cost = cost;
+    rekey(id, e, clock_ + static_cast<double>(e.frequency) * e.cost);
+}
+
+std::optional<std::uint32_t> GdsfCache::peek_victim() const {
+    if (order_.empty()) return std::nullopt;
+    return order_.begin()->second;
+}
+
+bool GdsfCache::erase(std::uint32_t id) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    order_.erase({it->second.priority, it->second.stamp});
+    entries_.erase(it);
+    return true;
+}
+
+// ---------------------------------------------------------- CostAwareCache
+
+CostAwareCache::CostAwareCache(std::size_t capacity) : capacity_{capacity} {}
+
+bool CostAwareCache::contains(std::uint32_t id) const {
+    return entries_.contains(id);
+}
+
+void CostAwareCache::rekey(std::uint32_t id, Entry& entry, double cost) {
+    order_.erase({entry.cost, entry.stamp});
+    entry.cost = cost;
+    entry.stamp = ++access_counter_;
+    order_.emplace(std::pair{entry.cost, entry.stamp}, id);
+}
+
+bool CostAwareCache::touch(std::uint32_t id) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    rekey(id, it->second, it->second.cost);  // recency bump within the bucket
+    return true;
+}
+
+std::optional<std::uint32_t> CostAwareCache::evict_min() {
+    if (order_.empty()) return std::nullopt;
+    const auto victim_it = order_.begin();
+    const std::uint32_t victim = victim_it->second;
+    order_.erase(victim_it);
+    entries_.erase(victim);
+    return victim;
+}
+
+std::optional<std::uint32_t> CostAwareCache::admit(std::uint32_t id) {
+    if (capacity_ == 0 || entries_.contains(id)) return std::nullopt;
+    std::optional<std::uint32_t> evicted;
+    if (entries_.size() >= capacity_) evicted = evict_min();
+    const double cost =
+        (pending_valid_ && pending_id_ == id) ? pending_cost_ : 1.0;
+    pending_valid_ = false;
+    const Entry entry{.cost = cost, .stamp = ++access_counter_};
+    order_.emplace(std::pair{entry.cost, entry.stamp}, id);
+    entries_.emplace(id, entry);
+    return evicted;
+}
+
+void CostAwareCache::set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (entries_.size() > capacity_) evict_min();
+}
+
+void CostAwareCache::note_score(std::uint32_t id, double score) {
+    const double cost = std::max(score, 0.0);
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) {
+        pending_id_ = id;
+        pending_cost_ = cost;
+        pending_valid_ = true;
+        return;
+    }
+    rekey(id, it->second, cost);
+}
+
+std::optional<std::uint32_t> CostAwareCache::peek_victim() const {
+    if (order_.empty()) return std::nullopt;
+    return order_.begin()->second;
+}
+
+bool CostAwareCache::erase(std::uint32_t id) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return false;
+    order_.erase({it->second.cost, it->second.stamp});
+    entries_.erase(it);
+    return true;
 }
 
 }  // namespace spider::cache

@@ -1,8 +1,10 @@
 #pragma once
 
 // Classic eviction policies: LRU and LFU (the Figure 3(b) motivation
-// baselines), FIFO, the CoorDL/MinIO-style static cache, and uniform
-// random replacement (the L-section policy of iCache).
+// baselines), FIFO, the CoorDL/MinIO-style static cache, uniform random
+// replacement (the L-section policy of iCache), and the score-sensitive
+// GDSF / cost-aware policies selectable for the semantic-cache sections
+// (DESIGN.md §13).
 
 #include <cstdint>
 #include <list>
@@ -27,6 +29,8 @@ public:
     bool touch(std::uint32_t id) override;
     std::optional<std::uint32_t> admit(std::uint32_t id) override;
     void set_capacity(std::size_t capacity) override;
+    [[nodiscard]] std::optional<std::uint32_t> peek_victim() const override;
+    bool erase(std::uint32_t id) override;
 
     /// Visits every resident id, least-recently-used first. Re-admitting
     /// in this order reproduces the recency horizon exactly — the SSD
@@ -56,6 +60,8 @@ public:
     bool touch(std::uint32_t id) override;
     std::optional<std::uint32_t> admit(std::uint32_t id) override;
     void set_capacity(std::size_t capacity) override;
+    [[nodiscard]] std::optional<std::uint32_t> peek_victim() const override;
+    bool erase(std::uint32_t id) override;
 
 private:
     struct Entry {
@@ -84,6 +90,8 @@ public:
     bool touch(std::uint32_t id) override;
     std::optional<std::uint32_t> admit(std::uint32_t id) override;
     void set_capacity(std::size_t capacity) override;
+    [[nodiscard]] std::optional<std::uint32_t> peek_victim() const override;
+    bool erase(std::uint32_t id) override;
 
 private:
     std::size_t capacity_;
@@ -94,6 +102,12 @@ private:
 /// CoorDL's MinIO cache: admits until full, then never replaces. Random
 /// sampling touches every sample once per epoch, so a never-churning cache
 /// gives a stable hit ratio equal to the cache fraction.
+///
+/// Shrink semantics: "never replaces" does NOT mean "never shrinks" —
+/// under an elastic resize the cache must still give capacity back. With
+/// no replacement order to follow, shrink evicts newest-admitted first
+/// (LIFO), preserving the earliest-admitted stable set that MinIO's
+/// steady hit ratio comes from. peek_victim() previews the same order.
 class StaticCache final : public EvictionCache {
 public:
     explicit StaticCache(std::size_t capacity);
@@ -105,6 +119,8 @@ public:
     bool touch(std::uint32_t id) override;
     std::optional<std::uint32_t> admit(std::uint32_t id) override;
     void set_capacity(std::size_t capacity) override;
+    [[nodiscard]] std::optional<std::uint32_t> peek_victim() const override;
+    bool erase(std::uint32_t id) override;
 
 private:
     std::size_t capacity_;
@@ -113,6 +129,9 @@ private:
 };
 
 /// Uniform random replacement (iCache's policy for non-important samples).
+/// All randomness — replacement victims, shrink victims, and the
+/// random_resident() surrogate draws — comes from the single ctor-seeded
+/// stream, so a fixed seed pins the full eviction/surrogate sequence.
 class RandomCache final : public EvictionCache {
 public:
     RandomCache(std::size_t capacity, util::Rng rng);
@@ -123,17 +142,103 @@ public:
     [[nodiscard]] bool contains(std::uint32_t id) const override;
     bool touch(std::uint32_t id) override;
     std::optional<std::uint32_t> admit(std::uint32_t id) override;
+    /// Shrink evicts uniformly random victims (the policy's only victim
+    /// order), not the newest-admitted tail.
     void set_capacity(std::size_t capacity) override;
+    /// Previews the next eviction draw without consuming it; invalidated
+    /// by any intervening draw (admit over capacity, shrink,
+    /// random_resident).
+    [[nodiscard]] std::optional<std::uint32_t> peek_victim() const override;
+    bool erase(std::uint32_t id) override;
 
     /// A uniformly random resident id — iCache serves this as a substitute
-    /// for a missed non-important sample. Empty cache -> nullopt.
-    [[nodiscard]] std::optional<std::uint32_t> random_resident(util::Rng& rng) const;
+    /// for a missed non-important sample. Draws from the same internal
+    /// stream as replacement. Empty cache -> nullopt.
+    [[nodiscard]] std::optional<std::uint32_t> random_resident();
 
 private:
+    std::uint32_t remove_slot(std::size_t slot);
+
     std::size_t capacity_;
     util::Rng rng_;
     std::unordered_map<std::uint32_t, std::size_t> slots_;
     std::vector<std::uint32_t> items_;
+};
+
+/// Greedy-Dual-Size-Frequency over unit-size items: priority =
+/// clock + frequency * score, victim = lowest priority, and the clock
+/// inflates to each victim's priority so long-idle entries age out.
+/// The score arrives via note_score() (importance scores in the semantic
+/// sections); without one, cost defaults to 1 and GDSF degrades to LFU
+/// with aging.
+class GdsfCache final : public EvictionCache {
+public:
+    explicit GdsfCache(std::size_t capacity);
+
+    [[nodiscard]] std::string name() const override { return "GDSF"; }
+    [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+    [[nodiscard]] std::size_t capacity() const override { return capacity_; }
+    [[nodiscard]] bool contains(std::uint32_t id) const override;
+    bool touch(std::uint32_t id) override;
+    std::optional<std::uint32_t> admit(std::uint32_t id) override;
+    void set_capacity(std::size_t capacity) override;
+    void note_score(std::uint32_t id, double score) override;
+    [[nodiscard]] std::optional<std::uint32_t> peek_victim() const override;
+    bool erase(std::uint32_t id) override;
+
+private:
+    struct Entry {
+        std::uint64_t frequency;
+        double cost;
+        double priority;
+        std::uint64_t stamp;  // insertion-order tie-break
+    };
+    void rekey(std::uint32_t id, Entry& entry, double priority);
+    std::optional<std::uint32_t> evict_min();
+
+    std::size_t capacity_;
+    double clock_ = 0.0;  // inflates to each evicted priority
+    std::uint64_t stamp_counter_ = 0;
+    std::uint32_t pending_id_ = 0;  // note_score for a not-yet-resident id
+    double pending_cost_ = 1.0;
+    bool pending_valid_ = false;
+    std::unordered_map<std::uint32_t, Entry> entries_;
+    std::map<std::pair<double, std::uint64_t>, std::uint32_t> order_;
+};
+
+/// Cost-aware replacement: evict the lowest-scored resident, breaking
+/// ties least-recently-touched first. Scores arrive via note_score();
+/// unknown scores default to 1.
+class CostAwareCache final : public EvictionCache {
+public:
+    explicit CostAwareCache(std::size_t capacity);
+
+    [[nodiscard]] std::string name() const override { return "CostAware"; }
+    [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+    [[nodiscard]] std::size_t capacity() const override { return capacity_; }
+    [[nodiscard]] bool contains(std::uint32_t id) const override;
+    bool touch(std::uint32_t id) override;
+    std::optional<std::uint32_t> admit(std::uint32_t id) override;
+    void set_capacity(std::size_t capacity) override;
+    void note_score(std::uint32_t id, double score) override;
+    [[nodiscard]] std::optional<std::uint32_t> peek_victim() const override;
+    bool erase(std::uint32_t id) override;
+
+private:
+    struct Entry {
+        double cost;
+        std::uint64_t stamp;  // recency tie-break within equal cost
+    };
+    void rekey(std::uint32_t id, Entry& entry, double cost);
+    std::optional<std::uint32_t> evict_min();
+
+    std::size_t capacity_;
+    std::uint64_t access_counter_ = 0;
+    std::uint32_t pending_id_ = 0;
+    double pending_cost_ = 1.0;
+    bool pending_valid_ = false;
+    std::unordered_map<std::uint32_t, Entry> entries_;
+    std::map<std::pair<double, std::uint64_t>, std::uint32_t> order_;
 };
 
 }  // namespace spider::cache

@@ -1,10 +1,21 @@
 #include "cache/homophily_cache.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace spider::cache {
 
-HomophilyCache::HomophilyCache(std::size_t capacity) : capacity_{capacity} {}
+HomophilyCache::HomophilyCache(std::size_t capacity, PolicyKind kind)
+    : capacity_{capacity}, kind_{kind} {
+    if (kind_ != PolicyKind::kFifo) {
+        if (!homophily_policy_ok(kind_)) {
+            throw std::invalid_argument{
+                "HomophilyCache: policy '" + to_string(kind_) +
+                "' not eligible for the homophily section"};
+        }
+        policy_ = make_section_policy(kind_, capacity_);
+    }
+}
 
 bool HomophilyCache::contains_key(std::uint32_t id) const {
     return entries_.contains(id);
@@ -20,9 +31,12 @@ std::optional<std::uint32_t> HomophilyCache::surrogate_for(
 }
 
 void HomophilyCache::evict_front() {
-    const std::uint32_t victim = fifo_.front();
-    fifo_.pop_front();
+    evict_key(fifo_.front());
+}
+
+void HomophilyCache::evict_key(std::uint32_t victim) {
     const auto entry_it = entries_.find(victim);
+    fifo_.erase(entry_it->second.fifo_pos);
     for (std::uint32_t neighbor : entry_it->second.neighbors) {
         const auto idx_it = neighbor_index_.find(neighbor);
         if (idx_it == neighbor_index_.end()) continue;
@@ -31,6 +45,13 @@ void HomophilyCache::evict_front() {
         if (keys.empty()) neighbor_index_.erase(idx_it);
     }
     entries_.erase(entry_it);
+    if (policy_) policy_->erase(victim);
+}
+
+std::optional<std::uint32_t> HomophilyCache::next_victim() const {
+    if (policy_) return policy_->peek_victim();
+    if (fifo_.empty()) return std::nullopt;
+    return fifo_.front();
 }
 
 std::optional<std::uint32_t> HomophilyCache::update(
@@ -38,8 +59,8 @@ std::optional<std::uint32_t> HomophilyCache::update(
     if (capacity_ == 0 || entries_.contains(key)) return std::nullopt;
     std::optional<std::uint32_t> evicted;
     if (entries_.size() >= capacity_) {
-        evicted = fifo_.front();
-        evict_front();
+        evicted = next_victim();
+        evict_key(*evicted);
     }
     fifo_.push_back(key);
     Entry entry;
@@ -50,12 +71,18 @@ std::optional<std::uint32_t> HomophilyCache::update(
         neighbor_index_[neighbor].push_back(key);
     }
     entries_.emplace(key, std::move(entry));
+    if (policy_) policy_->admit(key);  // never evicts: victim pre-removed
     return evicted;
 }
 
+bool HomophilyCache::touch_key(std::uint32_t key) {
+    if (!entries_.contains(key)) return false;
+    if (policy_) policy_->touch(key);
+    return true;
+}
+
 std::optional<std::uint32_t> HomophilyCache::oldest() const {
-    if (fifo_.empty()) return std::nullopt;
-    return fifo_.front();
+    return next_victim();
 }
 
 std::optional<std::uint64_t> HomophilyCache::seq_of(std::uint32_t key) const {
@@ -66,11 +93,11 @@ std::optional<std::uint64_t> HomophilyCache::seq_of(std::uint32_t key) const {
 
 std::optional<std::pair<std::uint32_t, std::vector<std::uint32_t>>>
 HomophilyCache::evict_oldest() {
-    if (fifo_.empty()) return std::nullopt;
-    const std::uint32_t victim = fifo_.front();
-    std::vector<std::uint32_t> neighbors{entries_.at(victim).neighbors};
-    evict_front();
-    return std::make_pair(victim, std::move(neighbors));
+    const auto victim = next_victim();
+    if (!victim) return std::nullopt;
+    std::vector<std::uint32_t> neighbors{entries_.at(*victim).neighbors};
+    evict_key(*victim);
+    return std::make_pair(*victim, std::move(neighbors));
 }
 
 std::span<const std::uint32_t> HomophilyCache::neighbors_of(
@@ -82,7 +109,8 @@ std::span<const std::uint32_t> HomophilyCache::neighbors_of(
 
 void HomophilyCache::set_capacity(std::size_t capacity) {
     capacity_ = capacity;
-    while (entries_.size() > capacity_) evict_front();
+    while (entries_.size() > capacity_) evict_key(*next_victim());
+    if (policy_) policy_->set_capacity(capacity_);
 }
 
 }  // namespace spider::cache

@@ -7,22 +7,36 @@
 // samples affect the model near-identically, so I/O is saved at negligible
 // accuracy cost. Updates are FIFO ("all samples are regularly replaced,
 // fostering diversity"), one candidate per processed batch.
+//
+// Since PR 9 the replacement order is policy-pluggable (DESIGN.md §13):
+// the default PolicyKind::kFifo keeps the exact legacy FIFO code path
+// (bit-identical), while kLru/kLfu/kGdsf/kCost delegate victim selection
+// to an EvictionCache. The insertion-order list is kept in every mode —
+// it is the section's iteration/snapshot order — only the *victim choice*
+// changes. A delegated policy's access signal is the re-offer stream:
+// update() on an already-resident key counts as a touch (the read path is
+// seqlock wait-free and cannot take recency bookkeeping).
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "cache/policy.hpp"
+
 namespace spider::cache {
 
 class HomophilyCache {
 public:
-    explicit HomophilyCache(std::size_t capacity);
+    explicit HomophilyCache(std::size_t capacity,
+                            PolicyKind kind = PolicyKind::kFifo);
 
     [[nodiscard]] std::string name() const { return "Homophily"; }
+    [[nodiscard]] PolicyKind policy() const { return kind_; }
     /// Number of resident high-degree nodes (each entry holds one sample
     /// payload; the neighbor-ID lists are metadata, not payload).
     [[nodiscard]] std::size_t size() const { return entries_.size(); }
@@ -38,10 +52,15 @@ public:
 
     /// Inserts the batch's highest-degree node with its neighbor list,
     /// unless it is already resident (paper: "which was not previously in
-    /// the Homophily Cache"). Evicts FIFO when full. Returns the evicted
-    /// node id, if any.
+    /// the Homophily Cache"). Evicts the active policy's victim when full
+    /// (FIFO head by default). Returns the evicted node id, if any.
     std::optional<std::uint32_t> update(std::uint32_t key,
                                         std::span<const std::uint32_t> neighbors);
+
+    /// Access signal for a delegated policy: the key was re-offered as a
+    /// batch's high-degree candidate while already resident. No-op (and
+    /// bit-identical) under the default FIFO policy. Returns residency.
+    bool touch_key(std::uint32_t key);
 
     /// Neighbor list of a resident node (empty span if absent) — used by
     /// tests and by the metrics layer.
@@ -58,8 +77,9 @@ public:
         return std::nullopt;
     }
 
-    /// FIFO head: the next eviction victim (nullopt when empty). Lets the
-    /// sharded two-layer cache capture a victim's neighbor list before the
+    /// The next eviction victim (nullopt when empty): the FIFO head by
+    /// default, the delegated policy's choice otherwise. Lets the sharded
+    /// two-layer cache capture a victim's neighbor list before the
     /// eviction invalidates it.
     [[nodiscard]] std::optional<std::uint32_t> oldest() const;
 
@@ -70,7 +90,8 @@ public:
     /// the generation it published for no longer exists (ABA-safe).
     [[nodiscard]] std::optional<std::uint64_t> seq_of(std::uint32_t key) const;
 
-    /// Visits every resident key, oldest first — view-rebuild helper.
+    /// Visits every resident key, insertion order (oldest first) — view-
+    /// rebuild helper. Order is insertion-based in every policy mode.
     template <typename Fn>
     void for_each_key(Fn fn) const {
         for (std::uint32_t key : fifo_) fn(key);
@@ -84,12 +105,13 @@ public:
         for (const auto& [neighbor, keys] : neighbor_index_) fn(neighbor, keys);
     }
 
-    /// Pops the FIFO head and returns it with its neighbor list — the
+    /// Evicts the next victim and returns it with its neighbor list — the
     /// explicit-eviction path used when an external neighbor index must be
     /// kept in sync (sharded mode).
     std::optional<std::pair<std::uint32_t, std::vector<std::uint32_t>>>
     evict_oldest();
 
+    /// Shrink evicts in the active policy's victim order.
     void set_capacity(std::size_t capacity);
 
 private:
@@ -100,8 +122,12 @@ private:
     };
 
     void evict_front();
+    void evict_key(std::uint32_t victim);
+    [[nodiscard]] std::optional<std::uint32_t> next_victim() const;
 
     std::size_t capacity_;
+    PolicyKind kind_;
+    std::unique_ptr<EvictionCache> policy_;  // null in kFifo mode
     std::uint64_t next_seq_ = 0;
     std::list<std::uint32_t> fifo_;  // front = oldest key
     std::unordered_map<std::uint32_t, Entry> entries_;

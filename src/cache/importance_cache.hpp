@@ -6,30 +6,48 @@
 // miss only if the new sample outscores the current minimum" — is O(log n).
 // Also serves as the cache layer of SHADE and of iCache's H-section, which
 // share the score-driven eviction idea (with their own scoring functions).
+//
+// Since PR 9 the section is policy-pluggable (DESIGN.md §13): the default
+// PolicyKind::kSemantic keeps the exact legacy min-heap code path
+// (bit-identical), while kLru/kLfu/kFifo/kGdsf/kCost delegate admission
+// and victim selection to an EvictionCache. Under a delegated policy the
+// score-gated rejection of Algorithm 1 (Case 2) does not apply — the
+// policy always replaces its own victim — and the write-path score
+// refresh doubles as the policy's access signal (the read path is
+// seqlock wait-free and cannot take recency bookkeeping).
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
 
+#include "cache/policy.hpp"
+
 namespace spider::cache {
 
 class ImportanceCache {
 public:
-    explicit ImportanceCache(std::size_t capacity);
+    explicit ImportanceCache(std::size_t capacity,
+                             PolicyKind kind = PolicyKind::kSemantic);
 
     [[nodiscard]] std::string name() const { return "Importance"; }
+    [[nodiscard]] PolicyKind policy() const { return kind_; }
     [[nodiscard]] std::size_t size() const { return scores_.size(); }
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
     [[nodiscard]] bool contains(std::uint32_t id) const;
 
     /// Lowest resident score (the min-heap top in the paper's Figure 9).
+    /// Under a delegated policy this is informational only — the
+    /// admission gate is the policy's.
     [[nodiscard]] std::optional<double> min_score() const;
     [[nodiscard]] std::optional<double> score_of(std::uint32_t id) const;
 
-    /// Admission rule: inserts when there is free space, or when `score`
-    /// beats the current minimum (which is then evicted). Returns the
+    /// Admission rule. kSemantic: inserts when there is free space, or
+    /// when `score` beats the current minimum (which is then evicted).
+    /// Delegated policies: the policy decides — LRU/LFU/FIFO/GDSF/cost
+    /// always admit, evicting their own victim when full. Returns the
     /// evicted id, if any; `admitted` reports whether the insert happened.
     struct AdmitResult {
         bool admitted = false;
@@ -38,9 +56,11 @@ public:
     AdmitResult admit_scored(std::uint32_t id, double score);
 
     /// Re-keys a resident sample after its global score changed (scores
-    /// drift every epoch as the model trains). Returns whether the id was
-    /// resident (false = no-op), so callers mirroring residency into a
-    /// read-optimized view know whether anything changed.
+    /// drift every epoch as the model trains). Under a delegated policy
+    /// this is also the access signal: the served stream reaches the
+    /// section exactly here, so the policy's touch() rides along. Returns
+    /// whether the id was resident (false = no-op), so callers mirroring
+    /// residency into a read-optimized view know whether anything changed.
     bool update_score(std::uint32_t id, double score);
 
     /// Visits every resident (id, score) pair in unspecified order — used
@@ -62,12 +82,17 @@ public:
     }
 
     bool erase(std::uint32_t id);
+    /// Shrink evicts in the active policy's victim order (kSemantic:
+    /// ascending score; delegated: the policy's peek_victim order).
     void set_capacity(std::size_t capacity);
 
 private:
     void evict_min();
+    void erase_tracking(std::uint32_t id);
 
     std::size_t capacity_;
+    PolicyKind kind_;
+    std::unique_ptr<EvictionCache> policy_;  // null in kSemantic mode
     std::unordered_map<std::uint32_t, double> scores_;
     std::set<std::pair<double, std::uint32_t>> order_;  // ascending score
 };

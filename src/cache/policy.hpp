@@ -5,8 +5,15 @@
 // live in the dataset (see storage::CacheStore for the byte-budget view).
 // Capacity is in items: the paper sizes caches as a percentage of the
 // dataset, and samples within a dataset share one serialized size.
+//
+// Since PR 9 this seam also backs the *sections* of the two-layer
+// semantic cache (DESIGN.md §13): ImportanceCache and HomophilyCache can
+// delegate victim selection to any EvictionCache, so the paper's Table
+// baselines and SpiderCache run on one code path and policies are
+// swappable per section (and per server tenant).
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -34,8 +41,75 @@ public:
     /// case they return nullopt and size() is unchanged.
     virtual std::optional<std::uint32_t> admit(std::uint32_t id) = 0;
 
-    /// Elastic resize; evicts per-policy when shrinking.
+    /// Elastic resize; evicts per-policy when shrinking (see peek_victim:
+    /// shrink removes victims in exactly the policy's eviction order).
     virtual void set_capacity(std::size_t capacity) = 0;
+
+    /// Value signal for cost-sensitive policies (GDSF, cost-aware): the
+    /// importance score of `id`, delivered before admit() on the miss path
+    /// and on every score refresh. Value-blind policies ignore it.
+    virtual void note_score(std::uint32_t id, double score) {
+        (void)id;
+        (void)score;
+    }
+
+    /// The id the next admission/shrink would evict, or nullopt when
+    /// empty. For RandomCache this previews (without consuming) the next
+    /// rng draw, so it stays valid only until the next draw.
+    [[nodiscard]] virtual std::optional<std::uint32_t> peek_victim()
+        const = 0;
+
+    /// Out-of-band removal (section exclusivity moves, cross-section
+    /// rebalancing). Returns whether `id` was resident.
+    virtual bool erase(std::uint32_t id) = 0;
 };
+
+/// Selectable eviction/admission policy, per cache section.
+enum class PolicyKind : std::uint8_t {
+    kSemantic,  ///< the paper's score-ordered admission (importance only)
+    kLru,
+    kLfu,
+    kFifo,  ///< insertion order — the paper's homophily-section default
+    kGdsf,  ///< greedy-dual-size-frequency: clock + frequency * score
+    kCost,  ///< evict the lowest-scored resident (LRU tie-break)
+    kRandom,
+    kStatic,
+};
+
+/// Parses "semantic|lru|lfu|fifo|gdsf|cost|random|static" (case-
+/// insensitive). Throws std::invalid_argument on anything else.
+PolicyKind policy_from_string(const std::string& name);
+std::string to_string(PolicyKind kind);
+
+/// Section eligibility: random (nondeterministic victim preview) and
+/// static (rejects instead of replacing) stay baseline-frontend-only.
+[[nodiscard]] bool importance_policy_ok(PolicyKind kind);
+[[nodiscard]] bool homophily_policy_ok(PolicyKind kind);
+
+/// Policy choice for the two sections of a TwoLayerSemanticCache. The
+/// defaults reproduce the paper exactly (and bit-identically to pre-seam
+/// builds): score-ordered importance admission + FIFO homophily.
+struct SectionPolicies {
+    PolicyKind importance = PolicyKind::kSemantic;
+    PolicyKind homophily = PolicyKind::kFifo;
+
+    [[nodiscard]] bool is_default() const {
+        return importance == PolicyKind::kSemantic &&
+               homophily == PolicyKind::kFifo;
+    }
+    friend bool operator==(const SectionPolicies&,
+                           const SectionPolicies&) = default;
+};
+
+/// Throws std::invalid_argument when either section names an ineligible
+/// policy (see importance_policy_ok / homophily_policy_ok).
+void validate(const SectionPolicies& policies);
+
+/// Instantiates a section-eligible policy (kLru/kLfu/kFifo/kGdsf/kCost)
+/// at `capacity`. Throws std::invalid_argument for the rest — kSemantic
+/// and the default kFifo homophily path are built into the sections
+/// themselves.
+std::unique_ptr<EvictionCache> make_section_policy(PolicyKind kind,
+                                                   std::size_t capacity);
 
 }  // namespace spider::cache

@@ -26,14 +26,17 @@ std::size_t TwoLayerSemanticCache::auto_shards() {
 TwoLayerSemanticCache::TwoLayerSemanticCache(std::size_t total_capacity,
                                              double imp_ratio,
                                              std::size_t shards,
-                                             bool lockfree_reads)
+                                             bool lockfree_reads,
+                                             SectionPolicies policies)
     : total_capacity_{total_capacity},
       imp_ratio_{imp_ratio},
-      lockfree_reads_{lockfree_reads} {
+      lockfree_reads_{lockfree_reads},
+      policies_{policies} {
     if (imp_ratio <= 0.0 || imp_ratio > 1.0) {
         throw std::invalid_argument{
             "TwoLayerSemanticCache: imp_ratio must be in (0, 1]"};
     }
+    validate(policies_);
     // Same floor as set_imp_ratio(), so a ratio the elastic manager would
     // clamp builds the same partition when passed at construction.
     imp_ratio = std::max(imp_ratio, kMinImpRatio);
@@ -43,7 +46,8 @@ TwoLayerSemanticCache::TwoLayerSemanticCache(std::size_t total_capacity,
     for (std::size_t s = 0; s < shards; ++s) {
         const std::size_t capacity = slice_capacity(total_capacity_, shards, s);
         const std::size_t imp = imp_items_for(capacity, imp_ratio);
-        shards_.push_back(std::make_unique<Shard>(imp, capacity - imp));
+        shards_.push_back(
+            std::make_unique<Shard>(imp, capacity - imp, policies_));
     }
 }
 
@@ -292,10 +296,13 @@ std::optional<std::uint32_t> TwoLayerSemanticCache::update_homophily(
         // Section exclusivity (paper §4.2): a key resident in Importance
         // is already cached — do not duplicate it as a homophily node.
         if (key_shard.importance.contains(key)) return std::nullopt;
-        if (key_shard.homophily.capacity() == 0 ||
-            key_shard.homophily.contains_key(key)) {
+        if (key_shard.homophily.contains_key(key)) {
+            // Re-offer of a resident key is the section's access signal
+            // for a delegated policy (no-op under the default FIFO).
+            key_shard.homophily.touch_key(key);
             return std::nullopt;
         }
+        if (key_shard.homophily.capacity() == 0) return std::nullopt;
         std::vector<std::uint32_t> victim_neighbors;
         if (key_shard.homophily.size() >= key_shard.homophily.capacity()) {
             const auto nb = key_shard.homophily.neighbors_of(
@@ -347,8 +354,13 @@ std::optional<std::uint32_t> TwoLayerSemanticCache::update_homophily(
         const std::lock_guard lock{key_shard.mu};
         sync_view_locked(key_shard);
         if (key_shard.importance.contains(key) ||  // section exclusivity
-            key_shard.homophily.capacity() == 0 ||
-            key_shard.homophily.contains_key(key)) {
+            key_shard.homophily.capacity() == 0) {
+            return std::nullopt;
+        }
+        if (key_shard.homophily.contains_key(key)) {
+            // Re-offer of a resident key is the section's access signal
+            // for a delegated policy (no-op under the default FIFO).
+            key_shard.homophily.touch_key(key);
             return std::nullopt;
         }
         if (key_shard.homophily.size() >= key_shard.homophily.capacity()) {
@@ -440,6 +452,56 @@ void TwoLayerSemanticCache::set_imp_ratio(double imp_ratio) {
         for (const auto& [victim, victim_neighbors] : victims) {
             unindex_evicted(victim, victim_neighbors);
         }
+    }
+}
+
+void TwoLayerSemanticCache::set_section_policies(
+    const SectionPolicies& policies) {
+    validate(policies);
+    {
+        const std::lock_guard plock{policies_mu_};
+        if (policies == policies_) return;
+        policies_ = policies;
+    }
+    for (auto& shard_ptr : shards_) {
+        Shard& shard = *shard_ptr;
+        const std::lock_guard lock{shard.mu};
+        sync_view_locked(shard);
+        // Snapshot the shard's residency, rebuild both sections under the
+        // new policies, and re-admit. Importance goes highest score first
+        // (everything fits — same capacity — but the order also seeds a
+        // semantic target's min-heap exactly as steady state would);
+        // homophily keys go in their live insertion order so the FIFO
+        // record carries over.
+        std::vector<std::pair<std::uint32_t, double>> imp;
+        shard.importance.for_each([&imp](std::uint32_t id, double score) {
+            imp.emplace_back(id, score);
+        });
+        std::sort(imp.begin(), imp.end(), [](const auto& a, const auto& b) {
+            return a.second > b.second;
+        });
+        std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> hom;
+        shard.homophily.for_each_key([&hom, &shard](std::uint32_t key) {
+            const auto nb = shard.homophily.neighbors_of(key);
+            hom.emplace_back(key,
+                             std::vector<std::uint32_t>{nb.begin(), nb.end()});
+        });
+        ImportanceCache fresh_imp{shard.importance.capacity(),
+                                  policies.importance};
+        for (const auto& [id, score] : imp) {
+            (void)fresh_imp.admit_scored(id, score);
+        }
+        shard.importance = std::move(fresh_imp);
+        HomophilyCache fresh_hom{shard.homophily.capacity(),
+                                 policies.homophily};
+        for (const auto& [key, neighbors] : hom) {
+            (void)fresh_hom.update(key, neighbors);
+        }
+        shard.homophily = std::move(fresh_hom);
+        // The sharded neighbor-index slices key off residency, which is
+        // unchanged — only the view needs a rebuild (section scores and
+        // surrogate choices are re-derived from the fresh sections).
+        rebuild_view_locked(shard);
     }
 }
 

@@ -85,10 +85,19 @@ public:
     ///                        kAutoShards = min(16, hw_concurrency)).
     /// @param lockfree_reads  Serve lookup/probe from the seqlock view
     ///                        (off = every read takes the shard mutex).
+    /// @param policies        Per-section eviction policies (DESIGN.md
+    ///                        §13). The default — semantic importance +
+    ///                        FIFO homophily — takes the exact legacy code
+    ///                        path, bit-identical to pre-seam builds.
     TwoLayerSemanticCache(std::size_t total_capacity, double imp_ratio,
-                          std::size_t shards = 1, bool lockfree_reads = true);
+                          std::size_t shards = 1, bool lockfree_reads = true,
+                          SectionPolicies policies = {});
 
     [[nodiscard]] std::size_t total_capacity() const { return total_capacity_; }
+    [[nodiscard]] SectionPolicies section_policies() const {
+        const std::lock_guard lock{policies_mu_};
+        return policies_;
+    }
     [[nodiscard]] double imp_ratio() const {
         return imp_ratio_.load(std::memory_order_relaxed);
     }
@@ -143,6 +152,16 @@ public:
     /// to [kMinImpRatio, 1]). Locks shards one at a time; concurrent
     /// lookups/admissions stay valid.
     void set_imp_ratio(double imp_ratio);
+
+    /// Live policy switch (shadow-tuner apply path, DESIGN.md §13):
+    /// rebuilds both sections of every shard under the new eviction
+    /// policies, preserving the current residency set, scores, and
+    /// homophily insertion order. Locks shards one at a time; concurrent
+    /// *reads* stay valid throughout. Callers must quiesce concurrent
+    /// writers (the tuner applies at an epoch boundary on the driver
+    /// thread). No-op when `policies` equals the active pair. Residency
+    /// is unchanged, so nothing is streamed to the WAL listener.
+    void set_section_policies(const SectionPolicies& policies);
 
     /// Degraded-mode surrogate scan (fault-tolerance ladder, DESIGN.md
     /// §9): any resident id accepted by `accept`, preferring the requested
@@ -230,9 +249,10 @@ public:
 
 private:
     struct Shard {
-        Shard(std::size_t imp_capacity, std::size_t hom_capacity)
-            : importance{imp_capacity},
-              homophily{hom_capacity},
+        Shard(std::size_t imp_capacity, std::size_t hom_capacity,
+              const SectionPolicies& policies)
+            : importance{imp_capacity, policies.importance},
+              homophily{hom_capacity, policies.homophily},
               view{imp_capacity + hom_capacity} {}
 
         mutable std::mutex mu;
@@ -285,6 +305,8 @@ private:
     std::size_t total_capacity_;
     std::atomic<double> imp_ratio_;
     bool lockfree_reads_;
+    mutable std::mutex policies_mu_;  // guards policies_ (rarely written)
+    SectionPolicies policies_;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::function<void()> publish_hook_;
     ResidencyListener residency_listener_;

@@ -1,0 +1,138 @@
+#include "cache/shadow_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spider::cache {
+
+void validate(const TunerConfig& config) {
+    if (!config.enabled) return;
+    if (config.ratio_grid.empty()) {
+        throw std::invalid_argument{"tuner: ratio_grid must not be empty"};
+    }
+    for (double ratio : config.ratio_grid) {
+        if (ratio <= 0.0 || ratio > 1.0) {
+            throw std::invalid_argument{
+                "tuner: ratio_grid entries must be in (0, 1]"};
+        }
+    }
+    if (config.policy_grid.empty()) {
+        throw std::invalid_argument{"tuner: policies must not be empty"};
+    }
+    for (PolicyKind kind : config.policy_grid) {
+        if (!importance_policy_ok(kind)) {
+            throw std::invalid_argument{
+                "tuner: policy '" + to_string(kind) +
+                "' not eligible for the importance section"};
+        }
+    }
+    if (config.margin < 0.0) {
+        throw std::invalid_argument{"tuner: margin must be >= 0"};
+    }
+    if (config.sustain_epochs == 0) {
+        throw std::invalid_argument{"tuner: sustain_epochs must be >= 1"};
+    }
+    if (config.max_neighbors == 0) {
+        throw std::invalid_argument{"tuner: max_neighbors must be >= 1"};
+    }
+}
+
+ShadowTuner::ShadowTuner(const TunerConfig& config, std::size_t total_capacity,
+                         double incumbent_ratio, PolicyKind incumbent_policy)
+    : config_{config}, incumbent_{incumbent_ratio, incumbent_policy} {
+    validate(config_);
+    // One ghost per grid point; the incumbent's own combination would only
+    // re-measure the live cache, so it is skipped. (After a switch the new
+    // incumbent's ghost is deliberately kept — see end_epoch.)
+    for (double ratio : config_.ratio_grid) {
+        for (PolicyKind kind : config_.policy_grid) {
+            const Candidate candidate{ratio, kind};
+            if (candidate == incumbent_) continue;
+            ghosts_.push_back(
+                std::make_unique<Ghost>(candidate, total_capacity));
+        }
+    }
+}
+
+void ShadowTuner::on_access(std::uint32_t id, double score) {
+    ++epoch_accesses_;
+    for (auto& ghost : ghosts_) {
+        if (ghost->cache.lookup(id).kind != HitKind::kMiss) {
+            ++ghost->epoch_hits;
+        } else {
+            (void)ghost->cache.on_miss_fetched(id, score);
+        }
+    }
+}
+
+void ShadowTuner::on_score_update(std::uint32_t id, double score) {
+    for (auto& ghost : ghosts_) {
+        ghost->cache.update_importance_score(id, score);
+    }
+}
+
+void ShadowTuner::on_homophily_offer(
+    std::uint32_t key, std::span<const std::uint32_t> neighbors) {
+    std::span<const std::uint32_t> capped = neighbors;
+    if (capped.size() > config_.max_neighbors) {
+        capped = capped.first(config_.max_neighbors);
+    }
+    for (auto& ghost : ghosts_) {
+        (void)ghost->cache.update_homophily(key, capped);
+    }
+}
+
+ShadowTuner::Verdict ShadowTuner::end_epoch(double incumbent_hit_ratio) {
+    Verdict verdict;
+    verdict.incumbent_hit_ratio = incumbent_hit_ratio;
+    const Ghost* best = nullptr;
+    double best_ratio = -1.0;
+    for (const auto& ghost : ghosts_) {
+        const double ratio =
+            epoch_accesses_ == 0
+                ? 0.0
+                : static_cast<double>(ghost->epoch_hits) /
+                      static_cast<double>(epoch_accesses_);
+        // Strict > keeps the ranking deterministic: ties resolve to the
+        // earlier grid point, which is construction order every epoch.
+        if (ratio > best_ratio) {
+            best_ratio = ratio;
+            best = ghost.get();
+        }
+    }
+    if (best != nullptr) {
+        verdict.shadow_hits = best->epoch_hits;
+        verdict.best_hit_ratio = best_ratio;
+        const bool beats =
+            best_ratio >= incumbent_hit_ratio + config_.margin &&
+            epoch_accesses_ > 0;
+        if (beats) {
+            if (streak_candidate_ == best->candidate) {
+                ++streak_;
+            } else {
+                streak_candidate_ = best->candidate;
+                streak_ = 1;
+            }
+        } else {
+            streak_candidate_.reset();
+            streak_ = 0;
+        }
+        if (streak_ >= config_.sustain_epochs) {
+            verdict.switched = true;
+            verdict.winner = best->candidate;
+            incumbent_ = best->candidate;
+            ++switches_;
+            streak_candidate_.reset();
+            streak_ = 0;
+            // The winner's ghost stays in the panel: once applied, the
+            // live cache should track it, so the margin test against the
+            // (new) incumbent self-stabilizes instead of re-firing.
+        }
+    }
+    for (auto& ghost : ghosts_) ghost->epoch_hits = 0;
+    epoch_accesses_ = 0;
+    return verdict;
+}
+
+}  // namespace spider::cache

@@ -1,0 +1,135 @@
+#pragma once
+
+// Online shadow-cache tuner (DESIGN.md §13): a panel of metadata-only
+// "ghost" caches replays the live access stream under candidate
+// configurations — alternative Importance-section policies and alternative
+// imp_ratio splits — and reports, at every epoch boundary, whether some
+// candidate sustainably out-hits the incumbent. Ghosts are single-shard
+// TwoLayerSemanticCache instances: the repo's cache structures track ids
+// and scores only (payloads live in the storage layer), so a ghost costs
+// O(capacity) id/score entries plus its capped neighbor lists — the
+// ghost-cache memory bound is
+//     num_ghosts * capacity * (id + score) + hom_capacity * max_neighbors.
+//
+// Hysteresis rule: a switch fires only when the SAME candidate beats the
+// incumbent's measured hit ratio by at least `margin` for `sustain_epochs`
+// consecutive epochs. The streak resets whenever the best candidate
+// changes or drops below the margin, so a noisy epoch cannot flip the
+// policy back and forth. After a switch the incumbent is the winner, its
+// own ghost keeps replaying, and the streak restarts from zero.
+//
+// Threading: the tuner is single-threaded by design. The simulator feeds
+// it the merged per-batch served stream on the driver thread (the live
+// cache is sharded and its reads are seqlock wait-free; replaying the
+// merged stream serially is what makes the tuner deterministic — same
+// seed + same trace => same switch epochs).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "cache/semantic_cache.hpp"
+
+namespace spider::cache {
+
+/// [tuner] knobs (sim INI + programmatic construction).
+struct TunerConfig {
+    bool enabled = false;
+    /// Candidate Importance-section fractions. Each in (0, 1].
+    std::vector<double> ratio_grid{0.5, 0.7, 0.9};
+    /// Candidate Importance-section policies (homophily stays FIFO — the
+    /// split and the importance policy dominate hit ratio; one grid axis
+    /// per section would square the ghost count).
+    std::vector<PolicyKind> policy_grid{PolicyKind::kSemantic};
+    /// Required hit-ratio advantage over the incumbent (absolute).
+    double margin = 0.02;
+    /// Consecutive epochs the same candidate must hold the margin.
+    std::size_t sustain_epochs = 2;
+    /// Apply the winning candidate to the live cache (off = report only).
+    bool auto_apply = true;
+    /// Ghost neighbor-list cap (memory bound; live lists are uncapped).
+    std::size_t max_neighbors = 32;
+};
+
+/// Throws std::invalid_argument on out-of-range knobs.
+void validate(const TunerConfig& config);
+
+class ShadowTuner {
+public:
+    struct Candidate {
+        double imp_ratio = 0.0;
+        PolicyKind importance = PolicyKind::kSemantic;
+        friend bool operator==(const Candidate&, const Candidate&) = default;
+    };
+
+    /// Epoch-boundary outcome (end_epoch).
+    struct Verdict {
+        /// Hits of the best shadow this epoch (metrics column).
+        std::uint64_t shadow_hits = 0;
+        /// Best shadow's epoch hit ratio, and what it was measured against.
+        double best_hit_ratio = 0.0;
+        double incumbent_hit_ratio = 0.0;
+        /// Did the hysteresis rule fire this epoch?
+        bool switched = false;
+        /// The candidate to apply when `switched` (also the new incumbent).
+        std::optional<Candidate> winner;
+    };
+
+    /// Ghosts are built for every (ratio_grid x policy_grid) combination
+    /// except the incumbent's own, at the live cache's total capacity.
+    ShadowTuner(const TunerConfig& config, std::size_t total_capacity,
+                double incumbent_ratio, PolicyKind incumbent_policy);
+
+    /// Replay one served request (the id the trainer asked for, with its
+    /// score at lookup time). Ghost hit => counted; ghost miss => admitted
+    /// through the normal Case 2/4 path.
+    void on_access(std::uint32_t id, double score);
+
+    /// Replay a post-batch score refresh (the write-path served stream).
+    void on_score_update(std::uint32_t id, double score);
+
+    /// Replay a batch's high-degree offer. The neighbor list is truncated
+    /// to max_neighbors before it reaches the ghosts (memory bound).
+    void on_homophily_offer(std::uint32_t key,
+                            std::span<const std::uint32_t> neighbors);
+
+    /// Close the epoch: rank ghosts, apply the hysteresis rule against the
+    /// live cache's measured `incumbent_hit_ratio`, reset per-epoch
+    /// counters. Deterministic given the replayed stream.
+    Verdict end_epoch(double incumbent_hit_ratio);
+
+    [[nodiscard]] std::size_t num_ghosts() const { return ghosts_.size(); }
+    [[nodiscard]] std::uint64_t total_switches() const { return switches_; }
+    [[nodiscard]] Candidate incumbent() const { return incumbent_; }
+    [[nodiscard]] const TunerConfig& config() const { return config_; }
+
+private:
+    struct Ghost {
+        Candidate candidate;
+        TwoLayerSemanticCache cache;
+        std::uint64_t epoch_hits = 0;
+
+        Ghost(const Candidate& c, std::size_t capacity)
+            : candidate{c},
+              cache{capacity, c.imp_ratio, /*shards=*/1,
+                    /*lockfree_reads=*/false,
+                    SectionPolicies{c.importance, PolicyKind::kFifo}} {}
+    };
+
+    TunerConfig config_;
+    Candidate incumbent_;
+    std::vector<std::unique_ptr<Ghost>> ghosts_;
+    std::uint64_t epoch_accesses_ = 0;
+    /// Hysteresis state: the candidate currently holding the margin and
+    /// for how many consecutive epochs.
+    std::optional<Candidate> streak_candidate_;
+    std::size_t streak_ = 0;
+    std::uint64_t switches_ = 0;
+    std::vector<std::uint32_t> neighbor_scratch_;
+};
+
+}  // namespace spider::cache

@@ -23,7 +23,8 @@ SpiderCache::SpiderCache(SpiderCacheConfig config)
       scorer_{index_, config_.scorer, config_.label_of},
       cache_{config_.cache_items,
              config_.homophily_enabled ? config_.elastic.r_start : 1.0,
-             config_.cache_shards, config_.cache_lockfree_reads},
+             config_.cache_shards, config_.cache_lockfree_reads,
+             config_.cache_policies},
       elastic_{config_.elastic},
       scores_(config_.dataset_size, 0.0),
       sampler_{scores_, util::Rng{config_.seed},
@@ -86,8 +87,14 @@ void SpiderCache::observe_batch(std::span<const std::uint32_t> ids,
             max_neighbors = std::move(result.close_neighbor_ids);
         }
     }
-    // Line 22: offer the highest-degree node to the Homophily Cache.
+    // Line 22: offer the highest-degree node to the Homophily Cache. The
+    // offer is recorded regardless of whether the live insert went through
+    // (the shadow tuner replays the offer stream, and its ghosts make
+    // their own admit decisions).
+    last_offer_.key = max_id;
+    last_offer_.neighbors.clear();
     if (config_.homophily_enabled && max_degree > 0) {
+        last_offer_.neighbors = max_neighbors;
         cache_.update_homophily(max_id, max_neighbors);
     }
 }

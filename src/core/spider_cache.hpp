@@ -87,6 +87,11 @@ struct SpiderCacheConfig {
     /// either way; off forces every read through the locked path.
     bool cache_lockfree_reads = true;
 
+    /// Per-section eviction policies (DESIGN.md §13). The default —
+    /// semantic importance + FIFO homophily — is the paper's Algorithm 1
+    /// and takes the exact legacy code path.
+    cache::SectionPolicies cache_policies;
+
     std::uint64_t seed = 2025;
 };
 
@@ -109,6 +114,20 @@ public:
     /// degree node to the Homophily Cache.
     void observe_batch(std::span<const std::uint32_t> ids,
                        const tensor::Matrix& embeddings);
+
+    /// The most recent observe_batch's homophily offer: the batch's
+    /// highest-degree node and its surrogate-safe neighbor list, recorded
+    /// even when the live insert was rejected (already resident, section
+    /// exclusivity). Empty neighbors => the batch produced no offer. Lets
+    /// the shadow tuner replay the exact offer stream. Cleared at the next
+    /// observe_batch.
+    struct HomophilyOffer {
+        std::uint32_t key = 0;
+        std::vector<std::uint32_t> neighbors;
+    };
+    [[nodiscard]] const HomophilyOffer& last_homophily_offer() const {
+        return last_offer_;
+    }
 
     // ------------------------------------------------ control path (Alg. 1, 24)
     /// Per-epoch: feeds the Elastic Cache Manager and repartitions the
@@ -165,6 +184,7 @@ private:
     ElasticCacheManager elastic_;
     std::vector<double> scores_;
     GraphIsSampler sampler_;
+    HomophilyOffer last_offer_;
     std::size_t epoch_ = 0;
     /// Present iff config_.scoring_threads > 1.
     std::unique_ptr<util::ThreadPool> scoring_pool_;

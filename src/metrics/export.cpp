@@ -17,7 +17,8 @@ void write_epoch_csv(const RunResult& run, std::ostream& os) {
           "prefetch_window_avg,restored_items,"
           "cluster_local_hits,peer_hits,peer_misses,"
           "cluster_remote,peer_hedges,peer_hedge_wins,peer_throttled,"
-          "peer_failovers,slot_waits,peak_in_flight\n";
+          "peer_failovers,slot_waits,peak_in_flight,shadow_hits,"
+          "tuner_switches\n";
     for (const EpochMetrics& e : run.epochs) {
         os << run.strategy << ',' << run.model << ',' << run.dataset << ','
            << e.epoch << ',' << e.accesses << ',' << e.hits << ','
@@ -39,7 +40,8 @@ void write_epoch_csv(const RunResult& run, std::ostream& os) {
            << e.peer_hits << ',' << e.peer_misses << ',' << e.cluster_remote
            << ',' << e.peer_hedges << ',' << e.peer_hedge_wins << ','
            << e.peer_throttled << ',' << e.peer_failovers << ','
-           << e.slot_waits << ',' << e.peak_in_flight << '\n';
+           << e.slot_waits << ',' << e.peak_in_flight << ','
+           << e.shadow_hits << ',' << e.tuner_switches << '\n';
     }
 }
 

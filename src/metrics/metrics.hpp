@@ -64,6 +64,13 @@ struct EpochMetrics {
     std::uint64_t peer_throttled = 0;      ///< comm budget exhausted
     std::uint64_t peer_failovers = 0;      ///< peer envelope failed -> remote
 
+    // Online shadow tuner (DESIGN.md §13; both zero when the tuner is
+    // off). shadow_hits = the best ghost cache's hits over this epoch's
+    // replayed stream; tuner_switches = 1 when the hysteresis rule fired
+    // at this epoch's boundary (the switch applies from the next epoch).
+    std::uint64_t shadow_hits = 0;
+    std::uint64_t tuner_switches = 0;
+
     // Remote-storage fetch-slot contention, reset each epoch
     // (RemoteStore::reset_contention_counters; zero in serial runs
     // where the slot cap is inactive).

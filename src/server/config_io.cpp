@@ -34,6 +34,27 @@ std::vector<double> parse_list(const std::string& text, const char* key) {
     return out;
 }
 
+std::vector<std::string> parse_name_list(const std::string& text,
+                                         const char* key) {
+    std::vector<std::string> out;
+    std::stringstream ss{text};
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        const auto begin = item.find_first_not_of(" \t");
+        if (begin == std::string::npos) {
+            throw std::invalid_argument{std::string{"server config: bad "} +
+                                        key + " entry '" + item + "'"};
+        }
+        const auto end = item.find_last_not_of(" \t");
+        out.push_back(item.substr(begin, end - begin + 1));
+    }
+    if (out.empty()) {
+        throw std::invalid_argument{std::string{"server config: empty "} +
+                                    key + " list"};
+    }
+    return out;
+}
+
 }  // namespace
 
 ServerConfig server_config_from(const util::Config& config) {
@@ -66,14 +87,32 @@ ServerConfig server_config_from(const util::Config& config) {
     if (config.contains("server.imp_ratio")) {
         ratio = parse_list(config.get_string("server.imp_ratio"), "imp_ratio");
     }
-    if (pct.size() != n_tenants || ratio.size() != n_tenants) {
+    // Per-tenant eviction policies (DESIGN.md §13), one name per tenant.
+    std::vector<std::string> imp_policy(n_tenants, "semantic");
+    if (config.contains("server.imp_policy")) {
+        imp_policy = parse_name_list(config.get_string("server.imp_policy"),
+                                     "imp_policy");
+    }
+    std::vector<std::string> hom_policy(n_tenants, "fifo");
+    if (config.contains("server.hom_policy")) {
+        hom_policy = parse_name_list(config.get_string("server.hom_policy"),
+                                     "hom_policy");
+    }
+    if (pct.size() != n_tenants || ratio.size() != n_tenants ||
+        imp_policy.size() != n_tenants || hom_policy.size() != n_tenants) {
         throw std::invalid_argument{
-            "server config: capacity_pct/imp_ratio list length != tenants"};
+            "server config: capacity_pct/imp_ratio/imp_policy/hom_policy "
+            "list length != tenants"};
     }
     sc.tenants.clear();
     for (std::size_t t = 0; t < n_tenants; ++t) {
+        cache::SectionPolicies policies;
+        policies.importance = cache::policy_from_string(imp_policy[t]);
+        policies.homophily = cache::policy_from_string(hom_policy[t]);
+        cache::validate(policies);  // section eligibility, at parse time
         sc.tenants.push_back(TenantSpec{.capacity_pct = pct[t],
-                                        .imp_ratio = ratio[t]});
+                                        .imp_ratio = ratio[t],
+                                        .policies = policies});
     }
     // Fail at parse time, not at server construction: the same checks
     // TenantCacheManager enforces, minus the slice-size one that needs
@@ -104,6 +143,16 @@ std::string serialize_server_config(const ServerConfig& config) {
     out << "\nimp_ratio = ";
     for (std::size_t t = 0; t < config.tenants.size(); ++t) {
         out << (t == 0 ? "" : ",") << config.tenants[t].imp_ratio;
+    }
+    out << "\nimp_policy = ";
+    for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+        out << (t == 0 ? "" : ",")
+            << cache::to_string(config.tenants[t].policies.importance);
+    }
+    out << "\nhom_policy = ";
+    for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+        out << (t == 0 ? "" : ",")
+            << cache::to_string(config.tenants[t].policies.homophily);
     }
     out << "\n";
     return out.str();

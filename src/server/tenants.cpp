@@ -37,8 +37,8 @@ TenantCacheManager::TenantCacheManager(std::size_t total_items,
             throw std::invalid_argument{
                 "TenantCacheManager: tenant slice rounds to zero items"};
         }
-        tenants_.push_back(std::make_unique<Tenant>(slice, s.imp_ratio,
-                                                    shards, lockfree_reads));
+        tenants_.push_back(std::make_unique<Tenant>(
+            slice, s.imp_ratio, shards, lockfree_reads, s.policies));
     }
 }
 

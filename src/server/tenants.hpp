@@ -35,6 +35,10 @@ struct TenantSpec {
     double capacity_pct = 100.0;
     /// Initial Importance-section fraction of this tenant's slice.
     double imp_ratio = 0.9;
+    /// Per-tenant eviction policies (DESIGN.md §13): one tenant can run
+    /// the paper's semantic admission while another runs plain LRU over
+    /// the same served budget. Defaults are the paper's.
+    cache::SectionPolicies policies{};
 };
 
 class TenantCacheManager {
@@ -102,11 +106,11 @@ public:
 private:
     struct Tenant {
         Tenant(std::size_t capacity, double imp_ratio, std::size_t shards,
-               bool lockfree)
+               bool lockfree, const cache::SectionPolicies& policies)
             : cache{capacity, imp_ratio,
                     shards == 0 ? cache::TwoLayerSemanticCache::kAutoShards
                                 : shards,
-                    lockfree} {}
+                    lockfree, policies} {}
 
         cache::TwoLayerSemanticCache cache;
         mutable std::mutex score_mu;

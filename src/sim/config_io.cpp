@@ -4,7 +4,10 @@
 #include <cctype>
 #include <set>
 #include <stdexcept>
+#include <vector>
 
+#include "cache/policy.hpp"
+#include "cache/shadow_tuner.hpp"
 #include "data/presets.hpp"
 #include "storage/fault_model.hpp"
 
@@ -51,6 +54,10 @@ const std::set<std::string>& known_keys() {
         "resilience.max_substitute_fraction",
         "prefetch.enabled",    "prefetch.window",      "prefetch.adaptive",
         "prefetch.window_max", "cache.lockfree_reads",
+        "policy.importance",   "policy.homophily",
+        "tuner.enabled",       "tuner.ratio_grid",     "tuner.policies",
+        "tuner.margin",        "tuner.sustain_epochs", "tuner.auto_apply",
+        "tuner.max_neighbors",
         "cluster.nodes",       "cluster.vnodes",
         "cluster.node_cache_fraction",  "cluster.peer_fetch_enabled",
         "cluster.peer_cost_ms",         "cluster.peer_bytes_per_ms",
@@ -63,9 +70,49 @@ const std::set<std::string>& known_keys() {
         // here so one INI can configure a sim and the cache service).
         "server.port",         "server.max_pipeline",  "server.cache_items",
         "server.cache_shards", "server.lockfree_reads", "server.tenants",
-        "server.capacity_pct", "server.imp_ratio",
+        "server.capacity_pct", "server.imp_ratio",      "server.imp_policy",
+        "server.hom_policy",
     };
     return keys;
+}
+
+/// Splits a comma-separated value into trimmed, non-empty items.
+std::vector<std::string> split_list(const std::string& text,
+                                    const std::string& key) {
+    std::vector<std::string> items;
+    std::string current;
+    const auto flush = [&items, &current, &key] {
+        const auto begin = current.find_first_not_of(" \t");
+        if (begin == std::string::npos) {
+            throw std::invalid_argument{key + ": empty list item"};
+        }
+        const auto end = current.find_last_not_of(" \t");
+        items.push_back(current.substr(begin, end - begin + 1));
+        current.clear();
+    };
+    for (char c : text) {
+        if (c == ',') {
+            flush();
+        } else {
+            current += c;
+        }
+    }
+    flush();
+    return items;
+}
+
+std::vector<double> parse_double_list(const std::string& text,
+                                      const std::string& key) {
+    std::vector<double> values;
+    for (const std::string& item : split_list(text, key)) {
+        try {
+            values.push_back(std::stod(item));
+        } catch (const std::exception&) {
+            throw std::invalid_argument{key + ": not a number: '" + item +
+                                        "'"};
+        }
+    }
+    return values;
 }
 
 }  // namespace
@@ -258,6 +305,38 @@ SimConfig sim_config_from(const util::Config& config) {
         config.get_int("prefetch.window_max",
                        static_cast<std::int64_t>(sim.prefetch_window_max)));
     sim.cache_lockfree_reads = config.get_bool("cache.lockfree_reads", true);
+
+    // [policy] — per-section eviction policies of the two-layer cache
+    // (DESIGN.md §13). Defaults are the paper's Algorithm 1.
+    sim.policy.importance = cache::policy_from_string(
+        config.get_string("policy.importance", "semantic"));
+    sim.policy.homophily = cache::policy_from_string(
+        config.get_string("policy.homophily", "fifo"));
+    cache::validate(sim.policy);
+
+    // [tuner] — online shadow-cache tuner (DESIGN.md §13).
+    sim.tuner.enabled = config.get_bool("tuner.enabled", false);
+    if (config.contains("tuner.ratio_grid")) {
+        sim.tuner.ratio_grid = parse_double_list(
+            config.get_string("tuner.ratio_grid", ""), "tuner.ratio_grid");
+    }
+    if (config.contains("tuner.policies")) {
+        sim.tuner.policy_grid.clear();
+        for (const std::string& name : split_list(
+                 config.get_string("tuner.policies", ""), "tuner.policies")) {
+            sim.tuner.policy_grid.push_back(cache::policy_from_string(name));
+        }
+    }
+    sim.tuner.margin = config.get_double("tuner.margin", sim.tuner.margin);
+    sim.tuner.sustain_epochs = static_cast<std::size_t>(config.get_int(
+        "tuner.sustain_epochs",
+        static_cast<std::int64_t>(sim.tuner.sustain_epochs)));
+    sim.tuner.auto_apply = config.get_bool("tuner.auto_apply", true);
+    sim.tuner.max_neighbors = static_cast<std::size_t>(config.get_int(
+        "tuner.max_neighbors",
+        static_cast<std::int64_t>(sim.tuner.max_neighbors)));
+    // Reject malformed tuner settings at parse time (like faults above).
+    if (sim.tuner.enabled) cache::validate(sim.tuner);
 
     sim.cluster.nodes = static_cast<std::size_t>(
         config.get_int("cluster.nodes",

@@ -96,7 +96,7 @@ Access ICacheFrontend::access(std::uint32_t id) {
         // instead of paying the remote fetch — iCache's hit-ratio booster
         // and the root of its accuracy loss (paper Motivation 2).
         if (rng_.uniform() < options_.substitute_prob) {
-            if (const auto substitute = l_cache_.random_resident(rng_)) {
+            if (const auto substitute = l_cache_.random_resident()) {
                 result.hit = true;
                 result.substitution = true;
                 result.served_id = *substitute;
@@ -120,7 +120,7 @@ std::optional<std::uint32_t> ICacheFrontend::substitute(std::uint32_t id) {
     (void)id;
     const std::lock_guard lock{mu_};
     if (!options_.l_section_enabled) return std::nullopt;
-    return l_cache_.random_resident(rng_);
+    return l_cache_.random_resident();
 }
 
 bool ICacheFrontend::probe(std::uint32_t id) const {

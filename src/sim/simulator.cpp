@@ -150,6 +150,7 @@ TrainingSimulator::StrategyParts TrainingSimulator::build_strategy(
                 sc.cache_shards = 1;
             }
             sc.cache_lockfree_reads = config_.cache_lockfree_reads;
+            sc.cache_policies = config_.policy;
             parts.spider = std::make_unique<core::SpiderCache>(std::move(sc));
             parts.frontend = std::make_unique<SpiderFrontend>(*parts.spider);
             // Sampling order comes from the facade, not a standalone
@@ -192,9 +193,36 @@ metrics::RunResult TrainingSimulator::run() {
         throw std::invalid_argument{
             "SimConfig: wal.compact_every_epochs must be >= 1"};
     }
+    if (config_.tuner.enabled) {
+        cache::validate(config_.tuner);
+        if (!uses_graph_is(config_.strategy)) {
+            throw std::invalid_argument{
+                "SimConfig: tuner.enabled requires a kSpider* strategy "
+                "(the ghosts shadow the two-layer cache)"};
+        }
+        if (config_.served_port != 0) {
+            throw std::invalid_argument{
+                "SimConfig: tuner.enabled is mutually exclusive with "
+                "served_port (residency lives server-side there)"};
+        }
+    }
     const auto cache_items = static_cast<std::size_t>(
         std::llround(config_.cache_fraction * static_cast<double>(n)));
     StrategyParts parts = build_strategy(cache_items);
+
+    // Online shadow tuner (DESIGN.md §13): ghost caches replay the served
+    // stream on this (driver) thread after the loader slices merge, so
+    // the replay order — and therefore every switch decision — is
+    // deterministic regardless of worker count.
+    std::unique_ptr<cache::ShadowTuner> tuner;
+    const auto make_tuner = [this, &parts,
+                             cache_items]() -> std::unique_ptr<cache::ShadowTuner> {
+        if (!config_.tuner.enabled || !parts.spider) return nullptr;
+        return std::make_unique<cache::ShadowTuner>(
+            config_.tuner, cache_items, parts.spider->imp_ratio(),
+            parts.spider->cache().section_policies().importance);
+    };
+    tuner = make_tuner();
 
     nn::MlpConfig mlp;
     mlp.input_dim = dataset_.feature_dim();
@@ -383,6 +411,9 @@ metrics::RunResult TrainingSimulator::run() {
                 restored_this_epoch += ssd->restore(image.ssd);
             }
             attach_wal_listeners();
+            // The kill also took the tuner's ghosts; rebuild the panel
+            // against the restarted incumbent (streaks start over).
+            tuner = make_tuner();
         }
         // Per-epoch contention counters (slot_waits / peak_in_flight)
         // start fresh so CSV rows don't accumulate across epochs — the
@@ -634,6 +665,19 @@ metrics::RunResult TrainingSimulator::run() {
                 }
             }
             em.accesses += count;
+            if (tuner) {
+                // Ghost replay of the merged batch: the requested ids with
+                // the scores the live lookups saw (observe_batch has not
+                // refreshed them yet). Main thread, post-merge — the
+                // replay order is the sampler's, not the workers'.
+                const std::span<const double> live_scores =
+                    parts.spider->scores();
+                for (std::size_t i = 0; i < count; ++i) {
+                    const std::uint32_t id = order[start + i];
+                    tuner->on_access(
+                        id, id < live_scores.size() ? live_scores[id] : 0.0);
+                }
+            }
             // The epoch's first global batch is its cold start: any remote
             // miss there that the prefetcher did not hide was paid on the
             // demand path — the number epoch-crossing prefetch drives down.
@@ -721,6 +765,23 @@ metrics::RunResult TrainingSimulator::run() {
                 parts.frontend->post_batch(served);
                 if (parts.spider) {
                     parts.spider->observe_batch(served, fwd.embeddings);
+                    if (tuner) {
+                        // Mirror the write path into the ghosts: the
+                        // batch's score refreshes and its homophily offer.
+                        const std::span<const double> fresh =
+                            parts.spider->scores();
+                        for (const std::uint32_t id : served) {
+                            if (id < fresh.size()) {
+                                tuner->on_score_update(id, fresh[id]);
+                            }
+                        }
+                        const core::SpiderCache::HomophilyOffer& offer =
+                            parts.spider->last_homophily_offer();
+                        if (!offer.neighbors.empty()) {
+                            tuner->on_homophily_offer(offer.key,
+                                                      offer.neighbors);
+                        }
+                    }
                 }
             }
 
@@ -885,6 +946,26 @@ metrics::RunResult TrainingSimulator::run() {
         if (parts.spider) {
             em.score_std = parts.spider->score_std();
             em.imp_ratio = parts.spider->end_epoch(em.test_accuracy);
+            if (tuner) {
+                // Tuner verdict after the elastic repartition: when the
+                // hysteresis rule fires, the winner overrides the elastic
+                // proposal for this boundary. (With elastic_enabled the
+                // manager re-proposes next epoch; disable it to keep
+                // tuned ratios sticky — the bench's configuration.)
+                const cache::ShadowTuner::Verdict verdict =
+                    tuner->end_epoch(em.hit_ratio());
+                em.shadow_hits = verdict.shadow_hits;
+                em.tuner_switches = verdict.switched ? 1 : 0;
+                if (verdict.switched && config_.tuner.auto_apply) {
+                    cache::TwoLayerSemanticCache& live =
+                        parts.spider->cache();
+                    live.set_imp_ratio(verdict.winner->imp_ratio);
+                    cache::SectionPolicies next = live.section_policies();
+                    next.importance = verdict.winner->importance;
+                    live.set_section_policies(next);
+                    em.imp_ratio = live.imp_ratio();
+                }
+            }
         } else {
             // Loss-based strategies still have a score view; record its
             // spread for Fig. 6(c)-style comparisons.

@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 
+#include "cache/shadow_tuner.hpp"
 #include "cluster/cooperative_cache.hpp"
 #include "core/elastic.hpp"
 #include "core/graph_scorer.hpp"
@@ -103,6 +104,19 @@ struct SimConfig {
     /// of the shard mutex (DESIGN.md §8.4). Same hit/miss sequence either
     /// way; off forces every read through the locked path.
     bool cache_lockfree_reads = true;
+
+    /// Per-section eviction policies of the kSpider* two-layer cache
+    /// ([policy] INI block, DESIGN.md §13). The defaults — semantic
+    /// importance + FIFO homophily — are the paper's Algorithm 1 and take
+    /// the exact legacy code path.
+    cache::SectionPolicies policy{};
+
+    /// Online shadow-cache tuner ([tuner] INI block, DESIGN.md §13):
+    /// ghost caches replay the served stream under candidate imp_ratio
+    /// splits and importance policies; a sustained winner is auto-applied
+    /// at the epoch boundary (overriding the elastic manager's proposal
+    /// for that boundary). kSpider* strategies only; off by default.
+    cache::TunerConfig tuner{};
 
     // SpiderCache knobs (used by kSpiderImp / kSpider).
     core::ScorerConfig scorer{};

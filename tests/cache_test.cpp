@@ -162,13 +162,12 @@ TEST(RandomCache, EvictsSomeResidentWhenFull) {
 
 TEST(RandomCache, RandomResidentDrawsFromContents) {
     RandomCache cache{4, util::Rng{2}};
-    util::Rng rng{3};
-    EXPECT_EQ(cache.random_resident(rng), std::nullopt);
+    EXPECT_EQ(cache.random_resident(), std::nullopt);
     cache.admit(10);
     cache.admit(20);
     std::set<std::uint32_t> seen;
     for (int i = 0; i < 100; ++i) {
-        const auto r = cache.random_resident(rng);
+        const auto r = cache.random_resident();
         ASSERT_TRUE(r.has_value());
         seen.insert(*r);
     }

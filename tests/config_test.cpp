@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cache/policy.hpp"
 #include "sim/config_io.hpp"
 #include "server/config_io.hpp"
 #include "util/config.hpp"
@@ -308,6 +309,7 @@ TEST(ServerConfigIo, DefaultsWhenEmpty) {
     ASSERT_EQ(config.tenants.size(), 1U);
     EXPECT_DOUBLE_EQ(config.tenants[0].capacity_pct, 100.0);
     EXPECT_DOUBLE_EQ(config.tenants[0].imp_ratio, 0.9);
+    EXPECT_TRUE(config.tenants[0].policies.is_default());
 }
 
 TEST(ServerConfigIo, SerializeParseRoundTripsExactly) {
@@ -317,9 +319,16 @@ TEST(ServerConfigIo, SerializeParseRoundTripsExactly) {
     config.cache_items = 10000;
     config.cache_shards = 4;
     config.lockfree_reads = false;
-    config.tenants = {TenantSpec{.capacity_pct = 50.0, .imp_ratio = 0.9},
-                      TenantSpec{.capacity_pct = 30.0, .imp_ratio = 0.8},
-                      TenantSpec{.capacity_pct = 20.0, .imp_ratio = 0.5}};
+    config.tenants = {
+        TenantSpec{.capacity_pct = 50.0, .imp_ratio = 0.9},
+        TenantSpec{.capacity_pct = 30.0,
+                   .imp_ratio = 0.8,
+                   .policies = {cache::PolicyKind::kLru,
+                                cache::PolicyKind::kLfu}},
+        TenantSpec{.capacity_pct = 20.0,
+                   .imp_ratio = 0.5,
+                   .policies = {cache::PolicyKind::kGdsf,
+                                cache::PolicyKind::kCost}}};
 
     const std::string ini = serialize_server_config(config);
     const ServerConfig parsed =
@@ -335,6 +344,7 @@ TEST(ServerConfigIo, SerializeParseRoundTripsExactly) {
                          config.tenants[t].capacity_pct);
         EXPECT_DOUBLE_EQ(parsed.tenants[t].imp_ratio,
                          config.tenants[t].imp_ratio);
+        EXPECT_EQ(parsed.tenants[t].policies, config.tenants[t].policies);
     }
     // Serializing the parse reproduces the exact same text.
     EXPECT_EQ(serialize_server_config(parsed), ini);
@@ -347,7 +357,18 @@ TEST(ServerConfigIo, DefaultTenantSplitIsEven) {
     for (const TenantSpec& t : config.tenants) {
         EXPECT_DOUBLE_EQ(t.capacity_pct, 25.0);
         EXPECT_DOUBLE_EQ(t.imp_ratio, 0.9);
+        EXPECT_TRUE(t.policies.is_default());
     }
+}
+
+TEST(ServerConfigIo, PerTenantPolicyListsParse) {
+    const ServerConfig config = server_config_from(util::Config::parse_string(
+        "[server]\ntenants = 2\n"
+        "imp_policy = semantic, lru\nhom_policy = fifo, gdsf\n"));
+    ASSERT_EQ(config.tenants.size(), 2U);
+    EXPECT_TRUE(config.tenants[0].policies.is_default());
+    EXPECT_EQ(config.tenants[1].policies.importance, cache::PolicyKind::kLru);
+    EXPECT_EQ(config.tenants[1].policies.homophily, cache::PolicyKind::kGdsf);
 }
 
 TEST(ServerConfigIo, InvalidSectionsRejected) {
@@ -364,6 +385,15 @@ TEST(ServerConfigIo, InvalidSectionsRejected) {
                  std::invalid_argument);
     // Garbled list entries.
     EXPECT_THROW(parse("[server]\ntenants = 2\ncapacity_pct = 50,abc\n"),
+                 std::invalid_argument);
+    // Policy lists: length mismatch, unknown name, section-ineligible kind.
+    EXPECT_THROW(parse("[server]\ntenants = 2\nimp_policy = lru\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse("[server]\ntenants = 1\nimp_policy = clock\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse("[server]\ntenants = 1\nhom_policy = semantic\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse("[server]\ntenants = 1\nimp_policy = random\n"),
                  std::invalid_argument);
     // Structural bounds.
     EXPECT_THROW(parse("[server]\ntenants = 0\n"), std::invalid_argument);

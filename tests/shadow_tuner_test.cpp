@@ -1,0 +1,288 @@
+// Shadow-tuner tests (PR 9, DESIGN.md §13): config validation, ghost-panel
+// construction, the hysteresis switch rule, the ghost neighbor-list memory
+// cap, replay determinism (same trace => same switch epochs, in isolation
+// and through the full simulator), and a concurrency check for the TSan
+// tier — live sharded cache traffic must never race the driver-thread
+// ghost replay.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cache/shadow_tuner.hpp"
+#include "data/presets.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace spider::cache {
+namespace {
+
+TunerConfig enabled_config() {
+    TunerConfig config;
+    config.enabled = true;
+    return config;
+}
+
+TEST(TunerConfig_, ValidationGatesOnEnabled) {
+    TunerConfig config;  // disabled
+    config.ratio_grid = {2.0};
+    EXPECT_NO_THROW(validate(config));  // knobs unchecked while off
+    config.enabled = true;
+    EXPECT_THROW(validate(config), std::invalid_argument);
+}
+
+TEST(TunerConfig_, RejectsOutOfRangeKnobs) {
+    const auto expect_bad = [](auto mutate) {
+        TunerConfig config = enabled_config();
+        mutate(config);
+        EXPECT_THROW(validate(config), std::invalid_argument);
+    };
+    EXPECT_NO_THROW(validate(enabled_config()));
+    expect_bad([](TunerConfig& c) { c.ratio_grid.clear(); });
+    expect_bad([](TunerConfig& c) { c.ratio_grid = {0.0}; });
+    expect_bad([](TunerConfig& c) { c.ratio_grid = {1.5}; });
+    expect_bad([](TunerConfig& c) { c.policy_grid.clear(); });
+    expect_bad([](TunerConfig& c) { c.policy_grid = {PolicyKind::kRandom}; });
+    expect_bad([](TunerConfig& c) { c.margin = -0.1; });
+    expect_bad([](TunerConfig& c) { c.sustain_epochs = 0; });
+    expect_bad([](TunerConfig& c) { c.max_neighbors = 0; });
+}
+
+TEST(ShadowTunerPanel, BuildsEveryGridPointExceptTheIncumbent) {
+    TunerConfig config = enabled_config();
+    config.ratio_grid = {0.5, 0.9};
+    config.policy_grid = {PolicyKind::kSemantic, PolicyKind::kLru};
+    const ShadowTuner tuner{config, /*total_capacity=*/40,
+                            /*incumbent_ratio=*/0.9, PolicyKind::kSemantic};
+    EXPECT_EQ(tuner.num_ghosts(), 3U);  // 2x2 grid minus the incumbent
+    EXPECT_EQ(tuner.incumbent().imp_ratio, 0.9);
+    EXPECT_EQ(tuner.incumbent().importance, PolicyKind::kSemantic);
+
+    // An incumbent outside the grid shadows the full grid.
+    const ShadowTuner off_grid{config, 40, 0.7, PolicyKind::kSemantic};
+    EXPECT_EQ(off_grid.num_ghosts(), 4U);
+}
+
+TEST(ShadowTunerHysteresis, SwitchesOnlyAfterSustainedMargin) {
+    TunerConfig config = enabled_config();
+    config.ratio_grid = {0.5};
+    config.margin = 0.05;
+    config.sustain_epochs = 2;
+    ShadowTuner tuner{config, 20, 0.9, PolicyKind::kSemantic};
+    ASSERT_EQ(tuner.num_ghosts(), 1U);
+
+    const auto feed_hot_epoch = [&] {
+        // One id accessed repeatedly: first access admits, the rest hit,
+        // so the ghost's epoch hit ratio is 0.99 (or 1.0 once resident).
+        for (int i = 0; i < 100; ++i) tuner.on_access(5, 1.0);
+    };
+
+    feed_hot_epoch();
+    ShadowTuner::Verdict v1 = tuner.end_epoch(/*incumbent_hit_ratio=*/0.1);
+    EXPECT_FALSE(v1.switched);  // streak = 1 of 2
+    EXPECT_GT(v1.best_hit_ratio, 0.9);
+    EXPECT_EQ(v1.incumbent_hit_ratio, 0.1);
+    EXPECT_GE(v1.shadow_hits, 99U);
+
+    feed_hot_epoch();
+    ShadowTuner::Verdict v2 = tuner.end_epoch(0.1);
+    EXPECT_TRUE(v2.switched);
+    ASSERT_TRUE(v2.winner.has_value());
+    EXPECT_EQ(v2.winner->imp_ratio, 0.5);
+    EXPECT_EQ(tuner.incumbent().imp_ratio, 0.5);
+    EXPECT_EQ(tuner.total_switches(), 1U);
+
+    // An empty epoch can never fire a switch (no accesses, no evidence).
+    const ShadowTuner::Verdict v3 = tuner.end_epoch(0.0);
+    EXPECT_FALSE(v3.switched);
+    EXPECT_EQ(v3.shadow_hits, 0U);
+}
+
+TEST(ShadowTunerHysteresis, StreakResetsWhenTheMarginIsLost) {
+    TunerConfig config = enabled_config();
+    config.ratio_grid = {0.5};
+    config.sustain_epochs = 2;
+    ShadowTuner tuner{config, 20, 0.9, PolicyKind::kSemantic};
+
+    const auto feed = [&] {
+        for (int i = 0; i < 50; ++i) tuner.on_access(3, 1.0);
+    };
+    feed();
+    EXPECT_FALSE(tuner.end_epoch(0.1).switched);  // streak 1
+    feed();
+    EXPECT_FALSE(tuner.end_epoch(0.99).switched);  // incumbent wins: reset
+    feed();
+    EXPECT_FALSE(tuner.end_epoch(0.1).switched);  // streak 1 again
+    feed();
+    EXPECT_TRUE(tuner.end_epoch(0.1).switched);  // streak 2 -> fire
+    EXPECT_EQ(tuner.total_switches(), 1U);
+}
+
+TEST(ShadowTunerGhosts, NeighborListsAreCappedAtMaxNeighbors) {
+    TunerConfig config = enabled_config();
+    config.ratio_grid = {0.5};
+    config.max_neighbors = 4;
+    ShadowTuner tuner{config, 10, 0.9, PolicyKind::kSemantic};
+
+    std::vector<std::uint32_t> neighbors;
+    for (std::uint32_t n = 0; n < 10; ++n) neighbors.push_back(n);
+    tuner.on_homophily_offer(100, neighbors);
+    // Each neighbor accessed once: only the capped prefix can surrogate-hit
+    // in the ghost, the rest miss (and get admitted as ordinary samples).
+    for (std::uint32_t n = 0; n < 10; ++n) tuner.on_access(n, 0.5);
+    const ShadowTuner::Verdict verdict = tuner.end_epoch(0.0);
+    EXPECT_EQ(verdict.shadow_hits, 4U);
+}
+
+TEST(ShadowTunerDeterminism, SameTraceSameSwitchEpochs) {
+    TunerConfig config = enabled_config();
+    config.ratio_grid = {0.4, 0.8};
+    config.policy_grid = {PolicyKind::kSemantic, PolicyKind::kLru};
+    config.margin = 0.01;
+
+    const auto run = [&config](std::uint64_t seed) {
+        ShadowTuner tuner{config, 32, 0.9, PolicyKind::kSemantic};
+        util::Rng rng{seed};
+        std::vector<ShadowTuner::Verdict> verdicts;
+        for (int epoch = 0; epoch < 12; ++epoch) {
+            for (int op = 0; op < 400; ++op) {
+                const auto id =
+                    static_cast<std::uint32_t>(rng.uniform_index(80));
+                const double score = rng.uniform();
+                tuner.on_access(id, score);
+                if (op % 7 == 0) tuner.on_score_update(id, score * 2.0);
+                if (op % 23 == 0) {
+                    const std::uint32_t nbrs[] = {id + 1, id + 2, id + 3};
+                    tuner.on_homophily_offer(id, nbrs);
+                }
+            }
+            verdicts.push_back(tuner.end_epoch(rng.uniform(0.0, 0.3)));
+        }
+        return verdicts;
+    };
+
+    const auto a = run(42);
+    const auto b = run(42);
+    ASSERT_EQ(a.size(), b.size());
+    bool any_switch = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].switched, b[i].switched) << "epoch " << i;
+        EXPECT_EQ(a[i].shadow_hits, b[i].shadow_hits) << "epoch " << i;
+        EXPECT_EQ(a[i].best_hit_ratio, b[i].best_hit_ratio) << "epoch " << i;
+        EXPECT_EQ(a[i].winner.has_value(), b[i].winner.has_value());
+        if (a[i].winner && b[i].winner) EXPECT_EQ(*a[i].winner, *b[i].winner);
+        any_switch = any_switch || a[i].switched;
+    }
+    // The low incumbent ratios make a switch certain on this trace; a
+    // never-switching run would leave the rule untested.
+    EXPECT_TRUE(any_switch);
+}
+
+// TSan-tier check: worker threads hammer the live sharded cache while the
+// driver thread replays the (already merged) stream into the tuner's
+// private ghosts — the production threading shape at an epoch boundary.
+TEST(ShadowConcurrent, GhostReplayDoesNotRaceLiveTraffic) {
+    TwoLayerSemanticCache live{256, 0.8, /*shards=*/4};
+    TunerConfig config = enabled_config();
+    config.ratio_grid = {0.5, 0.8};
+    ShadowTuner tuner{config, 256, 0.8, PolicyKind::kSemantic};
+
+    std::vector<std::thread> workers;
+    workers.reserve(4);
+    for (unsigned t = 0; t < 4; ++t) {
+        workers.emplace_back([&live, t] {
+            util::Rng rng{100 + t};
+            for (int op = 0; op < 4'000; ++op) {
+                const auto id =
+                    static_cast<std::uint32_t>(rng.uniform_index(1'000));
+                if (live.lookup(id).kind == HitKind::kMiss) {
+                    (void)live.on_miss_fetched(id, rng.uniform());
+                } else {
+                    live.update_importance_score(id, rng.uniform());
+                }
+            }
+        });
+    }
+    util::Rng rng{9};
+    for (int op = 0; op < 4'000; ++op) {
+        const auto id = static_cast<std::uint32_t>(rng.uniform_index(1'000));
+        tuner.on_access(id, rng.uniform());
+        if (op % 500 == 499) (void)tuner.end_epoch(rng.uniform());
+    }
+    for (std::thread& w : workers) w.join();
+    const ShadowTuner::Verdict final_verdict = tuner.end_epoch(0.5);
+    EXPECT_GE(final_verdict.best_hit_ratio, 0.0);
+    EXPECT_LE(final_verdict.best_hit_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace spider::cache
+
+// ------------------------------------------------------- sim integration
+
+namespace spider::sim {
+namespace {
+
+SimConfig tuner_config() {
+    SimConfig config;
+    config.dataset = data::cifar10_like(/*scale=*/0.02, /*seed=*/7);
+    config.strategy = StrategyKind::kSpider;
+    config.epochs = 8;
+    config.batch_size = 64;
+    config.cache_fraction = 0.2;
+    config.seed = 5;
+    config.elastic_enabled = false;  // keep tuned ratios sticky
+    config.tuner.enabled = true;
+    config.tuner.ratio_grid = {0.3, 0.6, 0.9};
+    config.tuner.margin = 0.005;
+    config.tuner.sustain_epochs = 2;
+    return config;
+}
+
+TEST(SimulatorTuner, RequiresASpiderStrategy) {
+    SimConfig config = tuner_config();
+    config.strategy = StrategyKind::kShade;
+    TrainingSimulator sim{config};
+    EXPECT_THROW(sim.run(), std::invalid_argument);
+}
+
+TEST(SimulatorTuner, RunsDeterministicallyAndReportsMetrics) {
+    const auto run = [] {
+        SimConfig config = tuner_config();
+        TrainingSimulator sim{config};
+        return sim.run();
+    };
+    const metrics::RunResult a = run();
+    const metrics::RunResult b = run();
+    ASSERT_EQ(a.epochs.size(), 8U);
+    ASSERT_EQ(b.epochs.size(), 8U);
+    std::uint64_t shadow_hits_total = 0;
+    for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+        EXPECT_EQ(a.epochs[i].hits, b.epochs[i].hits) << "epoch " << i;
+        EXPECT_EQ(a.epochs[i].shadow_hits, b.epochs[i].shadow_hits)
+            << "epoch " << i;
+        EXPECT_EQ(a.epochs[i].tuner_switches, b.epochs[i].tuner_switches)
+            << "epoch " << i;
+        EXPECT_EQ(a.epochs[i].imp_ratio, b.epochs[i].imp_ratio)
+            << "epoch " << i;
+        shadow_hits_total += a.epochs[i].shadow_hits;
+    }
+    // The ghosts replay real traffic: the best shadow must register hits.
+    EXPECT_GT(shadow_hits_total, 0U);
+}
+
+TEST(SimulatorTuner, DisabledTunerLeavesMetricsColumnsZero) {
+    SimConfig config = tuner_config();
+    config.tuner.enabled = false;
+    TrainingSimulator sim{config};
+    const metrics::RunResult result = sim.run();
+    for (const auto& epoch : result.epochs) {
+        EXPECT_EQ(epoch.shadow_hits, 0U);
+        EXPECT_EQ(epoch.tuner_switches, 0U);
+    }
+}
+
+}  // namespace
+}  // namespace spider::sim

@@ -40,6 +40,13 @@
 #                                 # across nodes, hash-ring ownership, and
 #                                 # the threaded cluster-mode simulator,
 #                                 # in build-tsan/
+#   tools/run_tier1.sh --policy   # additionally: ThreadSanitizer pass over
+#                                 # the eviction-policy seam and the shadow
+#                                 # tuner (DESIGN.md §13): policy parity
+#                                 # traces, live set_section_policies
+#                                 # switches, tuner determinism, and the
+#                                 # ghost-replay-vs-live-traffic race
+#                                 # check, in build-tsan/
 #   tools/run_tier1.sh --chaos    # additionally: ThreadSanitizer build of
 #                                 # the chaos/soak harness (DESIGN.md §12)
 #                                 # plus the WAL / warm-restart / weather
@@ -60,6 +67,7 @@ run_prefetch=0
 run_lockfree=0
 run_server=0
 run_cluster=0
+run_policy=0
 run_chaos=0
 for arg in "$@"; do
   case "$arg" in
@@ -70,8 +78,9 @@ for arg in "$@"; do
     --lockfree) run_lockfree=1 ;;
     --server) run_server=1 ;;
     --cluster) run_cluster=1 ;;
+    --policy) run_policy=1 ;;
     --chaos) run_chaos=1 ;;
-    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch] [--lockfree] [--server] [--cluster] [--chaos]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch] [--lockfree] [--server] [--cluster] [--policy] [--chaos]" >&2; exit 2 ;;
   esac
 done
 
@@ -172,6 +181,25 @@ if [[ "$run_cluster" == 1 ]]; then
     --target cluster_test hash_ring_test cache_concurrency_test
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     -R 'ClusterConcurrent|ClusterSim|CooperativeCacheTest|HashRing'
+fi
+
+if [[ "$run_policy" == 1 ]]; then
+  echo "== opt-in: ThreadSanitizer pass over the policy seam + tuner =="
+  # The oracle parity traces and shrink audits, live policy switches on a
+  # sharded cache, tuner hysteresis/determinism, and the ShadowConcurrent
+  # scenario (workers hammering the live cache while the driver thread
+  # replays into the ghosts), plus the sharded-cache concurrency suite the
+  # seam must not regress.
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPIDER_TSAN=ON \
+    -DSPIDER_BUILD_BENCH=OFF \
+    -DSPIDER_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$jobs" \
+    --target policy_test shadow_tuner_test cache_concurrency_test \
+             cache_test
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'PolicyParity|PolicyKindNames|ShrinkOrder|RandomCachePolicy|SectionPolicySwitch|ShadowTuner|ShadowConcurrent|TunerConfig_|Concurrent'
 fi
 
 if [[ "$run_chaos" == 1 ]]; then
