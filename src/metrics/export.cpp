@@ -18,7 +18,7 @@ void write_epoch_csv(const RunResult& run, std::ostream& os) {
           "cluster_local_hits,peer_hits,peer_misses,"
           "cluster_remote,peer_hedges,peer_hedge_wins,peer_throttled,"
           "peer_failovers,slot_waits,peak_in_flight,shadow_hits,"
-          "tuner_switches\n";
+          "tuner_switches,ssd_misses\n";
     for (const EpochMetrics& e : run.epochs) {
         os << run.strategy << ',' << run.model << ',' << run.dataset << ','
            << e.epoch << ',' << e.accesses << ',' << e.hits << ','
@@ -41,7 +41,8 @@ void write_epoch_csv(const RunResult& run, std::ostream& os) {
            << ',' << e.peer_hedges << ',' << e.peer_hedge_wins << ','
            << e.peer_throttled << ',' << e.peer_failovers << ','
            << e.slot_waits << ',' << e.peak_in_flight << ','
-           << e.shadow_hits << ',' << e.tuner_switches << '\n';
+           << e.shadow_hits << ',' << e.tuner_switches << ','
+           << e.ssd_misses << '\n';
     }
 }
 

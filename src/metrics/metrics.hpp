@@ -22,6 +22,11 @@ struct EpochMetrics {
     std::uint64_t homophily_hits = 0;  // two-layer: surrogate served
     std::uint64_t substitutions = 0;   // iCache: random substitute served
     std::uint64_t ssd_hits = 0;       // misses absorbed by the local SSD tier
+    /// SSD-tier consults that missed (the tier's own counter — includes
+    /// consults of a disabled tier, which always miss, so hit-ratio math
+    /// is consistent across `enabled` flips: ssd_hits + ssd_misses ==
+    /// tier consults, every epoch, in every mode).
+    std::uint64_t ssd_misses = 0;
     std::uint64_t misses = 0;
 
     // Lookahead prefetcher (zero when prefetch is disabled).

@@ -68,6 +68,13 @@ void Client::queue_get(std::uint8_t tenant, std::uint32_t id, double score) {
     ++queued_;
 }
 
+void Client::queue_get_data(std::uint8_t tenant, std::uint32_t id,
+                            double score) {
+    WireWriter w{pipeline_};
+    encode_get_data(w, tenant, id, score);
+    ++queued_;
+}
+
 void Client::queue_probe(std::uint8_t tenant, std::uint32_t id) {
     WireWriter w{pipeline_};
     encode_probe(w, tenant, id);
@@ -202,6 +209,16 @@ GetReply Client::get(std::uint8_t tenant, std::uint32_t id, double score) {
     const auto reply = decode_get_reply(r.payload);
     if (!reply) throw std::runtime_error{"Client: short GET reply"};
     return *reply;
+}
+
+GetDataReply Client::get_data(std::uint8_t tenant, std::uint32_t id,
+                              double score) {
+    queue_get_data(tenant, id, score);
+    const Response r = one_shot();
+    require_ok(r, "GET_DATA");
+    auto reply = decode_get_data_reply(r.payload);
+    if (!reply) throw std::runtime_error{"Client: short GET_DATA reply"};
+    return std::move(*reply);
 }
 
 bool Client::probe(std::uint8_t tenant, std::uint32_t id) {

@@ -55,6 +55,7 @@ public:
     void queue_put_neighbors(std::uint8_t tenant, std::uint32_t key,
                              std::span<const std::uint32_t> neighbors);
     void queue_ping();
+    void queue_get_data(std::uint8_t tenant, std::uint32_t id, double score);
     [[nodiscard]] std::size_t queued() const { return queued_; }
 
     /// Sends every queued frame in one write, then reads exactly that
@@ -80,6 +81,11 @@ public:
     bool put_neighbors(std::uint8_t tenant, std::uint32_t key,
                        std::span<const std::uint32_t> neighbors);
     void ping();
+    /// GET that also returns the sample's stored bytes (SSD block-store
+    /// payload on a tier hit, remote payload on a miss, payload_read hook
+    /// on a memory hit). Empty payload = server has no bytes for the id.
+    GetDataReply get_data(std::uint8_t tenant, std::uint32_t id,
+                          double score);
 
 private:
     /// Writes all of `bytes` (blocking, EINTR-safe).

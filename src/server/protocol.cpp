@@ -148,11 +148,26 @@ void encode_ping(WireWriter& w) {
     w.end_frame(off);
 }
 
+void encode_get_data(WireWriter& w, std::uint8_t tenant, std::uint32_t id,
+                     double score) {
+    const auto off =
+        w.begin_frame(static_cast<std::uint8_t>(Op::kGetData), tenant);
+    w.u32(id);
+    w.f64(score);
+    w.end_frame(off);
+}
+
 // ----------------------------------------------------------------- replies
 
 void encode_get_reply(WireWriter& w, const GetReply& r) {
     w.u8(static_cast<std::uint8_t>(r.kind));
     w.u32(r.served_id);
+}
+
+void encode_get_data_reply(WireWriter& w, const GetDataReply& r) {
+    encode_get_reply(w, r.base);
+    w.u32(static_cast<std::uint32_t>(r.payload.size()));
+    w.blob(r.payload);
 }
 
 void encode_stats_reply(WireWriter& w, const StatsReply& r) {
@@ -193,6 +208,19 @@ std::optional<GetReply> decode_get_reply(
     g.kind = static_cast<ServeKind>(r.u8());
     g.served_id = r.u32();
     if (!r.done()) return std::nullopt;
+    return g;
+}
+
+std::optional<GetDataReply> decode_get_data_reply(
+    std::span<const std::uint8_t> payload) {
+    WireReader r{payload};
+    GetDataReply g;
+    g.base.kind = static_cast<ServeKind>(r.u8());
+    g.base.served_id = r.u32();
+    const std::uint32_t len = r.u32();
+    const auto bytes = r.bytes(len);
+    if (!r.done()) return std::nullopt;
+    g.payload.assign(bytes.begin(), bytes.end());
     return g;
 }
 
@@ -276,6 +304,7 @@ const char* to_string(Op op) {
         case Op::kTenantSetRatio: return "TENANT_SET_RATIO";
         case Op::kPutNeighbors: return "PUT_NEIGHBORS";
         case Op::kPing: return "PING";
+        case Op::kGetData: return "GET_DATA";
     }
     return "unknown";
 }

@@ -45,6 +45,11 @@ enum class Op : std::uint8_t {
     kTenantSetRatio = 7,  ///< f64 imp_ratio -> f64 applied (post-clamp)
     kPutNeighbors = 8,    ///< u32 key, u16 n, n x u32 -> u8 accepted
     kPing = 9,            ///< (empty) -> (empty)
+    kGetData = 10,        ///< u32 id, f64 score -> GetDataReply (GET that
+                          ///< also carries the sample's stored bytes:
+                          ///< SSD-tier hits return the block-store
+                          ///< payload, memory hits go through the
+                          ///< server's payload_read hook)
 };
 
 /// Response status byte. kOk means the payload is the op's reply; any
@@ -73,6 +78,14 @@ struct GetReply {
     ServeKind kind = ServeKind::kMissRejected;
     /// Sample actually served (the surrogate for kHomophilyHit).
     std::uint32_t served_id = 0;
+};
+
+/// GET_DATA reply: the GET verdict plus the served sample's bytes.
+/// `payload` is empty when the server has no bytes for the id (no block
+/// store and no payload_read hook, or the fetch failed).
+struct GetDataReply {
+    GetReply base;
+    std::vector<std::uint8_t> payload;
 };
 
 /// Server-wide counters, all monotone u64 (see SpiderServer for the
@@ -120,6 +133,9 @@ public:
     void u32(std::uint32_t v) { raw(&v, sizeof v); }
     void u64(std::uint64_t v) { raw(&v, sizeof v); }
     void f64(double v) { raw(&v, sizeof v); }
+    void blob(std::span<const std::uint8_t> bytes) {
+        raw(bytes.data(), bytes.size());
+    }
 
     /// Opens a frame: writes a length placeholder plus the two id bytes
     /// (op + tenant for requests, op + status for responses). Returns the
@@ -152,6 +168,16 @@ public:
     std::uint32_t u32() { return get<std::uint32_t>(); }
     std::uint64_t u64() { return get<std::uint64_t>(); }
     double f64() { return get<double>(); }
+    /// Raw view of the next `n` bytes (empty + !ok() when short).
+    std::span<const std::uint8_t> bytes(std::size_t n) {
+        if (!ok_ || data_.size() - pos_ < n) {
+            ok_ = false;
+            return {};
+        }
+        const auto view = data_.subspan(pos_, n);
+        pos_ += n;
+        return view;
+    }
 
 private:
     template <typename T>
@@ -226,8 +252,11 @@ void encode_put_neighbors(WireWriter& w, std::uint8_t tenant,
                           std::uint32_t key,
                           std::span<const std::uint32_t> neighbors);
 void encode_ping(WireWriter& w);
+void encode_get_data(WireWriter& w, std::uint8_t tenant, std::uint32_t id,
+                     double score);
 
 void encode_get_reply(WireWriter& w, const GetReply& r);
+void encode_get_data_reply(WireWriter& w, const GetDataReply& r);
 void encode_stats_reply(WireWriter& w, const StatsReply& r);
 void encode_tenant_stat_reply(WireWriter& w, const TenantStatReply& r);
 
@@ -235,6 +264,8 @@ void encode_tenant_stat_reply(WireWriter& w, const TenantStatReply& r);
 [[nodiscard]] std::optional<GetReply> decode_get_reply(
     std::span<const std::uint8_t> payload);
 [[nodiscard]] std::optional<std::vector<GetReply>> decode_mget_reply(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<GetDataReply> decode_get_data_reply(
     std::span<const std::uint8_t> payload);
 [[nodiscard]] std::optional<StatsReply> decode_stats_reply(
     std::span<const std::uint8_t> payload);

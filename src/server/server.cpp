@@ -29,9 +29,11 @@ void set_nodelay(int fd) {
 
 }  // namespace
 
-SpiderServer::SpiderServer(ServerConfig config, MissFetchFn miss_fetch)
+SpiderServer::SpiderServer(ServerConfig config, MissFetchFn miss_fetch,
+                           PayloadReadFn payload_read)
     : config_{std::move(config)},
       miss_fetch_{std::move(miss_fetch)},
+      payload_read_{std::move(payload_read)},
       tenants_{config_.cache_items, config_.tenants, config_.cache_shards,
                config_.lockfree_reads} {}
 
@@ -281,6 +283,7 @@ void SpiderServer::process_frame(Conn& conn, const Frame& frame) {
             case Op::kTenantStat:
             case Op::kTenantSetRatio:
             case Op::kPutNeighbors:
+            case Op::kGetData:
                 return true;
             case Op::kStats:
             case Op::kPing:
@@ -298,6 +301,7 @@ void SpiderServer::process_frame(Conn& conn, const Frame& frame) {
         case Op::kTenantSetRatio:
         case Op::kPutNeighbors:
         case Op::kPing:
+        case Op::kGetData:
             break;
         default:
             error_reply(conn, op, Status::kBadOp);
@@ -308,17 +312,23 @@ void SpiderServer::process_frame(Conn& conn, const Frame& frame) {
         return;
     }
 
-    const auto serve_one = [&](std::uint32_t id, double score) -> GetReply {
+    // `payload_out` non-null = GET_DATA: memory hits read bytes through
+    // the payload hook, misses carry whatever the backing fetch returned
+    // (the SSD block store's bytes on an SSD hit).
+    const auto serve_one = [&](std::uint32_t id, double score,
+                               std::vector<std::uint8_t>* payload_out =
+                                   nullptr) -> GetReply {
         GetReply reply;
         const cache::Lookup hit = tenants_.lookup(tenant, id);
-        if (hit.kind == cache::HitKind::kImportance) {
-            reply.kind = ServeKind::kImportanceHit;
+        if (hit.kind == cache::HitKind::kImportance ||
+            hit.kind == cache::HitKind::kHomophily) {
+            reply.kind = hit.kind == cache::HitKind::kImportance
+                             ? ServeKind::kImportanceHit
+                             : ServeKind::kHomophilyHit;
             reply.served_id = hit.served_id;
-            return reply;
-        }
-        if (hit.kind == cache::HitKind::kHomophily) {
-            reply.kind = ServeKind::kHomophilyHit;
-            reply.served_id = hit.served_id;
+            if (payload_out != nullptr && payload_read_) {
+                *payload_out = payload_read_(tenant, reply.served_id);
+            }
             return reply;
         }
         MissOutcome outcome;
@@ -327,6 +337,9 @@ void SpiderServer::process_frame(Conn& conn, const Frame& frame) {
             reply.kind = ServeKind::kFetchFailed;
             reply.served_id = id;
             return reply;
+        }
+        if (payload_out != nullptr) {
+            *payload_out = std::move(outcome.payload);
         }
         const bool admitted = tenants_.admit_after_fetch(tenant, id, score);
         reply.kind = outcome.from_ssd
@@ -350,6 +363,27 @@ void SpiderServer::process_frame(Conn& conn, const Frame& frame) {
             const auto off = w.begin_frame(
                 frame.b0, static_cast<std::uint8_t>(Status::kOk));
             encode_get_reply(w, reply);
+            w.end_frame(off);
+            return;
+        }
+        case Op::kGetData: {
+            const std::uint32_t id = r.u32();
+            const double score = r.f64();
+            if (!r.done()) {
+                error_reply(conn, op, Status::kBadPayload);
+                return;
+            }
+            gets_.fetch_add(1, std::memory_order_relaxed);
+            std::vector<std::uint8_t> payload;
+            const GetReply reply = serve_one(id, score, &payload);
+            // Keep the response frameable: an oversized sample degrades
+            // to a payload-less reply rather than poisoning the stream.
+            if (payload.size() > kMaxFrameLen - 64) payload.clear();
+            const auto off = w.begin_frame(
+                frame.b0, static_cast<std::uint8_t>(Status::kOk));
+            encode_get_reply(w, reply);
+            w.u32(static_cast<std::uint32_t>(payload.size()));
+            w.blob(payload);
             w.end_frame(off);
             return;
         }

@@ -55,6 +55,10 @@ struct ServerConfig {
 struct MissOutcome {
     bool ok = true;        ///< false = fetch failed (nothing admitted)
     bool from_ssd = false; ///< served by the shared SSD tier
+    /// Sample bytes that came back with the fetch (SSD block-store read
+    /// or remote payload). Returned verbatim by GET_DATA; plain GET
+    /// ignores it.
+    std::vector<std::uint8_t> payload;
 };
 
 /// Backing fetch hook: SSD tier + ResilientStore in production wiring
@@ -65,9 +69,17 @@ struct MissOutcome {
 using MissFetchFn = std::function<MissOutcome(
     std::uint8_t tenant, std::uint32_t id, storage::SimDuration now)>;
 
+/// Payload source for GET_DATA requests served from the in-memory cache
+/// (a hit never reaches miss_fetch, so the bytes come from here — the
+/// dataset/decode layer in production wiring). Empty return = no bytes.
+/// Called only from the event-loop thread.
+using PayloadReadFn = std::function<std::vector<std::uint8_t>(
+    std::uint8_t tenant, std::uint32_t id)>;
+
 class SpiderServer {
 public:
-    explicit SpiderServer(ServerConfig config, MissFetchFn miss_fetch = {});
+    explicit SpiderServer(ServerConfig config, MissFetchFn miss_fetch = {},
+                          PayloadReadFn payload_read = {});
     ~SpiderServer();
 
     SpiderServer(const SpiderServer&) = delete;
@@ -124,6 +136,7 @@ private:
 
     ServerConfig config_;
     MissFetchFn miss_fetch_;
+    PayloadReadFn payload_read_;
     TenantCacheManager tenants_;
 
     int listen_fd_ = -1;

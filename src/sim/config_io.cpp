@@ -29,6 +29,8 @@ const std::set<std::string>& known_keys() {
         "run.cache_fraction",  "run.num_gpus",         "run.seed",
         "run.record_trace",    "storage.latency_ms",   "storage.parallelism",
         "storage.parallel_cap", "storage.ssd_enabled", "storage.ssd_items",
+        "ssd.path",            "ssd.capacity_mb",      "ssd.segment_mb",
+        "ssd.bloom_bits_per_key",
         "scorer.lambda",       "scorer.alpha",         "scorer.surrogate_alpha",
         "scorer.neighbor_k",   "scorer.min_update_distance",
         "sampler.floor",       "elastic.enabled",      "elastic.r_start",
@@ -198,6 +200,21 @@ SimConfig sim_config_from(const util::Config& config) {
     sim.ssd.enabled = config.get_bool("storage.ssd_enabled", false);
     sim.ssd.capacity_items =
         static_cast<std::size_t>(config.get_int("storage.ssd_items", 0));
+    // [ssd] block mode (DESIGN.md §14): a path switches the tier from the
+    // pure residency model to real on-disk segment files.
+    sim.ssd.path = config.get_string("ssd.path", "");
+    sim.ssd.capacity_mb =
+        static_cast<std::size_t>(config.get_int("ssd.capacity_mb", 0));
+    sim.ssd.segment_mb =
+        static_cast<std::size_t>(config.get_int("ssd.segment_mb", 4));
+    sim.ssd.bloom_bits_per_key = static_cast<std::size_t>(
+        config.get_int("ssd.bloom_bits_per_key", 10));
+    if (sim.ssd.segment_mb == 0) {
+        throw std::invalid_argument{"ssd.segment_mb: must be >= 1"};
+    }
+    if (sim.ssd.bloom_bits_per_key > 64) {
+        throw std::invalid_argument{"ssd.bloom_bits_per_key: must be <= 64"};
+    }
 
     sim.scorer.lambda = config.get_double("scorer.lambda", sim.scorer.lambda);
     sim.scorer.alpha = config.get_double("scorer.alpha", sim.scorer.alpha);

@@ -254,6 +254,19 @@ metrics::RunResult TrainingSimulator::run() {
     // Behind a pointer because a simulated kill -9 replaces the tier (the
     // mutex member makes it immovable).
     auto ssd = std::make_unique<storage::SsdTier>(config_.ssd);
+    // Fresh run in block mode: wipe whatever segment files a previous
+    // process left, mirroring the WAL's compact({}) reset below.
+    ssd->clear_store();
+    // Block mode persists real payloads: the sample's feature bytes stand
+    // in for the decoded training record (byte-identical round trips are
+    // what the restart test checks).
+    const auto ssd_payload =
+        [this](std::uint32_t id) -> std::span<const std::uint8_t> {
+        const auto& features = dataset_.sample(id).features;
+        return {reinterpret_cast<const std::uint8_t*>(features.data()),
+                features.size() * sizeof(float)};
+    };
+    const bool ssd_block = ssd->block_mode();
     util::Rng aug_rng{config_.seed ^ 0xA067ULL};
 
     // Residency WAL (DESIGN.md §12): cache layers stream admissions /
@@ -394,6 +407,13 @@ metrics::RunResult TrainingSimulator::run() {
         std::uint64_t restored_this_epoch = 0;
         if (epoch != 0 && epoch == config_.restart_epoch) {
             if (wal) wal->drop_unflushed();
+            // Block mode: the kill also loses the segment tail still in
+            // the page cache; the rebuilt tier recovers from what disk
+            // actually holds (torn-tail scan, DESIGN.md §14).
+            ssd->drop_unflushed();
+            // Old handle closes its store before the replacement opens
+            // the same directory and runs the recovery scan.
+            ssd.reset();
             parts = build_strategy(cache_items);
             ssd = std::make_unique<storage::SsdTier>(config_.ssd);
             if (faulty) {
@@ -408,6 +428,13 @@ metrics::RunResult TrainingSimulator::run() {
                     restored_this_epoch +=
                         parts.spider->restore_from_wal(image);
                 }
+                // Listener first: ids the restore drops (smaller tier,
+                // payload lost in the crash) stream kSsdEvict so the WAL
+                // converges to actual residency instead of drifting.
+                ssd->set_residency_listener(
+                    [&wal](const cache::ResidencyRecord& record) {
+                        wal->append(record);
+                    });
                 restored_this_epoch += ssd->restore(image.ssd);
             }
             attach_wal_listeners();
@@ -553,7 +580,12 @@ metrics::RunResult TrainingSimulator::run() {
                             // The sample's bytes reached this node, so
                             // the write-back SSD tier may absorb a
                             // future re-miss.
-                            ssd->insert(requested[i]);
+                            if (ssd_block) {
+                                ssd->insert(requested[i],
+                                            ssd_payload(requested[i]));
+                            } else {
+                                ssd->insert(requested[i]);
+                            }
                         }
                         continue;
                     }
@@ -601,7 +633,11 @@ metrics::RunResult TrainingSimulator::run() {
                         continue;
                     }
                     ++out.remote_misses;
-                    ssd->insert(requested[i]);
+                    if (ssd_block) {
+                        ssd->insert(requested[i], ssd_payload(requested[i]));
+                    } else {
+                        ssd->insert(requested[i]);
+                    }
                 }
             };
 
@@ -994,6 +1030,10 @@ metrics::RunResult TrainingSimulator::run() {
         // Fetch-slot contention of this epoch alone (reset at its start).
         em.slot_waits = remote_.slot_waits();
         em.peak_in_flight = remote_.peak_in_flight();
+        // The tier's own per-epoch miss counter (reset alongside the
+        // contention counters above) — uniform across enabled/disabled
+        // and residency/block modes: ssd_hits + ssd_misses == consults.
+        em.ssd_misses = ssd->misses();
 
         // Epoch-end WAL compaction (a stable point): folds the live
         // residency into the snapshot, which also reconciles the
@@ -1006,6 +1046,9 @@ metrics::RunResult TrainingSimulator::run() {
             image.ssd = ssd->dump_residency();
             wal->compact(image);
         }
+        // Block mode: the epoch boundary is the fsync point for segment
+        // files — a mid-epoch kill -9 loses only the tail past here.
+        ssd->flush();
 
         result.epochs.push_back(em);
         result.best_accuracy = std::max(result.best_accuracy, em.test_accuracy);

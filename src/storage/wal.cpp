@@ -10,47 +10,20 @@
 #include <unordered_map>
 #include <utility>
 
+#include "storage/wire_format.hpp"
+
 namespace spider::storage {
 
 namespace {
 
-/// SplitMix64 finalizer (same mix as the fault model's draw stream).
-[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
-    x += 0x9E3779B97F4A7C15ULL;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-    return x ^ (x >> 31);
-}
+using wire::checksum32;
+using wire::get;
+using wire::put;
+using wire::read_file;
 
-[[nodiscard]] std::uint32_t checksum32(const char* data, std::size_t len) {
-    std::uint64_t h = 0x5CA1AB1EULL ^ len;
-    std::size_t i = 0;
-    for (; i + 8 <= len; i += 8) {
-        std::uint64_t chunk = 0;
-        std::memcpy(&chunk, data + i, 8);
-        h = mix64(h ^ chunk);
-    }
-    std::uint64_t tail = 0;
-    if (i < len) {
-        std::memcpy(&tail, data + i, len - i);
-        h = mix64(h ^ tail);
-    }
-    return static_cast<std::uint32_t>(h ^ (h >> 32));
-}
-
-template <typename T>
-void put(std::string& out, T value) {
-    char bytes[sizeof(T)];
-    std::memcpy(bytes, &value, sizeof(T));
-    out.append(bytes, sizeof(T));
-}
-
-template <typename T>
-[[nodiscard]] bool get(const std::string& in, std::size_t& off, T& value) {
-    if (off + sizeof(T) > in.size()) return false;
-    std::memcpy(&value, in.data() + off, sizeof(T));
-    off += sizeof(T);
-    return true;
+void write_file(const std::string& path, const std::string& bytes,
+                std::ios::openmode mode) {
+    wire::write_file(path, bytes, mode);
 }
 
 /// A single record can describe one homophily entry; its neighbor list
@@ -100,24 +73,6 @@ constexpr std::uint32_t kMaxPayload = 1U << 20;
         if (!get(payload, off, out.neighbors[i])) return false;
     }
     return true;
-}
-
-[[nodiscard]] std::string read_file(const std::string& path) {
-    std::ifstream is{path, std::ios::binary};
-    if (!is) return {};
-    std::string bytes{std::istreambuf_iterator<char>{is},
-                      std::istreambuf_iterator<char>{}};
-    return bytes;
-}
-
-void write_file(const std::string& path, const std::string& bytes,
-                std::ios::openmode mode) {
-    std::ofstream os{path, std::ios::binary | mode};
-    if (!os) {
-        throw std::runtime_error("wal: cannot open " + path + " for writing");
-    }
-    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!os) throw std::runtime_error("wal: short write to " + path);
 }
 
 }  // namespace

@@ -156,6 +156,43 @@ TEST(ConfigIo, BadPresetRejected) {
     EXPECT_THROW(sim_config_from(ini), std::invalid_argument);
 }
 
+TEST(ConfigIo, SsdBlockSectionRoundTrips) {
+    const util::Config ini = util::Config::parse_string(R"(
+[storage]
+ssd_enabled = true
+ssd_items = 500
+[ssd]
+path = /tmp/spider_segments
+capacity_mb = 256
+segment_mb = 8
+bloom_bits_per_key = 12
+)");
+    const SimConfig config = sim_config_from(ini);
+    EXPECT_TRUE(config.ssd.enabled);
+    EXPECT_EQ(config.ssd.capacity_items, 500U);
+    EXPECT_EQ(config.ssd.path, "/tmp/spider_segments");
+    EXPECT_EQ(config.ssd.capacity_mb, 256U);
+    EXPECT_EQ(config.ssd.segment_mb, 8U);
+    EXPECT_EQ(config.ssd.bloom_bits_per_key, 12U);
+}
+
+TEST(ConfigIo, SsdBlockDefaultsToResidencyModel) {
+    const SimConfig config = sim_config_from(util::Config{});
+    EXPECT_TRUE(config.ssd.path.empty());  // no path = no block store
+    EXPECT_EQ(config.ssd.capacity_mb, 0U);
+    EXPECT_EQ(config.ssd.segment_mb, 4U);
+    EXPECT_EQ(config.ssd.bloom_bits_per_key, 10U);
+}
+
+TEST(ConfigIo, MalformedSsdBlockConfigRejectedAtParseTime) {
+    EXPECT_THROW(
+        sim_config_from(util::Config::parse_string("ssd.segment_mb = 0\n")),
+        std::invalid_argument);
+    EXPECT_THROW(sim_config_from(util::Config::parse_string(
+                     "ssd.bloom_bits_per_key = 65\n")),
+                 std::invalid_argument);
+}
+
 TEST(ConfigIo, ClusterSectionRoundTrips) {
     const util::Config ini = util::Config::parse_string(R"(
 [cluster]

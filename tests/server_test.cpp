@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <random>
 #include <thread>
@@ -22,6 +23,7 @@
 #include "server/protocol.hpp"
 #include "server/server.hpp"
 #include "sim/simulator.hpp"
+#include "storage/ssd_tier.hpp"
 
 namespace spider::server {
 namespace {
@@ -100,12 +102,13 @@ TEST(Protocol, EveryRequestOpFramesCleanly) {
     encode_tenant_set_ratio(w, 0, 0.75);
     encode_put_neighbors(w, 0, 10, ids);
     encode_ping(w);
+    encode_get_data(w, 0, 11, 2.0);
 
     const Op expected[] = {Op::kGet,        Op::kProbe,
                            Op::kMget,       Op::kPutScore,
                            Op::kStats,      Op::kTenantStat,
                            Op::kTenantSetRatio, Op::kPutNeighbors,
-                           Op::kPing};
+                           Op::kPing,       Op::kGetData};
     FrameDecoder decoder;
     decoder.feed(buf);
     EXPECT_EQ(decoder.buffered_frames(), std::size(expected));
@@ -166,6 +169,27 @@ TEST(Protocol, ReplyRoundTrips) {
         EXPECT_EQ(out->imp_size, in.imp_size);
         EXPECT_EQ(out->hits_importance, in.hits_importance);
         EXPECT_DOUBLE_EQ(out->imp_ratio, in.imp_ratio);
+    }
+    {
+        // GET_DATA reply: the slim GetReply plus a length-prefixed blob.
+        std::vector<std::uint8_t> buf;
+        WireWriter w{buf};
+        const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+        encode_get_data_reply(w, {{ServeKind::kMissSsd, 42}, payload});
+        const auto out = decode_get_data_reply(buf);
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->base.kind, ServeKind::kMissSsd);
+        EXPECT_EQ(out->base.served_id, 42U);
+        EXPECT_EQ(out->payload, payload);
+    }
+    {
+        // Empty payload is valid (server has no bytes for the id).
+        std::vector<std::uint8_t> buf;
+        WireWriter w{buf};
+        encode_get_data_reply(w, {{ServeKind::kImportanceHit, 7}, {}});
+        const auto out = decode_get_data_reply(buf);
+        ASSERT_TRUE(out.has_value());
+        EXPECT_TRUE(out->payload.empty());
     }
 }
 
@@ -311,10 +335,12 @@ TEST(FrameDecoder, FuzzRandomBytesNeverMisbehave) {
 
 class ServerWire : public ::testing::Test {
 protected:
-    void start(ServerConfig config, MissFetchFn miss_fetch = {}) {
+    void start(ServerConfig config, MissFetchFn miss_fetch = {},
+               PayloadReadFn payload_read = {}) {
         config.port = 0;  // ephemeral
         server_ = std::make_unique<SpiderServer>(std::move(config),
-                                                 std::move(miss_fetch));
+                                                 std::move(miss_fetch),
+                                                 std::move(payload_read));
         server_->start();
     }
 
@@ -680,6 +706,86 @@ TEST_F(ServerWire, SsdServePathReported) {
     EXPECT_EQ(c.get(0, 3, 1.0).kind, ServeKind::kMissSsd);
     // SSD-served samples are still admitted; next access is a memory hit.
     EXPECT_EQ(c.get(0, 3, 1.0).kind, ServeKind::kImportanceHit);
+}
+
+TEST_F(ServerWire, GetDataReturnsMissPayloadThenMemoryHookBytes) {
+    // GET_DATA is GET plus the sample's bytes: a miss returns whatever
+    // the miss path fetched; a memory hit goes through the payload_read
+    // hook (the in-memory cache tracks residency, not bytes).
+    const auto fetched_bytes = [](std::uint32_t id) {
+        return std::vector<std::uint8_t>{static_cast<std::uint8_t>(id),
+                                         0xBE, 0xEF};
+    };
+    const auto hook_bytes = [](std::uint32_t id) {
+        return std::vector<std::uint8_t>{static_cast<std::uint8_t>(id),
+                                         0xCA, 0xFE};
+    };
+    start(
+        ServerConfig{.cache_items = 64},
+        [&](std::uint8_t, std::uint32_t id, storage::SimDuration) {
+            return MissOutcome{.ok = true, .from_ssd = false,
+                               .payload = fetched_bytes(id)};
+        },
+        [&](std::uint8_t, std::uint32_t id) { return hook_bytes(id); });
+    Client c = connect();
+    const GetDataReply cold = c.get_data(0, 7, 1.0);
+    EXPECT_EQ(cold.base.kind, ServeKind::kMissAdmitted);
+    EXPECT_EQ(cold.base.served_id, 7U);
+    EXPECT_EQ(cold.payload, fetched_bytes(7));
+    const GetDataReply warm = c.get_data(0, 7, 1.0);
+    EXPECT_EQ(warm.base.kind, ServeKind::kImportanceHit);
+    EXPECT_EQ(warm.payload, hook_bytes(7));
+    // Plain GET still answers with the slim reply on the same stream.
+    EXPECT_EQ(c.get(0, 7, 1.0).kind, ServeKind::kImportanceHit);
+}
+
+TEST_F(ServerWire, GetDataServesStoredBytesFromBlockModeSsd) {
+    // End to end through a real block store: the miss path writes the
+    // fetched bytes back to the SSD tier; after memory eviction the next
+    // GET_DATA is served those exact bytes off the segment file.
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("spider_server_getdata_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    storage::SsdTierConfig tier_config;
+    tier_config.enabled = true;
+    tier_config.capacity_items = 0;
+    tier_config.path = dir.string();
+    storage::SsdTier ssd{tier_config};
+
+    const auto remote_bytes = [](std::uint32_t id) {
+        std::vector<std::uint8_t> out(32);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            out[i] = static_cast<std::uint8_t>(id * 7 + i);
+        }
+        return out;
+    };
+    start(ServerConfig{.cache_items = 1},  // memory churns immediately
+          [&](std::uint8_t, std::uint32_t id, storage::SimDuration) {
+              if (auto payload = ssd.fetch_payload(id)) {
+                  return MissOutcome{.ok = true, .from_ssd = true,
+                                     .payload = std::move(*payload)};
+              }
+              auto payload = remote_bytes(id);
+              ssd.insert(id, payload);
+              return MissOutcome{.ok = true, .from_ssd = false,
+                                 .payload = std::move(payload)};
+          });
+    Client c = connect();
+    const GetDataReply first = c.get_data(0, 11, 1.0);
+    EXPECT_EQ(first.base.kind, ServeKind::kMissAdmitted);
+    EXPECT_EQ(first.payload, remote_bytes(11));
+    // Evict 11 from the 1-item memory cache: higher-scored ids win the
+    // importance section.
+    for (std::uint32_t id = 12; id < 16; ++id) {
+        (void)c.get(0, id, 100.0 + id);
+    }
+    ASSERT_FALSE(c.probe(0, 11));
+    const GetDataReply ssd_hit = c.get_data(0, 11, 1.0);
+    EXPECT_EQ(ssd_hit.base.kind, ServeKind::kMissSsd);
+    EXPECT_EQ(ssd_hit.payload, remote_bytes(11));
+    EXPECT_GT(ssd.block_stats().read_hits, 0U);
+    server_->stop();
+    std::filesystem::remove_all(dir);
 }
 
 TEST_F(ServerWire, ManyConcurrentClients) {

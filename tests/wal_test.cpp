@@ -228,6 +228,37 @@ TEST_F(WalTest, ListenerStreamedCacheRebuildsWarmAcrossShardCountChange) {
     }
 }
 
+TEST_F(WalTest, SsdRestoreIntoSmallerTierStreamsEvictions) {
+    // Regression: restore() must report the evictions it performs while
+    // replaying into a smaller tier, or the post-restart WAL silently
+    // drifts from true residency and the next restart resurrects ids the
+    // tier no longer holds.
+    storage::CacheWal wal{config()};
+    storage::SsdTier before{storage::SsdTierConfig{.enabled = true,
+                                                   .capacity_items = 8}};
+    before.set_residency_listener(
+        [&wal](const ResidencyRecord& rec) { wal.append(rec); });
+    for (std::uint32_t id = 0; id < 12; ++id) before.insert(id);
+    wal.flush();
+
+    // Restart into a tier half the size, listener attached BEFORE
+    // restore — the simulator's order. Replay must evict 4 ids and
+    // stream those evictions back into the same log so the fold
+    // converges to the live tier.
+    const RestoreImage image = wal.load();
+    storage::SsdTier after{storage::SsdTierConfig{.enabled = true,
+                                                  .capacity_items = 4}};
+    after.set_residency_listener(
+        [&wal](const ResidencyRecord& rec) { wal.append(rec); });
+    EXPECT_EQ(after.restore(image.ssd), 4U);
+    wal.flush();
+
+    // The WAL's fold now matches the live tier exactly; a second
+    // restart would not resurrect the evicted ids.
+    EXPECT_EQ(wal.load().ssd, after.dump_residency());
+    EXPECT_EQ(after.resident_items(), 4U);
+}
+
 TEST_F(WalTest, SsdTierRoundTripsThroughListenerAndRestore) {
     storage::CacheWal wal{config()};
     storage::SsdTier before{storage::SsdTierConfig{.enabled = true,

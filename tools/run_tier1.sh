@@ -47,6 +47,13 @@
 #                                 # switches, tuner determinism, and the
 #                                 # ghost-replay-vs-live-traffic race
 #                                 # check, in build-tsan/
+#   tools/run_tier1.sh --ssd      # additionally: AddressSanitizer + UBSan
+#                                 # pass over the on-disk block store
+#                                 # (DESIGN.md §14): segment framing,
+#                                 # torn-tail/CRC recovery, bloom-guarded
+#                                 # reads, whole-segment GC, and the
+#                                 # tier/WAL restore drift fixes, in
+#                                 # build-asan/
 #   tools/run_tier1.sh --chaos    # additionally: ThreadSanitizer build of
 #                                 # the chaos/soak harness (DESIGN.md §12)
 #                                 # plus the WAL / warm-restart / weather
@@ -69,6 +76,7 @@ run_server=0
 run_cluster=0
 run_policy=0
 run_chaos=0
+run_ssd=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
@@ -80,7 +88,8 @@ for arg in "$@"; do
     --cluster) run_cluster=1 ;;
     --policy) run_policy=1 ;;
     --chaos) run_chaos=1 ;;
-    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch] [--lockfree] [--server] [--cluster] [--policy] [--chaos]" >&2; exit 2 ;;
+    --ssd) run_ssd=1 ;;
+    *) echo "usage: $0 [--tsan] [--asan] [--faults] [--prefetch] [--lockfree] [--server] [--cluster] [--policy] [--chaos] [--ssd]" >&2; exit 2 ;;
   esac
 done
 
@@ -218,6 +227,24 @@ if [[ "$run_chaos" == 1 ]]; then
              cache_concurrency_test ssd_tier_test
   ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     -R 'WalTest|Weather|ChaosSmoke|FaultModel|SsdTierConcurrent|ConcurrentOracle'
+fi
+
+if [[ "$run_ssd" == 1 ]]; then
+  echo "== opt-in: ASan + UBSan pass over the on-disk block store =="
+  # Heavy pointer/offset arithmetic (frame packing, index binary search,
+  # preads at computed offsets) makes ASan the right sanitizer here; the
+  # suite covers segment round trips, torn-tail + corrupt-CRC recovery,
+  # bloom FPR, GC, kill -9 payload durability, and the residency/WAL
+  # drift regressions (restore-streamed evictions, disabled-tier misses).
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPIDER_ASAN=ON \
+    -DSPIDER_BUILD_BENCH=OFF \
+    -DSPIDER_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j "$jobs" \
+    --target ssd_block_store_test ssd_tier_test wal_test
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" \
+    -R 'SsdBlockStore|SsdTier|WalTest'
 fi
 
 if [[ "$run_asan" == 1 ]]; then

@@ -71,10 +71,27 @@ int main(int argc, char** argv) {
     storage::ResilientStore resilient{remote, sim_config.faults,
                                       sim_config.resilience};
 
+    // The sample's feature bytes stand in for the decoded training record
+    // (what a real deployment would read off the dataset files); these are
+    // the bytes the SSD block store persists and GET_DATA returns.
+    const auto sample_bytes =
+        [&dataset](std::uint32_t id) -> std::vector<std::uint8_t> {
+        const auto& features =
+            dataset.sample(id % static_cast<std::uint32_t>(dataset.size()))
+                .features;
+        const auto* p = reinterpret_cast<const std::uint8_t*>(features.data());
+        return {p, p + features.size() * sizeof(float)};
+    };
+
     const auto miss_fetch = [&](std::uint8_t, std::uint32_t id,
                                 storage::SimDuration now)
         -> server::MissOutcome {
-        if (ssd.fetch(id)) return {.ok = true, .from_ssd = true};
+        // SSD hit: in block mode these are the bytes written back below,
+        // read straight off the segment file (bloom-gated).
+        if (auto payload = ssd.fetch_payload(id)) {
+            return {.ok = true, .from_ssd = true,
+                    .payload = std::move(*payload)};
+        }
         const std::uint32_t sample =
             id % static_cast<std::uint32_t>(dataset.size());
         if (sim_config.faults.enabled) {
@@ -83,11 +100,21 @@ int main(int argc, char** argv) {
         } else {
             (void)remote.fetch(sample);
         }
-        ssd.insert(id);
-        return {.ok = true, .from_ssd = false};
+        std::vector<std::uint8_t> payload = sample_bytes(id);
+        // Write-back: the block store owns a durable copy; residency-model
+        // tiers track the id only.
+        ssd.insert(id, payload);
+        return {.ok = true, .from_ssd = false, .payload = std::move(payload)};
     };
 
-    server::SpiderServer server{config, miss_fetch};
+    // GET_DATA hits in the in-memory cache never reach miss_fetch; their
+    // bytes come from the dataset directly.
+    const auto payload_read =
+        [&sample_bytes](std::uint8_t, std::uint32_t id) {
+            return sample_bytes(id);
+        };
+
+    server::SpiderServer server{config, miss_fetch, payload_read};
     try {
         server.start();
     } catch (const std::exception& e) {
